@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Durability and upgrades: write-ahead logging and Ring ORAM indexes.
+
+Two of the paper's forward-pointers, working together:
+
+* Section 3: "a standard write-ahead log could be generically added to the
+  system" — here a financial-ledger database runs with WAL enabled, the
+  "machine" is lost, and a fresh enclave recovers the exact state by
+  replaying the encrypted log (whose appends leak nothing beyond the write
+  count the adversary already sees).
+
+* Section 8: swapping Path ORAM for Ring ORAM "would result in performance
+  improvements corresponding to the approximately 1.5x improvement" — the
+  recovered database is rebuilt with `oram_kind="ring"` and we measure the
+  point-lookup improvement directly.
+
+Run:  python examples/durable_ledger.py
+"""
+
+import random
+
+from repro import ObliDB, StorageMethod
+from repro.storage import Schema, int_column, str_column
+
+LEDGER_SCHEMA_SQL = (
+    "CREATE TABLE ledger (txid INT, account STR(8), amount INT)"
+    " CAPACITY 256 METHOD both KEY txid"
+)
+
+
+def main() -> None:
+    # --- A ledger with write-ahead logging ---------------------------------
+    db = ObliDB(cipher="null", wal=True, seed=21)
+    db.sql(LEDGER_SCHEMA_SQL)
+    rng = random.Random(7)
+    accounts = ["acct-a", "acct-b", "acct-c"]
+    for txid in range(40):
+        account = rng.choice(accounts)
+        amount = rng.randint(-500, 500)
+        db.sql(f"INSERT INTO ledger VALUES ({txid}, '{account}', {amount})")
+    db.sql("UPDATE ledger SET amount = 0 WHERE txid = 13")  # a reversal
+    db.sql("DELETE FROM ledger WHERE txid = 7")  # a purged test entry
+
+    balances = db.sql(
+        "SELECT account, SUM(amount) FROM ledger GROUP BY account"
+    ).rows
+    print("balances before crash:", sorted(balances))
+    assert db.wal is not None
+    print(f"WAL holds {db.wal.count} sealed statements\n")
+
+    # --- Crash: the enclave is gone; only untrusted memory (the WAL) and
+    # --- the committed count survive.  Recover into a fresh database. ------
+    recovered = ObliDB(cipher="null", seed=22)
+    replayed = recovered.recover_from(db.wal)
+    recovered_balances = recovered.sql(
+        "SELECT account, SUM(amount) FROM ledger GROUP BY account"
+    ).rows
+    print(f"replayed {replayed} statements into a fresh enclave")
+    print("balances after recovery:", sorted(recovered_balances))
+    assert sorted(balances) == sorted(recovered_balances)
+
+    # --- Upgrade: rebuild the index over Ring ORAM -------------------------
+    rows = recovered.sql("SELECT * FROM ledger").rows
+    schema = Schema([int_column("txid"), str_column("account", 8), int_column("amount")])
+
+    timings = {}
+    for kind, slot_blocks in (("path", 4), ("ring", 1)):
+        fresh = ObliDB(cipher="null", seed=23)
+        table = fresh.create_table(
+            "ledger", schema, 256,
+            method=StorageMethod.INDEXED, key_column="txid", oram_kind=kind,
+        )
+        for row in rows:
+            table.insert(row)
+        snapshot = fresh.cost_snapshot()
+        for txid in range(0, 40, 2):
+            fresh.point_lookup("ledger", txid)
+        delta = fresh.cost_delta(snapshot)
+        # Path IOs move 4-slot buckets; Ring IOs move single slots.
+        timings[kind] = delta.block_ios * slot_blocks
+
+    improvement = timings["path"] / timings["ring"]
+    print(f"\npoint lookups, slot-equivalents moved: path={timings['path']}, "
+          f"ring={timings['ring']}  ->  Ring ORAM is {improvement:.2f}x lighter")
+    print("(the paper's Section 8 estimate: approximately 1.5x)")
+
+
+if __name__ == "__main__":
+    main()

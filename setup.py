@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (offline build isolation is unavailable here)."""
+from setuptools import setup
+
+setup()

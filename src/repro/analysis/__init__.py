@@ -1,0 +1,25 @@
+"""Security and complexity analysis: trace checks, the Appendix-A simulator,
+and empirical asymptotics fitting."""
+
+from .asymptotics import fit_polylog, fit_power_law
+from .obliviousness import (
+    CanonicalTrace,
+    assert_indistinguishable,
+    canonicalize,
+    capture,
+    oram_regions_of,
+)
+from .simulator import SelectLeakage, real_select_trace, simulate_select
+
+__all__ = [
+    "CanonicalTrace",
+    "SelectLeakage",
+    "assert_indistinguishable",
+    "canonicalize",
+    "capture",
+    "fit_polylog",
+    "fit_power_law",
+    "oram_regions_of",
+    "real_select_trace",
+    "simulate_select",
+]

@@ -1,0 +1,47 @@
+"""Empirical complexity fitting for the Figure 2 / Figure 3 checks.
+
+The paper's Figure 2 tabulates asymptotic costs per storage method and
+Figure 3 per operator.  We verify them empirically: measure the modeled
+block-access count at a ladder of table sizes and fit the growth law.
+
+* :func:`fit_power_law` — least-squares slope of log(cost) against log(n);
+  a linear-scan operator fits exponent ≈ 1, a constant-time one ≈ 0.
+* :func:`fit_polylog` — least-squares degree of log-polynomial growth,
+  cost ≈ c·log(n)^d; an O(log² n) index operation fits d ≈ 2.
+
+Both are tiny closed-form regressions (no numpy needed) tolerant of the
+small ladders benchmarks can afford.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Slope of the ordinary least squares fit y = a + b·x."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("x values are all identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx
+
+
+def fit_power_law(sizes: Sequence[int], costs: Sequence[float]) -> float:
+    """Exponent p of the best fit cost ≈ c·n^p."""
+    xs = [math.log(size) for size in sizes]
+    ys = [math.log(max(cost, 1e-9)) for cost in costs]
+    return _least_squares_slope(xs, ys)
+
+
+def fit_polylog(sizes: Sequence[int], costs: Sequence[float]) -> float:
+    """Degree d of the best fit cost ≈ c·(log n)^d."""
+    xs = [math.log(math.log(max(size, 3))) for size in sizes]
+    ys = [math.log(max(cost, 1e-9)) for cost in costs]
+    return _least_squares_slope(xs, ys)

@@ -1,0 +1,133 @@
+"""Trace-indistinguishability checking.
+
+Obliviousness (Section 2.3, Appendix A) says: two executions whose declared
+leakage is identical — same table sizes, same result sizes, same physical
+plan — must produce untrusted-memory traces an adversary cannot tell apart.
+This module turns that statement into executable assertions.
+
+Two subtleties:
+
+1. **ORAM randomness.**  Path ORAM traces are *distributionally* identical,
+   not bitwise identical: each access reads one uniformly random root→leaf
+   path.  The adversary learns only the path's shape (one bucket per
+   level), so we canonicalise ORAM-region events to their tree level before
+   comparing.  Two runs are then indistinguishable iff their canonical
+   traces match exactly.  (The uniformity of the leaf choice itself is a
+   property of the Path ORAM construction, tested statistically in the
+   ORAM test suite.)
+
+2. **Region names.**  Fresh intermediate tables get counter-derived names.
+   Runs that allocate the same number of structures in the same order get
+   matching names, which is exactly the public allocation history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+from ..enclave.enclave import Enclave
+from ..enclave.trace import AccessEvent
+
+
+@dataclass(frozen=True)
+class CanonicalTrace:
+    """A trace after ORAM canonicalisation, as a digest + length."""
+
+    digest: str
+    length: int
+
+    def matches(self, other: "CanonicalTrace") -> bool:
+        return self.digest == other.digest and self.length == other.length
+
+
+def _levels_for(index: int) -> int:
+    """Tree level of a heap-ordered bucket index (0 = root)."""
+    return (index + 1).bit_length() - 1
+
+
+def canonicalize(
+    events: list[AccessEvent],
+    oram_regions: set[str] | None = None,
+    normalize_names: bool = True,
+) -> CanonicalTrace:
+    """Digest a trace, mapping ORAM bucket indexes to their tree level.
+
+    ``oram_regions`` lists the region names backed by ORAM trees (their
+    indexes are data-independent random paths); all other regions keep raw
+    indexes, which for ObliDB's flat operators are fixed scan patterns.
+
+    ``normalize_names`` renames regions to their order of first appearance
+    ("r0", "r1", ...): two runs that allocate the same number of structures
+    in the same order then compare equal even if their enclaves' region
+    counters started at different values (e.g. a real run versus the
+    Appendix-A simulator's fresh enclave).
+    """
+    oram_regions = oram_regions or set()
+    digest = hashlib.blake2b(digest_size=16)
+    names: dict[str, str] = {}
+    for event in events:
+        if normalize_names:
+            region = names.setdefault(event.region, f"r{len(names)}")
+        else:
+            region = event.region
+        if event.region in oram_regions:
+            position = f"L{_levels_for(event.index)}"
+        else:
+            position = str(event.index)
+        digest.update(f"{event.op}|{region}|{position};".encode())
+    return CanonicalTrace(digest=digest.hexdigest(), length=len(events))
+
+
+def oram_regions_of(enclave: Enclave) -> set[str]:
+    """Region names that follow the ORAM naming convention.
+
+    Includes regions seen in the trace that have since been freed (e.g. a
+    temporary output ORAM released before the trace is inspected) — their
+    accesses were ORAM paths and must be canonicalised like any other.
+    """
+    live = {
+        name
+        for name in enclave.untrusted.region_names()
+        if name.startswith("oram")
+    }
+    try:
+        seen = {
+            event.region
+            for event in enclave.trace.events
+            if event.region.startswith("oram")
+        }
+    except ValueError:  # digest-only trace: no event list to inspect
+        seen = set()
+    return live | seen
+
+
+def capture(
+    run: Callable[[Enclave], object],
+    enclave_factory: Callable[[], Enclave],
+) -> tuple[CanonicalTrace, object]:
+    """Run ``run`` against a fresh enclave and return its canonical trace.
+
+    The factory builds the enclave (and typically loads data); the trace is
+    cleared after setup so only the operation under test is captured.
+    """
+    enclave = enclave_factory()
+    enclave.trace.clear()
+    result = run(enclave)
+    trace = canonicalize(enclave.trace.events, oram_regions_of(enclave))
+    return trace, result
+
+
+def assert_indistinguishable(traces: list[CanonicalTrace]) -> None:
+    """Assert all canonical traces are identical; raises AssertionError."""
+    if not traces:
+        return
+    first = traces[0]
+    for position, trace in enumerate(traces[1:], start=1):
+        if not first.matches(trace):
+            raise AssertionError(
+                f"trace {position} distinguishable from trace 0: "
+                f"lengths {first.length} vs {trace.length}, "
+                f"digests {first.digest[:12]} vs {trace.digest[:12]}"
+            )

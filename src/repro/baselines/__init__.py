@@ -1,0 +1,15 @@
+"""Comparison systems from the paper's evaluation, on the same substrate."""
+
+from .hirb import HIRBMap
+from .mysql_like import PlainIndex
+from .naive_oram import NaiveORAMTable
+from .opaque import OpaqueSystem
+from .sparksql import PlainSystem
+
+__all__ = [
+    "HIRBMap",
+    "NaiveORAMTable",
+    "OpaqueSystem",
+    "PlainIndex",
+    "PlainSystem",
+]

@@ -1,0 +1,59 @@
+"""A MySQL-like non-oblivious index baseline (for Figure 9).
+
+The paper includes MySQL in its point-query comparison as the "no security"
+latency floor: a conventional in-memory B+ tree with no encryption, no
+padding, and data-dependent access patterns.  We model it with a sorted-key
+index over a Python dict, charging the cost model only the O(log n)
+comparisons of the binary search — the modeled time is microseconds, an
+order of magnitude under the oblivious indexes, as in the paper.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+from ..enclave.counters import CostModel
+
+
+class PlainIndex:
+    """Sorted-key point-query index with comparison-count accounting."""
+
+    def __init__(self) -> None:
+        self.cost = CostModel()
+        self._keys: list[int] = []
+        self._values: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _charge_search(self) -> None:
+        self.cost.record_comparisons(max(1, len(self._keys)).bit_length())
+
+    def get(self, key: int) -> str | None:
+        self._charge_search()
+        return self._values.get(key)
+
+    def insert(self, key: int, value: str) -> None:
+        self._charge_search()
+        if key not in self._values:
+            insort(self._keys, key)
+        self._values[key] = value
+
+    def delete(self, key: int) -> bool:
+        self._charge_search()
+        if key not in self._values:
+            return False
+        del self._values[key]
+        index = bisect_left(self._keys, key)
+        del self._keys[index]
+        return True
+
+    def range(self, low: int, high: int) -> list[tuple[int, str]]:
+        self._charge_search()
+        start = bisect_left(self._keys, low)
+        out: list[tuple[int, str]] = []
+        for key in self._keys[start:]:
+            if key > high:
+                break
+            out.append((key, self._values[key]))
+        return out

@@ -1,0 +1,120 @@
+"""A Spark-SQL-like insecure baseline (for Figure 7).
+
+Spark SQL provides no security guarantees: data is in plaintext and access
+patterns are whatever the query needs.  The comparison point the paper
+wants is "how much does obliviousness cost versus a tuned plaintext
+engine", so this baseline executes the same logical operations over plain
+Python lists while charging the cost model one untrusted *read* per row
+touched and nothing for writes, encryption, or padding — the pattern of an
+engine that streams data once and materialises only real results.
+"""
+
+from __future__ import annotations
+
+from ..enclave.counters import CostModel
+from ..operators.aggregate import AggregateFunction, AggregateSpec
+from ..operators.predicate import Predicate
+from ..storage.schema import Row, Schema, Value
+
+
+class PlainSystem:
+    """Plaintext in-memory executor with per-row-touch cost accounting."""
+
+    def __init__(self) -> None:
+        self.cost = CostModel()
+        self._tables: dict[str, list[Row]] = {}
+        self._schemas: dict[str, Schema] = {}
+
+    def create_table(self, name: str, schema: Schema) -> None:
+        self._tables[name] = []
+        self._schemas[name] = schema
+
+    def load_rows(self, name: str, rows: list[Row]) -> None:
+        self._tables[name].extend(rows)
+
+    def table(self, name: str) -> list[Row]:
+        return self._tables[name]
+
+    def schema(self, name: str) -> Schema:
+        return self._schemas[name]
+
+    # ------------------------------------------------------------------
+    # Operators: plain semantics, row-touch accounting
+    # ------------------------------------------------------------------
+    def filter(self, name: str, predicate: Predicate) -> list[Row]:
+        rows = self._tables[name]
+        matches = predicate.compile(self._schemas[name])
+        self.cost.record_read(len(rows))
+        return [row for row in rows if matches(row)]
+
+    def aggregate(
+        self, name: str, specs: list[AggregateSpec], predicate: Predicate | None = None
+    ) -> tuple[Value, ...]:
+        schema = self._schemas[name]
+        rows = self._tables[name]
+        self.cost.record_read(len(rows))
+        if predicate is not None:
+            matches = predicate.compile(schema)
+            rows = [row for row in rows if matches(row)]
+        return tuple(_evaluate(spec, schema, rows) for spec in specs)
+
+    def group_by(
+        self,
+        name: str,
+        group_column: str,
+        specs: list[AggregateSpec],
+        predicate: Predicate | None = None,
+    ) -> list[tuple[Value, ...]]:
+        schema = self._schemas[name]
+        rows = self._tables[name]
+        self.cost.record_read(len(rows))
+        if predicate is not None:
+            matches = predicate.compile(schema)
+            rows = [row for row in rows if matches(row)]
+        group_index = schema.column_index(group_column)
+        groups: dict[Value, list[Row]] = {}
+        for row in rows:
+            groups.setdefault(row[group_index], []).append(row)
+        return [
+            (key,) + tuple(float(_evaluate(spec, schema, members)) for spec in specs)
+            for key, members in sorted(groups.items())
+        ]
+
+    def join(
+        self,
+        left_name: str,
+        right_name: str,
+        left_column: str,
+        right_column: str,
+    ) -> list[Row]:
+        """Plain hash join: build on the left, probe with the right."""
+        left_rows = self._tables[left_name]
+        right_rows = self._tables[right_name]
+        left_index = self._schemas[left_name].column_index(left_column)
+        right_index = self._schemas[right_name].column_index(right_column)
+        self.cost.record_read(len(left_rows) + len(right_rows))
+        build: dict[Value, Row] = {row[left_index]: row for row in left_rows}
+        output: list[Row] = []
+        for row in right_rows:
+            match = build.get(row[right_index])
+            if match is not None:
+                output.append(match + row)
+        return output
+
+
+def _evaluate(spec: AggregateSpec, schema: Schema, rows: list[Row]) -> Value:
+    """Evaluate one aggregate over materialised rows."""
+    if spec.function is AggregateFunction.COUNT:
+        return len(rows)
+    assert spec.column is not None
+    index = schema.column_index(spec.column)
+    values = [row[index] for row in rows]
+    if not values:
+        return 0
+    if spec.function is AggregateFunction.SUM:
+        return sum(values)  # type: ignore[arg-type]
+    if spec.function is AggregateFunction.AVG:
+        return sum(values) / len(values)  # type: ignore[arg-type]
+    if spec.function is AggregateFunction.MIN:
+        return min(values)
+    return max(values)

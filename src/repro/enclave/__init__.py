@@ -1,0 +1,65 @@
+"""Simulated trusted-hardware substrate (SGX-like enclave).
+
+This subpackage replaces the Intel SGX hardware the paper runs on with a
+software model that preserves exactly the properties ObliDB's security and
+performance arguments depend on:
+
+* every access to untrusted memory is observable (``trace``),
+* data at rest outside the enclave is encrypted and MACed (``crypto``),
+* the enclave has a limited oblivious-memory budget (``enclave``),
+* costs are counted per block transfer / ORAM access (``counters``).
+"""
+
+from .attestation import AttestationPlatform, AttestingClient, Quote, attest, measure
+from .counters import CostModel, CostWeights
+from .crypto import AuthenticatedCipher, CipherSuite, NullCipher, SealedBlock
+from .enclave import DEFAULT_OBLIVIOUS_MEMORY_BYTES, Enclave, ObliviousMemoryAccount
+from .errors import (
+    AttestationError,
+    CapacityError,
+    IntegrityError,
+    ObliDBError,
+    ObliviousMemoryError,
+    ORAMError,
+    PlannerError,
+    QueryError,
+    RollbackError,
+    SchemaError,
+    SQLSyntaxError,
+    StorageError,
+)
+from .memory import Region, UntrustedMemory
+from .trace import AccessEvent, AccessTrace
+
+__all__ = [
+    "AccessEvent",
+    "AccessTrace",
+    "AttestationError",
+    "AttestationPlatform",
+    "AttestingClient",
+    "AuthenticatedCipher",
+    "CapacityError",
+    "CipherSuite",
+    "CostModel",
+    "CostWeights",
+    "DEFAULT_OBLIVIOUS_MEMORY_BYTES",
+    "Enclave",
+    "IntegrityError",
+    "NullCipher",
+    "ObliDBError",
+    "ORAMError",
+    "ObliviousMemoryAccount",
+    "ObliviousMemoryError",
+    "PlannerError",
+    "QueryError",
+    "Quote",
+    "Region",
+    "RollbackError",
+    "SQLSyntaxError",
+    "SchemaError",
+    "SealedBlock",
+    "StorageError",
+    "UntrustedMemory",
+    "attest",
+    "measure",
+]

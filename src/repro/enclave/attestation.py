@@ -1,0 +1,90 @@
+"""Remote attestation simulation.
+
+Before a client trusts an enclave with data, the enclave proves it runs an
+untampered version of the expected code by presenting a signed hash of its
+initial state (Section 2.1).  We model the three roles:
+
+* the *enclave* produces a :class:`Quote` — a measurement (hash of the code
+  identity string) signed with a platform key;
+* the *platform* (standing in for Intel's quoting enclave) holds the signing
+  key;
+* the *client* verifies the quote against the measurement it expects and only
+  then provisions the table-encryption key over the secure channel.
+
+This is deliberately a faithful-but-small model: it exercises the handshake
+code path used by the examples and tests, not the SGX EPID protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+from .errors import AttestationError
+
+
+def measure(code_identity: str) -> bytes:
+    """The enclave measurement: a hash of the trusted code base identity."""
+    return hashlib.blake2b(code_identity.encode(), digest_size=32).digest()
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation statement binding measurement and challenge."""
+
+    measurement: bytes
+    challenge: bytes
+    signature: bytes
+
+
+class AttestationPlatform:
+    """Holds the platform signing key (the quoting enclave's role)."""
+
+    def __init__(self, platform_key: bytes | None = None) -> None:
+        self._key = platform_key if platform_key is not None else os.urandom(32)
+
+    def sign_quote(self, measurement: bytes, challenge: bytes) -> Quote:
+        signature = hmac.new(
+            self._key, measurement + challenge, hashlib.sha256
+        ).digest()
+        return Quote(measurement=measurement, challenge=challenge, signature=signature)
+
+    def verify_quote(self, quote: Quote) -> bool:
+        expected = hmac.new(
+            self._key, quote.measurement + quote.challenge, hashlib.sha256
+        ).digest()
+        return hmac.compare_digest(expected, quote.signature)
+
+
+class AttestingClient:
+    """A client that verifies a quote before provisioning secrets."""
+
+    def __init__(self, platform: AttestationPlatform, expected_code_identity: str) -> None:
+        self._platform = platform
+        self._expected_measurement = measure(expected_code_identity)
+        self._last_challenge: bytes | None = None
+
+    def challenge(self) -> bytes:
+        """A fresh nonce the enclave must bind into its quote."""
+        self._last_challenge = os.urandom(16)
+        return self._last_challenge
+
+    def verify(self, quote: Quote) -> None:
+        """Accept or reject the quote; raises :class:`AttestationError`."""
+        if self._last_challenge is None or quote.challenge != self._last_challenge:
+            raise AttestationError("quote does not answer the outstanding challenge")
+        if quote.measurement != self._expected_measurement:
+            raise AttestationError("enclave measurement mismatch: corrupted program")
+        if not self._platform.verify_quote(quote):
+            raise AttestationError("quote signature invalid")
+
+
+def attest(
+    platform: AttestationPlatform, code_identity: str, client: AttestingClient
+) -> None:
+    """Run the full handshake; raises :class:`AttestationError` on failure."""
+    challenge = client.challenge()
+    quote = platform.sign_quote(measure(code_identity), challenge)
+    client.verify(quote)

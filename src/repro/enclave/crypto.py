@@ -1,0 +1,134 @@
+"""Authenticated encryption for blocks stored outside the enclave.
+
+ObliDB encrypts and MACs every block it writes to untrusted memory, binding
+each ciphertext to the row identity it carries and to a per-block revision
+number so the OS can neither tamper with, shuffle, replay, nor roll back
+blocks (Section 3 of the paper).  The SGX SDK provides AES-GCM; offline we
+build an equivalent scheme from the standard library:
+
+* confidentiality — a BLAKE2b-derived keystream XORed over the plaintext,
+  with a fresh random nonce per encryption (so re-encrypting the same row
+  yields a fresh ciphertext, which is what makes dummy writes indistinguishable
+  from real writes);
+* integrity — a keyed BLAKE2b MAC over nonce, ciphertext, and associated
+  data (the row-identity/revision header).
+
+``NullCipher`` implements the same interface without byte-level work; it is
+used by large benchmarks where only access counts matter.  It still binds
+associated data so integrity tests behave identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+from typing import Protocol
+
+from .errors import IntegrityError
+
+_MAC_SIZE = 16
+_NONCE_SIZE = 12
+_KEYSTREAM_CHUNK = 64  # blake2b digest size
+
+
+@dataclass(frozen=True)
+class SealedBlock:
+    """An encrypted, MACed block as it lives in untrusted memory.
+
+    Only ``ciphertext`` length is observable to the adversary; the trace layer
+    never exposes contents.  ``nonce`` randomises every encryption.
+    """
+
+    nonce: bytes
+    ciphertext: bytes
+    mac: bytes
+
+    def size(self) -> int:
+        """Total stored size in bytes (ciphertext plus header overhead)."""
+        return len(self.nonce) + len(self.ciphertext) + len(self.mac)
+
+
+class CipherSuite(Protocol):
+    """Interface every block cipher used by the enclave must provide."""
+
+    def seal(self, plaintext: bytes, associated_data: bytes = b"") -> SealedBlock:
+        """Encrypt and authenticate ``plaintext``, binding ``associated_data``."""
+        ...
+
+    def open(self, block: SealedBlock, associated_data: bytes = b"") -> bytes:
+        """Verify and decrypt ``block``; raise :class:`IntegrityError` on tamper."""
+        ...
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Deterministic keystream of ``length`` bytes from (key, nonce)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.blake2b(
+            nonce + counter.to_bytes(8, "little"), key=key, digest_size=_KEYSTREAM_CHUNK
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+class AuthenticatedCipher:
+    """Randomised authenticated encryption from BLAKE2b primitives."""
+
+    def __init__(self, key: bytes | None = None) -> None:
+        if key is None:
+            key = os.urandom(32)
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._enc_key = hashlib.blake2b(b"enc", key=key, digest_size=32).digest()
+        self._mac_key = hashlib.blake2b(b"mac", key=key, digest_size=32).digest()
+
+    def seal(self, plaintext: bytes, associated_data: bytes = b"") -> SealedBlock:
+        nonce = os.urandom(_NONCE_SIZE)
+        stream = _keystream(self._enc_key, nonce, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        mac = self._mac(nonce, ciphertext, associated_data)
+        return SealedBlock(nonce=nonce, ciphertext=ciphertext, mac=mac)
+
+    def open(self, block: SealedBlock, associated_data: bytes = b"") -> bytes:
+        expected = self._mac(block.nonce, block.ciphertext, associated_data)
+        if not hmac.compare_digest(expected, block.mac):
+            raise IntegrityError("block MAC verification failed")
+        stream = _keystream(self._enc_key, block.nonce, len(block.ciphertext))
+        return bytes(c ^ s for c, s in zip(block.ciphertext, stream))
+
+    def _mac(self, nonce: bytes, ciphertext: bytes, associated_data: bytes) -> bytes:
+        mac = hashlib.blake2b(key=self._mac_key, digest_size=_MAC_SIZE)
+        mac.update(len(associated_data).to_bytes(4, "little"))
+        mac.update(associated_data)
+        mac.update(nonce)
+        mac.update(ciphertext)
+        return mac.digest()
+
+
+class NullCipher:
+    """Cost-only stand-in: no byte-level crypto, same tamper-detection API.
+
+    Stores the plaintext directly (the adversary model is enforced by the
+    trace layer, not by inspecting Python objects) and a cheap checksum over
+    plaintext plus associated data so integrity-violation tests still fire.
+    Used by benchmarks where encrypting megabytes in pure Python would swamp
+    the access-pattern costs the experiment is about.
+    """
+
+    def seal(self, plaintext: bytes, associated_data: bytes = b"") -> SealedBlock:
+        mac = hashlib.blake2b(
+            associated_data + b"\x00" + plaintext, digest_size=_MAC_SIZE
+        ).digest()
+        return SealedBlock(nonce=b"", ciphertext=plaintext, mac=mac)
+
+    def open(self, block: SealedBlock, associated_data: bytes = b"") -> bytes:
+        expected = hashlib.blake2b(
+            associated_data + b"\x00" + block.ciphertext, digest_size=_MAC_SIZE
+        ).digest()
+        if not hmac.compare_digest(expected, block.mac):
+            raise IntegrityError("block checksum verification failed")
+        return block.ciphertext

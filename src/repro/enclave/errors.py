@@ -1,0 +1,62 @@
+"""Exception hierarchy for the simulated enclave substrate.
+
+All errors raised by the enclave, storage, and operator layers derive from
+:class:`ObliDBError` so applications can catch reproduction-library failures
+with a single except clause while still distinguishing specific conditions.
+"""
+
+from __future__ import annotations
+
+
+class ObliDBError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class IntegrityError(ObliDBError):
+    """Authenticated data failed verification.
+
+    Raised when a MAC check fails, a block's bound row identity does not
+    match the requested identity, or a revision number indicates a rollback.
+    These conditions correspond to the tampering scenarios of Section 3 of
+    the paper (modification, addition/removal, shuffling, rollback).
+    """
+
+
+class RollbackError(IntegrityError):
+    """A block's revision number is older than the enclave's ledger entry."""
+
+
+class ObliviousMemoryError(ObliDBError):
+    """An allocation would exceed the enclave's oblivious-memory budget."""
+
+
+class StorageError(ObliDBError):
+    """A storage-method invariant was violated (e.g. table capacity full)."""
+
+
+class CapacityError(StorageError):
+    """The table's fixed maximum capacity is exhausted."""
+
+
+class SchemaError(ObliDBError):
+    """Row values do not match the table schema."""
+
+
+class PlannerError(ObliDBError):
+    """The query planner could not select a physical operator."""
+
+
+class QueryError(ObliDBError):
+    """A logical query is malformed (unknown table/column, bad aggregate)."""
+
+
+class SQLSyntaxError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+class AttestationError(ObliDBError):
+    """Remote attestation failed: quote does not match expected measurement."""
+
+
+class ORAMError(ObliDBError):
+    """An ORAM invariant was violated (e.g. stash overflow, bad block id)."""

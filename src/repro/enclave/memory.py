@@ -1,0 +1,126 @@
+"""Untrusted memory: the OS-controlled block store outside the enclave.
+
+Everything ObliDB persists — flat tables, ORAM trees, intermediate results —
+lives here as :class:`~repro.enclave.crypto.SealedBlock` values organised in
+named *regions* (contiguous arrays of block slots).  Every read and write is
+recorded in the enclave's :class:`~repro.enclave.trace.AccessTrace` and cost
+model, because this interface is exactly what a malicious OS observes.
+
+The store deliberately offers no bulk or content-addressed operations: the
+enclave must touch individual (region, index) slots, mirroring how an SGX
+application pages data in and out through OS upcalls.
+"""
+
+from __future__ import annotations
+
+from .counters import CostModel
+from .crypto import SealedBlock
+from .errors import StorageError
+from .trace import AccessTrace
+
+
+class Region:
+    """A contiguous array of sealed-block slots in untrusted memory."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.name = name
+        self._slots: list[SealedBlock | None] = [None] * capacity
+
+    @property
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    def resize(self, new_capacity: int) -> None:
+        """Grow or shrink the region; new slots start empty."""
+        if new_capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if new_capacity >= len(self._slots):
+            self._slots.extend([None] * (new_capacity - len(self._slots)))
+        else:
+            del self._slots[new_capacity:]
+
+    def stored_bytes(self) -> int:
+        """Total bytes currently stored (size of the encrypted image)."""
+        return sum(block.size() for block in self._slots if block is not None)
+
+
+class UntrustedMemory:
+    """Named regions of sealed blocks, with full access-pattern recording.
+
+    The same instance is shared by every table and ORAM of one database so a
+    single trace captures the complete observable behaviour of a query.
+    """
+
+    def __init__(self, trace: AccessTrace, cost: CostModel) -> None:
+        self._trace = trace
+        self._cost = cost
+        self._regions: dict[str, Region] = {}
+
+    def allocate_region(self, name: str, capacity: int) -> Region:
+        """Create a new region; allocation itself leaks only name and size."""
+        if name in self._regions:
+            raise StorageError(f"region {name!r} already exists")
+        region = Region(name, capacity)
+        self._regions[name] = region
+        return region
+
+    def free_region(self, name: str) -> None:
+        """Release a region (e.g. an intermediate table after a query)."""
+        if name not in self._regions:
+            raise StorageError(f"region {name!r} does not exist")
+        del self._regions[name]
+
+    def has_region(self, name: str) -> bool:
+        return name in self._regions
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise StorageError(f"region {name!r} does not exist") from None
+
+    def region_names(self) -> list[str]:
+        return list(self._regions)
+
+    def read(self, region_name: str, index: int) -> SealedBlock | None:
+        """Read one slot; observable to the adversary and counted."""
+        region = self.region(region_name)
+        if not 0 <= index < region.capacity:
+            raise StorageError(
+                f"read out of bounds: {region_name}[{index}] "
+                f"(capacity {region.capacity})"
+            )
+        self._trace.record("R", region_name, index)
+        self._cost.record_read()
+        return region._slots[index]
+
+    def write(self, region_name: str, index: int, block: SealedBlock | None) -> None:
+        """Write one slot; observable to the adversary and counted."""
+        region = self.region(region_name)
+        if not 0 <= index < region.capacity:
+            raise StorageError(
+                f"write out of bounds: {region_name}[{index}] "
+                f"(capacity {region.capacity})"
+            )
+        self._trace.record("W", region_name, index)
+        self._cost.record_write()
+        region._slots[index] = block
+
+    def peek(self, region_name: str, index: int) -> SealedBlock | None:
+        """Adversary-side inspection: NOT traced, NOT counted.
+
+        Used only by tests that play the role of the malicious OS (e.g. to
+        tamper with a block and check that the enclave detects it).  Library
+        code must never call this.
+        """
+        return self.region(region_name)._slots[index]
+
+    def tamper(self, region_name: str, index: int, block: SealedBlock | None) -> None:
+        """Adversary-side mutation: NOT traced, NOT counted (tests only)."""
+        self.region(region_name)._slots[index] = block
+
+    def total_stored_bytes(self) -> int:
+        """Bytes of sealed data across all regions (the paper's space column)."""
+        return sum(region.stored_bytes() for region in self._regions.values())

@@ -1,0 +1,97 @@
+"""Access-pattern traces over untrusted memory.
+
+The adversary of Section 2.2 controls the OS and observes every access the
+enclave makes to untrusted memory: which region, which block index, and
+whether it was a read or a write (contents are encrypted, so values are not
+part of the observable trace).  :class:`AccessTrace` records exactly that
+observable sequence, and is the object our security tests compare.
+
+Obliviousness in ObliDB means: for any two databases/queries with identical
+*leakage* (table sizes, result sizes, chosen physical plan), the traces are
+identical.  ``AccessTrace`` supports cheap structural comparison via an
+incremental digest so property-based tests can compare thousands of runs
+without holding full event lists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One observable access: ``op`` is ``'R'`` or ``'W'``.
+
+    ``region`` names the untrusted allocation (e.g. a table's flat area or an
+    ORAM tree); ``index`` is the block offset within it.  This matches what a
+    malicious OS sees: the physical address and the direction of transfer.
+    """
+
+    op: str
+    region: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.op} {self.region}[{self.index}]"
+
+
+class AccessTrace:
+    """An append-only log of :class:`AccessEvent` with an incremental digest.
+
+    Recording full event lists is useful for debugging but costs memory, so
+    recording of the event list can be disabled (``keep_events=False``) while
+    the digest — a running BLAKE2 hash over the event stream — is always
+    maintained.  Two traces are *indistinguishable* exactly when their digests
+    and lengths agree.
+    """
+
+    def __init__(self, keep_events: bool = True) -> None:
+        self._keep_events = keep_events
+        self._events: list[AccessEvent] = []
+        self._hash = hashlib.blake2b(digest_size=16)
+        self._length = 0
+
+    def record(self, op: str, region: str, index: int) -> None:
+        """Append one access event to the trace."""
+        self._hash.update(f"{op}|{region}|{index};".encode())
+        self._length += 1
+        if self._keep_events:
+            self._events.append(AccessEvent(op, region, index))
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[AccessEvent]:
+        if not self._keep_events:
+            raise ValueError("trace was recorded without keeping events")
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[AccessEvent]:
+        """The recorded events (requires ``keep_events=True``)."""
+        if not self._keep_events:
+            raise ValueError("trace was recorded without keeping events")
+        return list(self._events)
+
+    def digest(self) -> str:
+        """Hex digest summarising the entire observable access sequence."""
+        return self._hash.hexdigest()
+
+    def matches(self, other: "AccessTrace") -> bool:
+        """True when the two observable sequences are identical."""
+        return self._length == other._length and self.digest() == other.digest()
+
+    def clear(self) -> None:
+        """Reset the trace to empty."""
+        self._events.clear()
+        self._hash = hashlib.blake2b(digest_size=16)
+        self._length = 0
+
+    def region_histogram(self) -> dict[str, int]:
+        """Access counts per region (requires ``keep_events=True``)."""
+        histogram: dict[str, int] = {}
+        for event in self.events:
+            histogram[event.region] = histogram.get(event.region, 0) + 1
+        return histogram

@@ -1,0 +1,34 @@
+"""Engine: logical AST, SQL parser, executor, padding mode, ObliDB facade."""
+
+from .ast import (
+    CreateTableStatement,
+    DeleteStatement,
+    InsertStatement,
+    JoinClause,
+    QueryResult,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from .database import ObliDB
+from .executor import Executor
+from .padding import PaddingConfig
+from .sql import parse, tokenize
+from .wal import WriteAheadLog
+
+__all__ = [
+    "WriteAheadLog",
+    "CreateTableStatement",
+    "DeleteStatement",
+    "Executor",
+    "InsertStatement",
+    "JoinClause",
+    "ObliDB",
+    "PaddingConfig",
+    "QueryResult",
+    "SelectStatement",
+    "Statement",
+    "UpdateStatement",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,203 @@
+"""The ObliDB database facade.
+
+One :class:`ObliDB` owns a simulated enclave, a catalog of tables, and an
+executor.  It is the public entry point downstream code uses::
+
+    from repro import ObliDB
+
+    db = ObliDB()
+    db.sql("CREATE TABLE checkins (uid INT, date STR(10))"
+           " CAPACITY 1000 METHOD both KEY uid")
+    db.sql("INSERT INTO checkins VALUES (3172, '2018-08-14')")
+    result = db.sql("SELECT * FROM checkins WHERE uid = 3172")
+    result.rows  # [(3172, '2018-08-14')]
+
+Construction parameters mirror the paper's experimental knobs: the
+oblivious-memory budget (Figure 8), padding mode (Section 7.1), and whether
+the Continuous selection algorithm — with its extra adjacency leakage — is
+permitted (disabled in the Opaque comparison).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..enclave.counters import CostModel
+from ..enclave.enclave import DEFAULT_OBLIVIOUS_MEMORY_BYTES, Enclave
+from ..enclave.errors import QueryError, StorageError
+from ..operators.predicate import Predicate
+from ..storage.schema import Column, ColumnType, Row, Schema, Value
+from ..storage.table import StorageMethod, Table
+from .ast import (
+    CreateTableStatement,
+    QueryResult,
+    SelectStatement,
+    Statement,
+)
+from .executor import Executor
+from .padding import PaddingConfig
+from .sql import parse
+from .wal import WriteAheadLog
+
+
+class ObliDB:
+    """An oblivious database engine instance inside one simulated enclave."""
+
+    def __init__(
+        self,
+        oblivious_memory_bytes: int = DEFAULT_OBLIVIOUS_MEMORY_BYTES,
+        cipher: str = "authenticated",
+        padding: PaddingConfig | None = None,
+        allow_continuous: bool = True,
+        keep_trace_events: bool = False,
+        seed: int | None = None,
+        wal: bool = False,
+    ) -> None:
+        self.enclave = Enclave(
+            oblivious_memory_bytes=oblivious_memory_bytes,
+            cipher=cipher,
+            keep_trace_events=keep_trace_events,
+        )
+        self.padding = padding
+        self._rng = random.Random(seed)
+        self._tables: dict[str, Table] = {}
+        self._executor = Executor(
+            self._tables,
+            padding=padding,
+            allow_continuous=allow_continuous,
+            rng=self._rng,
+        )
+        # Optional write-ahead log (the Section 3 durability extension):
+        # every DDL/write statement is sealed and appended before it runs.
+        self.wal: WriteAheadLog | None = WriteAheadLog(self.enclave) if wal else None
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        capacity: int,
+        method: StorageMethod = StorageMethod.FLAT,
+        key_column: str | None = None,
+        oram_kind: str = "path",
+    ) -> Table:
+        """Create a table; the storage method choice is the administrator's
+        (Section 3), like deciding whether to build an index.
+
+        ``oram_kind`` selects the index's block store: "path" (default),
+        "recursive" (smaller position map, Appendix B), or "ring" (Ring
+        ORAM, the Section 8 upgrade).
+        """
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(
+            self.enclave,
+            name,
+            schema,
+            capacity,
+            method=method,
+            key_column=key_column,
+            rng=random.Random(self._rng.randrange(2**63)),
+            oram_kind=oram_kind,
+        )
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and free its untrusted regions."""
+        table = self._tables.pop(name, None)
+        if table is None:
+            raise StorageError(f"no table named {name!r}")
+        table.free()
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"no table named {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def execute(self, statement: Statement) -> QueryResult:
+        """Execute a logical statement built programmatically."""
+        if isinstance(statement, CreateTableStatement):
+            return self._create_from_statement(statement)
+        return self._executor.execute(statement)
+
+    def sql(self, text: str) -> QueryResult:
+        """Parse and execute one SQL statement.
+
+        With WAL enabled, write statements (CREATE/INSERT/UPDATE/DELETE)
+        are appended to the encrypted log *before* execution, as the paper
+        prescribes — one sequential log write, no new leakage.
+        """
+        statement = parse(text)
+        if self.wal is not None and not isinstance(statement, SelectStatement):
+            self.wal.append(text)
+        return self.execute(statement)
+
+    def explain(self, text: str) -> list:
+        """The physical plan a query would leak, without executing it."""
+        statement = parse(text)
+        if isinstance(statement, CreateTableStatement):
+            raise QueryError("CREATE TABLE has no physical plan to explain")
+        return self._executor.explain(statement)
+
+    def recover_from(self, wal: "WriteAheadLog") -> int:
+        """Rebuild this (empty) database by replaying a write-ahead log."""
+        return wal.replay_into(self)
+
+    def _create_from_statement(self, statement: CreateTableStatement) -> QueryResult:
+        columns = [
+            Column(name, ColumnType(type_name), size)
+            for name, type_name, size in statement.columns
+        ]
+        try:
+            method = StorageMethod(statement.method)
+        except ValueError:
+            raise QueryError(f"unknown storage method {statement.method!r}") from None
+        self.create_table(
+            statement.table,
+            Schema(columns),
+            capacity=statement.capacity,
+            method=method,
+            key_column=statement.key_column,
+        )
+        return QueryResult(affected=0)
+
+    # ------------------------------------------------------------------
+    # Typed convenience API
+    # ------------------------------------------------------------------
+    def insert(self, table: str, row: Row, fast: bool = False) -> None:
+        """Insert one row (``fast`` = flat storage's constant-time path)."""
+        self.table(table).insert(row, fast=fast)
+
+    def select(
+        self,
+        table: str,
+        where: Predicate | None = None,
+        columns: tuple[str, ...] = (),
+    ) -> QueryResult:
+        """Typed SELECT without SQL text."""
+        return self.execute(
+            SelectStatement(table=table, columns=columns, where=where)
+        )
+
+    def point_lookup(self, table: str, key: Value) -> list[Row]:
+        """Index point lookup (or flat fallback) on the table's key column."""
+        return self.table(table).point_lookup(key)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def cost_snapshot(self) -> dict[str, int]:
+        return self.enclave.cost_snapshot()
+
+    def cost_delta(self, snapshot: dict[str, int]) -> CostModel:
+        return self.enclave.cost_delta(snapshot)

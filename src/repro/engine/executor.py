@@ -1,0 +1,470 @@
+"""Query execution: logical statements → planner → physical operators.
+
+The executor owns the decisions above individual operators:
+
+* **Access method.**  If the target table keeps an index and the WHERE
+  clause pins the key column to an interval, the query runs over the index
+  (point lookup or range segment); otherwise it scans a flat representation
+  — the table's own flat storage, or the "scan the index like a flat table"
+  fallback for index-only tables.
+
+* **Operator fusion.**  ``SELECT agg(..) FROM t WHERE ..`` without GROUP BY
+  runs the fused select+aggregate operator, which neither materialises nor
+  leaks an intermediate result size (Section 4.2).
+
+* **Padding mode.**  With a :class:`~repro.engine.padding.PaddingConfig`
+  the planner is skipped, selections run the Hash algorithm at the padded
+  size, and grouped aggregates pad their outputs (Section 7.1).
+
+Every result records the physical plans chosen — the query's leakage — and
+the enclave cost counters it consumed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..enclave.errors import ObliviousMemoryError, QueryError
+from ..operators.aggregate import AggregateSpec, aggregate, group_by_aggregate
+from ..operators.sort import bitonic_sort, padded_scratch
+from ..operators.predicate import Interval, Predicate, TruePredicate
+from ..operators.select import hash_select, materialize_index_range
+from ..operators.write import oblivious_delete, oblivious_insert, oblivious_update
+from ..planner.join_planner import execute_join, plan_join
+from ..planner.plan import AccessMethod, PhysicalPlan, SelectAlgorithm
+from ..planner.select_planner import SelectDecision, execute_select, plan_select
+from ..storage.flat import FlatStorage
+from ..storage.schema import ColumnType, Row, Schema, Value
+from ..storage.table import Table
+from .ast import (
+    DeleteStatement,
+    InsertStatement,
+    QueryResult,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from .padding import PaddingConfig
+
+
+class Executor:
+    """Executes statements against a catalog of tables in one enclave."""
+
+    def __init__(
+        self,
+        tables: dict[str, Table],
+        padding: PaddingConfig | None = None,
+        allow_continuous: bool = True,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._tables = tables
+        self._padding = padding
+        self._allow_continuous = allow_continuous
+        self._rng = rng if rng is not None else random.Random()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(self, statement: Statement) -> QueryResult:
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(statement)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement)
+        raise QueryError(f"executor cannot run {type(statement).__name__}")
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"no table named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Flat views (including the index-linear-scan fallback)
+    # ------------------------------------------------------------------
+    def _flat_view(self, table: Table) -> tuple[FlatStorage, bool, AccessMethod]:
+        """A flat representation to scan: (storage, caller_owns_it, method)."""
+        if table.flat is not None:
+            return table.flat, False, AccessMethod.FLAT_SCAN
+        index = table.require_index()
+        scratch = FlatStorage(
+            table.enclave, table.schema, max(1, index.capacity)
+        )
+        position = 0
+        for row in index.linear_scan():
+            scratch.write_row(position, row)
+            scratch._used += 1
+            position += 1
+        return scratch, True, AccessMethod.INDEX_LINEAR
+
+    def _index_interval(
+        self, table: Table, where: Predicate | None
+    ) -> Interval | None:
+        """The key interval if the query can be served from the index."""
+        if where is None or table.indexed is None:
+            return None
+        key_column = table.indexed.key_column
+        interval = where.key_interval(key_column)
+        if interval is None:
+            return None
+        if interval.low is None and interval.high is None:
+            return None
+        return interval
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _execute_select(self, statement: SelectStatement) -> QueryResult:
+        table = self._table(statement.table)
+        enclave = table.enclave
+        start = enclave.cost_snapshot()
+        plans: list[PhysicalPlan] = []
+
+        if statement.join is not None:
+            source, owned = self._run_join(statement, plans)
+        else:
+            source, owned = self._run_scan_source(table, statement, plans)
+
+        try:
+            result = self._finish_select(statement, source, plans)
+        finally:
+            if owned:
+                source.free()
+        result.cost = enclave.cost.delta_since(start).snapshot()
+        result.plans = plans
+        return result
+
+    def _run_join(
+        self, statement: SelectStatement, plans: list[PhysicalPlan]
+    ) -> tuple[FlatStorage, bool]:
+        assert statement.join is not None
+        left = self._table(statement.table)
+        right = self._table(statement.join.right_table)
+        left_flat, left_owned, _ = self._flat_view(left)
+        right_flat, right_owned, _ = self._flat_view(right)
+        try:
+            decision = plan_join(left_flat, right_flat)
+            plans.append(decision.plan)
+            joined = execute_join(
+                left_flat,
+                right_flat,
+                statement.join.left_column,
+                statement.join.right_column,
+                decision,
+            )
+        finally:
+            if left_owned:
+                left_flat.free()
+            if right_owned:
+                right_flat.free()
+        return joined, True
+
+    def _run_scan_source(
+        self,
+        table: Table,
+        statement: SelectStatement,
+        plans: list[PhysicalPlan],
+    ) -> tuple[FlatStorage, bool]:
+        """The table to run selection/aggregation over: the base table's
+        flat view, or an index-range materialisation when applicable."""
+        interval = None
+        if self._padding is None:
+            # Padding mode never uses indexes: their benefit comes from
+            # knowing query selectivity, exactly what padding hides (§7.1).
+            interval = self._index_interval(table, statement.where)
+        if interval is not None:
+            index = table.require_index()
+            segment = materialize_index_range(index, interval.low, interval.high)
+            plans.append(
+                PhysicalPlan(
+                    operator="index_range",
+                    access_method=AccessMethod.INDEX_RANGE,
+                    sizes={"segment": segment.capacity},
+                )
+            )
+            return segment, True
+        source, owned, method = self._flat_view(table)
+        if method is AccessMethod.INDEX_LINEAR:
+            plans.append(
+                PhysicalPlan(
+                    operator="index_linear_scan",
+                    access_method=method,
+                    sizes={"capacity": source.capacity},
+                )
+            )
+        return source, owned
+
+    def _finish_select(
+        self,
+        statement: SelectStatement,
+        source: FlatStorage,
+        plans: list[PhysicalPlan],
+    ) -> QueryResult:
+        where = statement.where or TruePredicate()
+
+        # Grouped aggregation.
+        if statement.group_by is not None:
+            output_groups = self._padding.pad_groups if self._padding else None
+            output = group_by_aggregate(
+                source,
+                statement.group_by,
+                list(statement.aggregates),
+                predicate=where,
+                output_groups=output_groups,
+            )
+            plans.append(
+                PhysicalPlan(
+                    operator="group_by",
+                    sizes={"input": source.capacity, "output": output.capacity},
+                )
+            )
+            if self._padding is not None:
+                self._padding.check_fits(output.used_rows)
+            names = [statement.group_by] + [
+                spec.label() for spec in statement.aggregates
+            ]
+            rows = output.rows()
+            output.free()
+            if statement.order_by is not None:
+                # Group results are small (one row per group) and already
+                # decrypted in the enclave: sort them there.  ORDER BY may
+                # name the group column or an aggregate label.
+                if statement.order_by not in names:
+                    raise QueryError(
+                        f"ORDER BY column {statement.order_by!r} is not in the "
+                        f"GROUP BY output {names}"
+                    )
+                order_index = names.index(statement.order_by)
+                rows.sort(key=lambda row: row[order_index], reverse=statement.descending)
+            if statement.limit is not None:
+                rows = rows[: statement.limit]
+            return QueryResult(rows=rows, column_names=names, affected=len(rows))
+
+        # Whole-input aggregation (fused with selection).
+        if statement.aggregates:
+            values = aggregate(source, list(statement.aggregates), predicate=where)
+            plans.append(
+                PhysicalPlan(
+                    operator="aggregate", sizes={"input": source.capacity}
+                )
+            )
+            names = [spec.label() for spec in statement.aggregates]
+            return QueryResult(rows=[tuple(values)], column_names=names, affected=1)
+
+        # Plain selection.
+        output = self._run_selection(source, where, plans)
+        try:
+            names = list(source.schema.column_names())
+            rows = self._apply_order_limit(output, statement, plans)
+        finally:
+            output.free()
+        if statement.columns:
+            indexes = [source.schema.column_index(name) for name in statement.columns]
+            rows = [tuple(row[i] for i in indexes) for row in rows]
+            names = list(statement.columns)
+        return QueryResult(rows=rows, column_names=names, affected=len(rows))
+
+    def _apply_order_limit(
+        self,
+        output: FlatStorage,
+        statement: SelectStatement,
+        plans: list[PhysicalPlan],
+    ) -> list[Row]:
+        """ORDER BY / LIMIT over a selection's output table.
+
+        When the result fits in oblivious memory it is sorted inside the
+        enclave (invisible to the adversary).  Otherwise the output is
+        copied to a padded scratch table and sorted with the oblivious
+        bitonic network.  Either way the trace depends only on sizes and
+        the (public) ORDER BY/LIMIT clause; the truncation to LIMIT rows
+        happens on the decrypted result inside the enclave.
+        """
+        if statement.order_by is None and statement.limit is None:
+            return output.rows()
+        schema = output.schema
+        enclave = output.enclave
+        if statement.order_by is not None:
+            order_index = schema.column_index(statement.order_by)
+            result_bytes = output.capacity * (schema.row_size + 1)
+            try:
+                with enclave.oblivious_buffer(result_bytes):
+                    rows = output.rows()
+                    rows.sort(key=lambda row: row[order_index])
+                plans.append(
+                    PhysicalPlan(
+                        operator="order_by",
+                        sizes={"rows": output.capacity, "in_enclave": 1},
+                    )
+                )
+            except ObliviousMemoryError:
+                scratch = output.copy_to(
+                    capacity=padded_scratch(max(1, output.capacity))
+                )
+                column = schema.columns[order_index]
+                bitonic_sort(
+                    scratch,
+                    key=lambda row: (column.sort_key(row[order_index]),)
+                    if column.type is not ColumnType.FLOAT
+                    else (row[order_index],),
+                )
+                rows = scratch.rows()
+                scratch.free()
+                plans.append(
+                    PhysicalPlan(
+                        operator="order_by",
+                        sizes={"rows": output.capacity, "in_enclave": 0},
+                    )
+                )
+            if statement.descending:
+                rows.reverse()
+        else:
+            rows = output.rows()
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        return rows
+
+    def _run_selection(
+        self,
+        source: FlatStorage,
+        where: Predicate,
+        plans: list[PhysicalPlan],
+    ) -> FlatStorage:
+        if self._padding is not None:
+            # Padding mode: fixed Hash algorithm at the padded size, no
+            # statistics-based planning (Section 5: planner not used).
+            output = hash_select(source, where, self._padding.pad_rows)
+            self._padding.check_fits(output.used_rows)
+            plans.append(
+                PhysicalPlan(
+                    operator="select",
+                    select_algorithm=SelectAlgorithm.HASH,
+                    sizes={"input": source.capacity, "output": self._padding.pad_rows},
+                )
+            )
+            return output
+        decision: SelectDecision = plan_select(
+            source, where, allow_continuous=self._allow_continuous
+        )
+        plans.append(decision.plan)
+        return execute_select(source, where, decision, rng=self._rng)
+
+    # ------------------------------------------------------------------
+    # EXPLAIN: planning without execution
+    # ------------------------------------------------------------------
+    def explain(self, statement: Statement) -> list[PhysicalPlan]:
+        """The physical plan a statement *would* leak, without running it.
+
+        For selections this runs the planner's statistics pass (the same
+        one execution would run); for joins it reads only table sizes; for
+        writes the plan is size-only.  Nothing is materialised.
+        """
+        if isinstance(statement, SelectStatement):
+            return self._explain_select(statement)
+        if isinstance(statement, InsertStatement):
+            table = self._table(statement.table)
+            return [PhysicalPlan(operator="insert", sizes={"capacity": table.capacity})]
+        if isinstance(statement, UpdateStatement):
+            table = self._table(statement.table)
+            return [PhysicalPlan(operator="update", sizes={"capacity": table.capacity})]
+        if isinstance(statement, DeleteStatement):
+            table = self._table(statement.table)
+            return [PhysicalPlan(operator="delete", sizes={"capacity": table.capacity})]
+        raise QueryError(f"cannot explain {type(statement).__name__}")
+
+    def _explain_select(self, statement: SelectStatement) -> list[PhysicalPlan]:
+        table = self._table(statement.table)
+        plans: list[PhysicalPlan] = []
+        if statement.join is not None:
+            left, left_owned, _ = self._flat_view(table)
+            right_table = self._table(statement.join.right_table)
+            right, right_owned, _ = self._flat_view(right_table)
+            try:
+                plans.append(plan_join(left, right).plan)
+            finally:
+                if left_owned:
+                    left.free()
+                if right_owned:
+                    right.free()
+            return plans
+        if statement.group_by is not None or statement.aggregates:
+            source, owned, _ = self._flat_view(table)
+            operator = "group_by" if statement.group_by is not None else "aggregate"
+            plans.append(
+                PhysicalPlan(operator=operator, sizes={"input": source.capacity})
+            )
+            if owned:
+                source.free()
+            return plans
+        source, owned = self._run_scan_source(table, statement, plans)
+        try:
+            where = statement.where or TruePredicate()
+            if self._padding is not None:
+                plans.append(
+                    PhysicalPlan(
+                        operator="select",
+                        select_algorithm=SelectAlgorithm.HASH,
+                        sizes={
+                            "input": source.capacity,
+                            "output": self._padding.pad_rows,
+                        },
+                    )
+                )
+            else:
+                decision = plan_select(
+                    source, where, allow_continuous=self._allow_continuous
+                )
+                plans.append(decision.plan)
+        finally:
+            if owned:
+                source.free()
+        return plans
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _execute_insert(self, statement: InsertStatement) -> QueryResult:
+        table = self._table(statement.table)
+        start = table.enclave.cost_snapshot()
+        oblivious_insert(table, statement.values, fast=statement.fast)
+        return QueryResult(
+            affected=1,
+            cost=table.enclave.cost.delta_since(start).snapshot(),
+            plans=[PhysicalPlan(operator="insert", sizes={"capacity": table.capacity})],
+        )
+
+    def _execute_update(self, statement: UpdateStatement) -> QueryResult:
+        table = self._table(statement.table)
+        start = table.enclave.cost_snapshot()
+        where = statement.where or TruePredicate()
+        schema = table.schema
+        assignment_indexes = [
+            (schema.column_index(column), value)
+            for column, value in statement.assignments
+        ]
+
+        def assign(row: Row) -> Row:
+            values: list[Value] = list(row)
+            for index, value in assignment_indexes:
+                values[index] = value
+            return tuple(values)
+
+        affected = oblivious_update(table, where, assign)
+        return QueryResult(
+            affected=affected,
+            cost=table.enclave.cost.delta_since(start).snapshot(),
+            plans=[PhysicalPlan(operator="update", sizes={"capacity": table.capacity})],
+        )
+
+    def _execute_delete(self, statement: DeleteStatement) -> QueryResult:
+        table = self._table(statement.table)
+        start = table.enclave.cost_snapshot()
+        where = statement.where or TruePredicate()
+        affected = oblivious_delete(table, where)
+        return QueryResult(
+            affected=affected,
+            cost=table.enclave.cost.delta_since(start).snapshot(),
+            plans=[PhysicalPlan(operator="delete", sizes={"capacity": table.capacity})],
+        )

@@ -1,0 +1,68 @@
+"""Oblivious physical operators: select, aggregate, join, sort, project."""
+
+from .aggregate import (
+    AggregateFunction,
+    AggregateSpec,
+    aggregate,
+    group_by_aggregate,
+)
+from .join import hash_join, joined_schema, opaque_join, zero_om_join
+from .predicate import (
+    And,
+    Comparison,
+    Interval,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjunction,
+)
+from .project import project
+from .select import (
+    HASH_CHAIN_SLOTS,
+    continuous_select,
+    hash_select,
+    large_select,
+    materialize_index_range,
+    naive_select,
+    small_select,
+)
+from .shellsort import is_sorted, randomized_shellsort, robust_shellsort
+from .sort import bitonic_sort, external_oblivious_sort, padded_scratch
+from .write import oblivious_delete, oblivious_insert, oblivious_update
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateSpec",
+    "And",
+    "Comparison",
+    "HASH_CHAIN_SLOTS",
+    "Interval",
+    "Not",
+    "Or",
+    "Predicate",
+    "TruePredicate",
+    "aggregate",
+    "bitonic_sort",
+    "conjunction",
+    "continuous_select",
+    "external_oblivious_sort",
+    "group_by_aggregate",
+    "hash_join",
+    "hash_select",
+    "is_sorted",
+    "joined_schema",
+    "large_select",
+    "randomized_shellsort",
+    "robust_shellsort",
+    "materialize_index_range",
+    "naive_select",
+    "oblivious_delete",
+    "oblivious_insert",
+    "oblivious_update",
+    "opaque_join",
+    "padded_scratch",
+    "project",
+    "small_select",
+    "zero_om_join",
+]

@@ -1,0 +1,254 @@
+"""Oblivious JOIN algorithms (Section 4.3).
+
+Three algorithms over flat tables, as in Figure 3:
+
+* :func:`hash_join` — oblivious variant of the classic hash join: build an
+  enclave hash table from as many rows of T1 as fit in oblivious memory,
+  stream T2 against it, and write one output block per (chunk, T2-row) pair
+  — a real joined row on a match, a dummy otherwise.  O((N/S)·M); the output
+  data structure's size is a pure function of the input sizes.
+
+* :func:`opaque_join` — re-implementation of Opaque's sort-merge join for
+  foreign-key joins: union both tables into one scratch table, sort it
+  obliviously by (join key, table tag) using oblivious-memory-accelerated
+  chunked sorting, then merge in one linear scan.
+
+* :func:`zero_om_join` — the paper's 0-OM variant: same structure but the
+  sort is a pure bitonic network needing no oblivious memory, with the
+  optional in-enclave cutover once subproblems fit in (non-oblivious)
+  enclave memory.
+
+For the sort-merge joins T1 must be the primary-key side: every T2 row
+matches at most one T1 row, so the merged output has at most one row per
+scanned row and a uniform one-write-per-row pattern suffices.
+"""
+
+from __future__ import annotations
+
+from ..enclave.errors import QueryError
+from ..storage.flat import FlatStorage
+from ..storage.rows import framed_size
+from ..storage.schema import Column, Row, Schema, Value, int_column
+from .sort import bitonic_sort, external_oblivious_sort, padded_scratch
+
+
+def joined_schema(left: Schema, right: Schema, prefixes: tuple[str, str] = ("l", "r")) -> Schema:
+    """Schema of a join result: all left columns then all right columns.
+
+    Column names are prefixed only when they would collide, matching the
+    behaviour of mainstream engines.
+    """
+    left_names = set(left.column_names())
+    columns: list[Column] = list(left.columns)
+    for column in right.columns:
+        if column.name in left_names:
+            columns.append(
+                Column(f"{prefixes[1]}_{column.name}", column.type, column.size)
+            )
+        else:
+            columns.append(column)
+    return Schema(columns)
+
+
+def _neutral_value(column: Column) -> Value:
+    """Filler for the absent side of a tagged union row."""
+    if column.type.value == "str":
+        return ""
+    if column.type.value == "float":
+        return 0.0
+    return 0
+
+
+def hash_join(
+    table1: FlatStorage,
+    table2: FlatStorage,
+    column1: str,
+    column2: str,
+    oblivious_memory_bytes: int,
+) -> FlatStorage:
+    """Oblivious hash join (Figure 3 "Hash Join").
+
+    ``oblivious_memory_bytes`` bounds the enclave hash table; it determines
+    how many passes over T2 are needed and is the knob Figure 8 sweeps.
+    """
+    enclave = table1.enclave
+    key1 = table1.schema.column_index(column1)
+    key2 = table2.schema.column_index(column2)
+    out_schema = joined_schema(table1.schema, table2.schema)
+
+    row_bytes = framed_size(table1.schema) + 16  # row + hash-table entry slack
+    chunk_rows = max(1, oblivious_memory_bytes // row_bytes)
+    num_chunks = (table1.capacity + chunk_rows - 1) // chunk_rows
+
+    output = FlatStorage(enclave, out_schema, num_chunks * table2.capacity)
+    out_position = 0
+    matched = 0
+    with enclave.oblivious_buffer(min(chunk_rows, table1.capacity) * row_bytes):
+        for chunk in range(num_chunks):
+            start = chunk * chunk_rows
+            stop = min(start + chunk_rows, table1.capacity)
+            hash_table: dict[Value, Row] = {}
+            for index in range(start, stop):
+                row = table1.read_row(index)
+                if row is not None:
+                    hash_table[row[key1]] = row
+            for index in range(table2.capacity):
+                row2 = table2.read_row(index)
+                row1 = hash_table.get(row2[key2]) if row2 is not None else None
+                if row1 is not None and row2 is not None:
+                    output.write_row(out_position, row1 + row2)
+                    matched += 1
+                else:
+                    output.write_row(out_position, None)
+                out_position += 1
+    output._used = matched
+    return output
+
+
+def _union_scratch(
+    table1: FlatStorage,
+    table2: FlatStorage,
+    column1: str,
+    column2: str,
+) -> tuple[FlatStorage, Schema, int, int]:
+    """Copy both tables into one tagged scratch table, padded to a power of
+    two.
+
+    Scratch schema: [tag INT] + joined schema; tag 0 = primary (T1) rows,
+    tag 1 = foreign (T2) rows.  The join key of either side is exposed
+    through its own column; sorting uses (key, tag) so each primary row
+    immediately precedes its foreign matches.
+    """
+    if table1.schema.column(column1).type is not table2.schema.column(column2).type:
+        raise QueryError(
+            f"join columns {column1!r} and {column2!r} have different types"
+        )
+    out_schema = joined_schema(table1.schema, table2.schema)
+    scratch_schema = Schema([int_column("_tag")] + list(out_schema.columns))
+    capacity = padded_scratch(table1.capacity + table2.capacity)
+    scratch = FlatStorage(table1.enclave, scratch_schema, capacity)
+
+    left_width = len(table1.schema)
+    right_neutral = tuple(_neutral_value(c) for c in out_schema.columns[left_width:])
+    left_neutral = tuple(_neutral_value(c) for c in out_schema.columns[:left_width])
+
+    position = 0
+    for index in range(table1.capacity):
+        row = table1.read_row(index)
+        scratch.write_row(position, (0,) + row + right_neutral if row is not None else None)
+        position += 1
+    for index in range(table2.capacity):
+        row = table2.read_row(index)
+        scratch.write_row(position, (1,) + left_neutral + row if row is not None else None)
+        position += 1
+    key1_index = 1 + table1.schema.column_index(column1)
+    key2_index = 1 + left_width + table2.schema.column_index(column2)
+    return scratch, out_schema, key1_index, key2_index
+
+
+def _merge_scan(
+    scratch: FlatStorage,
+    out_schema: Schema,
+    key1_index: int,
+    key2_index: int,
+    left_width: int,
+) -> FlatStorage:
+    """Linear merge over the sorted union: one output write per scanned row.
+
+    Keeps the last-seen primary row in the enclave; a foreign row whose key
+    matches it emits the joined row, anything else emits a dummy.
+    """
+    enclave = scratch.enclave
+    output = FlatStorage(enclave, out_schema, scratch.capacity)
+    current_primary: Row | None = None
+    matched = 0
+    for index in range(scratch.capacity):
+        row = scratch.read_row(index)
+        emit: Row | None = None
+        if row is not None:
+            tag = row[0]
+            if tag == 0:
+                current_primary = row[1 : 1 + left_width]
+            else:
+                if (
+                    current_primary is not None
+                    and row[key2_index] == current_primary[key1_index - 1]
+                ):
+                    emit = current_primary + row[1 + left_width :]
+                    matched += 1
+        output.write_row(index, emit)
+    output._used = matched
+    return output
+
+
+def opaque_join(
+    table1: FlatStorage,
+    table2: FlatStorage,
+    column1: str,
+    column2: str,
+    oblivious_memory_bytes: int,
+) -> FlatStorage:
+    """Opaque's sort-merge foreign-key join (Figure 3 "Opaque Join").
+
+    T1 is the primary side.  The union is sorted with quicksorted chunks of
+    oblivious memory merged by a chunk-level bitonic network, then merged in
+    one scan.  O((N+M)·log²((N+M)/S)) block accesses.
+    """
+    scratch, out_schema, key1_index, key2_index = _union_scratch(
+        table1, table2, column1, column2
+    )
+    left_width = len(table1.schema)
+    key_column1 = scratch.schema.columns[key1_index]
+
+    def sort_key(row: Row) -> tuple:
+        key = row[key1_index] if row[0] == 0 else row[key2_index]
+        return (key_column1.sort_key(key), row[0])
+
+    row_bytes = framed_size(scratch.schema)
+    chunk_rows = max(1, oblivious_memory_bytes // (2 * row_bytes))
+    chunk_rows = _largest_dividing_chunk(scratch.capacity, chunk_rows)
+    external_oblivious_sort(scratch, sort_key, chunk_rows)
+    output = _merge_scan(scratch, out_schema, key1_index, key2_index, left_width)
+    scratch.free()
+    return output
+
+
+def zero_om_join(
+    table1: FlatStorage,
+    table2: FlatStorage,
+    column1: str,
+    column2: str,
+    enclave_rows: int = 1,
+) -> FlatStorage:
+    """The 0-OM join: bitonic-sorted union, no oblivious memory required.
+
+    ``enclave_rows`` enables the in-enclave sorting cutover (the
+    optimisation that lets the algorithm speed up with plain enclave memory
+    without affecting obliviousness).  O((N+M)·log²(N+M)).
+    """
+    scratch, out_schema, key1_index, key2_index = _union_scratch(
+        table1, table2, column1, column2
+    )
+    left_width = len(table1.schema)
+    key_column1 = scratch.schema.columns[key1_index]
+
+    def sort_key(row: Row) -> tuple:
+        key = row[key1_index] if row[0] == 0 else row[key2_index]
+        return (key_column1.sort_key(key), row[0])
+
+    bitonic_sort(scratch, sort_key, enclave_rows=enclave_rows)
+    output = _merge_scan(scratch, out_schema, key1_index, key2_index, left_width)
+    scratch.free()
+    return output
+
+
+def _largest_dividing_chunk(capacity: int, at_most: int) -> int:
+    """Largest chunk size <= at_most with capacity/chunk a power of two.
+
+    ``capacity`` is itself a power of two (scratch tables are padded), so
+    any power-of-two chunk size divides it suitably.
+    """
+    chunk = 1
+    while chunk * 2 <= at_most and chunk * 2 <= capacity:
+        chunk *= 2
+    return chunk

@@ -1,0 +1,34 @@
+"""Oblivious projection.
+
+Projection is access-pattern-trivial — one uniform read-and-write pass that
+narrows each row to the requested columns — but materialising it as its own
+operator lets complex plans (select → project → aggregate) keep every stage
+oblivious and lets padding mode cap the projected intermediate's size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..storage.flat import FlatStorage
+
+
+def project(table: FlatStorage, columns: Sequence[str]) -> FlatStorage:
+    """New flat table holding only ``columns``, in the given order.
+
+    Dummy rows stay dummy, so the output has the same capacity and the same
+    real-row count as the input; the pass is one read + one write per block.
+    """
+    out_schema = table.schema.project(columns)
+    indexes = [table.schema.column_index(name) for name in columns]
+    output = FlatStorage(table.enclave, out_schema, table.capacity)
+    kept = 0
+    for index in range(table.capacity):
+        row = table.read_row(index)
+        if row is None:
+            output.write_row(index, None)
+        else:
+            output.write_row(index, tuple(row[i] for i in indexes))
+            kept += 1
+    output._used = kept
+    return output

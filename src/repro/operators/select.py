@@ -1,0 +1,264 @@
+"""Oblivious SELECT algorithms (Section 4.1).
+
+Five algorithms materialise the rows of an input table matching a predicate
+into a fresh flat output table, each optimised for a different regime and
+each with an access pattern that is a fixed function of the public sizes
+|T| (input capacity) and |R| (output size, supplied by the planner):
+
+============ ==================== ======================= =================
+Algorithm    Time                 Oblivious memory        Best when
+============ ==================== ======================= =================
+Naive        O(N log N)           O(R)  (ORAM)            baseline only
+Small        O(N²/S)              S bytes                 R fits in enclave
+Large        O(N)                 0                       R ≈ N
+Continuous   O(N)                 0                       R is one segment
+Hash         O(N·C)               0                       fallback
+============ ==================== ======================= =================
+
+All functions take the planner-computed ``output_size`` up front so output
+structures can be allocated before the data is scanned — the reason the
+planner's statistics pass is "for free" (Section 5).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from ..enclave.errors import StorageError
+from ..oram.path_oram import PathORAM
+from ..storage.flat import FlatStorage
+from ..storage.indexed import IndexedStorage
+from ..storage.rows import frame_row, framed_size, unframe_row
+from ..storage.schema import Row
+from .predicate import Predicate
+
+#: Chain length per hash function in the Hash algorithm (Azar et al. guidance).
+HASH_CHAIN_SLOTS = 5
+#: Number of hash functions (double hashing).
+HASH_FUNCTIONS = 2
+#: Retry budget for the (very unlikely) hash-placement failure.
+_HASH_MAX_ATTEMPTS = 8
+
+
+def naive_select(
+    table: FlatStorage,
+    predicate: Predicate,
+    output_size: int,
+    rng: random.Random | None = None,
+) -> FlatStorage:
+    """Baseline: one ORAM operation per scanned row (Figure 3 "Naive").
+
+    Matching rows are written to sequential ORAM slots; non-matching rows
+    trigger a dummy read so every row of T coincides with exactly one ORAM
+    operation.  Afterwards the ORAM contents are copied out to flat storage.
+    Uses ~4·|R| bytes of oblivious memory for the output ORAM's position map.
+    """
+    enclave = table.enclave
+    matches = predicate.compile(table.schema)
+    slots = max(1, output_size)
+    oram = PathORAM(
+        enclave,
+        capacity=slots,
+        block_size=framed_size(table.schema),
+        rng=rng or random.Random(),
+    )
+    written = 0
+    for index in range(table.capacity):
+        row = table.read_row(index)
+        if row is not None and matches(row):
+            if written >= slots:
+                raise StorageError("planner under-estimated the output size")
+            oram.write(written, frame_row(table.schema, row))
+            written += 1
+        else:
+            oram.dummy_access()
+    output = FlatStorage(enclave, table.schema, output_size)
+    for index in range(output_size):
+        framed = oram.read(index)
+        row = unframe_row(table.schema, framed) if framed is not None else None
+        output.write_row(index, row)
+        if row is not None:
+            output._used += 1
+    oram.free()
+    return output
+
+
+def small_select(
+    table: FlatStorage,
+    predicate: Predicate,
+    output_size: int,
+    buffer_rows: int,
+) -> FlatStorage:
+    """Multiple fast passes, buffering matches in oblivious memory
+    (Figure 4A).
+
+    Each pass reads the entire input (uniform pattern); matched rows beyond
+    the resume cursor fill an enclave buffer of ``buffer_rows`` slots, which
+    is flushed to the output after the pass.  The number of passes is
+    ceil(|R| / buffer), computable from public sizes alone.
+    """
+    if buffer_rows < 1:
+        raise ValueError("buffer_rows must be positive")
+    enclave = table.enclave
+    matches = predicate.compile(table.schema)
+    output = FlatStorage(enclave, table.schema, output_size)
+    row_bytes = framed_size(table.schema)
+
+    copied = 0
+    cursor = -1  # index of the last row already flushed to the output
+    with enclave.oblivious_buffer(buffer_rows * row_bytes):
+        while copied < output_size:
+            buffer: list[Row] = []
+            last_buffered = cursor
+            for index in range(table.capacity):
+                row = table.read_row(index)
+                if (
+                    index > cursor
+                    and len(buffer) < buffer_rows
+                    and row is not None
+                    and matches(row)
+                ):
+                    buffer.append(row)
+                    last_buffered = index
+            if not buffer:
+                break  # fewer matches than promised; remaining slots stay dummy
+            for row in buffer:
+                output.write_row(copied, row)
+                output._used += 1
+                copied += 1
+            cursor = last_buffered
+    return output
+
+
+def large_select(table: FlatStorage, predicate: Predicate) -> FlatStorage:
+    """Copy the table, then clear unselected rows in one pass (Figure 4B).
+
+    For outputs of nearly |T| rows.  The copy is data-independent; the
+    clearing pass reads and rewrites every block (dummy write on keepers).
+    Output capacity equals |T|; uses no oblivious memory.
+    """
+    enclave = table.enclave
+    matches = predicate.compile(table.schema)
+    output = FlatStorage(enclave, table.schema, table.capacity)
+    for index in range(table.capacity):
+        output.write_row(index, table.read_row(index))
+    kept = 0
+    for index in range(output.capacity):
+        row = output.read_row(index)
+        if row is not None and matches(row):
+            output.write_row(index, row)  # dummy write (fresh ciphertext)
+            kept += 1
+        else:
+            output.write_row(index, None)
+    output._used = kept
+    return output
+
+
+def continuous_select(
+    table: FlatStorage, predicate: Predicate, output_size: int
+) -> FlatStorage:
+    """One pass for results forming a contiguous segment (Figure 4C).
+
+    Row i of T maps to slot ``i mod |R|`` of R; matches are written there and
+    non-matches trigger a dummy rewrite of the same slot, so the pattern is
+    fixed: read T[i], read R[i mod |R|], write R[i mod |R|].  Correct exactly
+    when the matches are contiguous — each output slot then sees one real
+    write.  Choosing this algorithm leaks continuity (Section 4.1); it can
+    be disabled at the planner.
+    """
+    enclave = table.enclave
+    matches = predicate.compile(table.schema)
+    slots = max(1, output_size)
+    output = FlatStorage(enclave, table.schema, slots)
+    written = 0
+    for index in range(table.capacity):
+        row = table.read_row(index)
+        slot = index % slots
+        current = output.read_row(slot)
+        if row is not None and matches(row):
+            output.write_row(slot, row)
+            written += 1
+        else:
+            output.write_row(slot, current)  # dummy write, fresh ciphertext
+    output._used = min(written, slots)
+    if output_size == 0:
+        output._used = 0
+    return output
+
+
+def _hash_slot(salt: int, function: int, index: int, buckets: int) -> int:
+    """Hash of the *block index* (never the data), per Section 4.1."""
+    digest = hashlib.blake2b(
+        f"{salt}:{function}:{index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") % buckets
+
+
+def hash_select(
+    table: FlatStorage, predicate: Predicate, output_size: int
+) -> FlatStorage:
+    """General-purpose selection by hashing block indices (Figure 5).
+
+    Output structure: |R| bucket positions × 5 chained slots; each input row
+    touches all 10 slots of its two candidate buckets (read + write each),
+    placing itself in the first free slot if selected.  Access pattern is a
+    pure function of |T| and |R| because the hash is over the block index.
+    On (improbable) placement failure the whole pass retries with a new
+    salt — observable, but independent of data values.
+    """
+    enclave = table.enclave
+    matches = predicate.compile(table.schema)
+    buckets = max(1, output_size)
+
+    for attempt in range(_HASH_MAX_ATTEMPTS):
+        output = FlatStorage(
+            enclave, table.schema, buckets * HASH_CHAIN_SLOTS
+        )
+        placed = 0
+        failed = False
+        for index in range(table.capacity):
+            row = table.read_row(index)
+            selected = row is not None and matches(row)
+            done = False
+            for function in range(HASH_FUNCTIONS):
+                bucket = _hash_slot(attempt, function, index, buckets)
+                for chain in range(HASH_CHAIN_SLOTS):
+                    slot = bucket * HASH_CHAIN_SLOTS + chain
+                    current = output.read_row(slot)
+                    if selected and not done and current is None:
+                        output.write_row(slot, row)
+                        done = True
+                        placed += 1
+                    else:
+                        output.write_row(slot, current)
+            if selected and not done:
+                failed = True
+        if not failed:
+            output._used = placed
+            return output
+        output.free()
+    raise StorageError(
+        f"hash select failed to place rows after {_HASH_MAX_ATTEMPTS} attempts"
+    )
+
+
+def materialize_index_range(
+    index: IndexedStorage,
+    low: object | None,
+    high: object | None,
+) -> FlatStorage:
+    """Copy the index segment [low, high] into a flat scratch table.
+
+    This is the first half of "selection over indexes" (Section 4.1): the
+    linear scan that a flat-table algorithm would make over T instead starts
+    from an index lookup and covers only the returned segment T'.  Leaks the
+    segment size |T'| (an intermediate table size); each row retrieval costs
+    O(log² N) through the ORAM.
+    """
+    rows = index.range_lookup(low, high)  # type: ignore[arg-type]
+    scratch = FlatStorage(index.enclave, index.schema, max(1, len(rows)))
+    for i, row in enumerate(rows):
+        scratch.write_row(i, row)
+        scratch._used += 1
+    return scratch

@@ -1,0 +1,158 @@
+"""Randomized Shellsort (Goodrich, JACM 2011) — the paper's cited
+alternative to bitonic sorting.
+
+Section 4.3: "We could reduce the O(log² n) terms in the oblivious sorts to
+O(log n) using a randomized shellsort (as discussed by Arasu and Kaushik)
+at the cost of making the correctness of the sorting algorithm
+probabilistic."
+
+Goodrich's algorithm runs O(log n) *regions passes*: for each offset in a
+geometrically decreasing sequence, adjacent (and near-adjacent) regions of
+that size are compare-exchanged through random matchings.  The schedule of
+comparisons is drawn from a seeded RNG **before** looking at any data, so
+the access pattern is data-independent — oblivious — while sortedness holds
+with high probability rather than certainty.
+
+Since a database must not return unsorted results, :func:`robust_shellsort`
+follows the standard practice for Las-Vegas-style oblivious algorithms: it
+verifies the output with one linear scan and falls back to the
+deterministic bitonic network on failure.  The verification scan and the
+(rare) fallback are data-independent in pattern; only the *event* of a
+fallback is observable, and it occurs with probability polynomially small
+in n regardless of the data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..storage.flat import FlatStorage
+from ..storage.schema import Row
+from .sort import SortKey, _effective_key, bitonic_sort
+
+#: Number of random matchings per region pair (Goodrich uses a small
+#: constant; higher C = lower failure probability).
+DEFAULT_PASSES = 2
+
+
+def _compare_exchange(
+    table: FlatStorage, lifted: Callable[[Row | None], tuple], i: int, j: int
+) -> None:
+    """Read both slots, order them, write both back (always)."""
+    if i == j:
+        return
+    if i > j:
+        i, j = j, i
+    a = table.read_row(i)
+    b = table.read_row(j)
+    table.enclave.cost.record_comparisons(1)
+    if lifted(a) > lifted(b):
+        a, b = b, a
+    table.write_row(i, a)
+    table.write_row(j, b)
+
+
+def _region_compare(
+    table: FlatStorage,
+    lifted: Callable[[Row | None], tuple],
+    rng: random.Random,
+    start_a: int,
+    start_b: int,
+    size: int,
+    passes: int,
+) -> None:
+    """Goodrich's region comparison: ``passes`` random perfect matchings
+    between two size-``size`` regions, compare-exchanging matched pairs."""
+    n = table.capacity
+    for _ in range(passes):
+        permutation = list(range(size))
+        rng.shuffle(permutation)
+        for offset_a, offset_b in enumerate(permutation):
+            i = start_a + offset_a
+            j = start_b + offset_b
+            if i < n and j < n:
+                _compare_exchange(table, lifted, i, j)
+
+
+def randomized_shellsort(
+    table: FlatStorage,
+    key: SortKey,
+    rng: random.Random | None = None,
+    passes: int = DEFAULT_PASSES,
+) -> None:
+    """One run of randomized Shellsort; sorted with high probability.
+
+    The comparison schedule depends only on (n, seed), never on data, so
+    the trace is identical for any two tables of the same capacity.
+    """
+    n = table.capacity
+    if n <= 1:
+        return
+    rng = rng if rng is not None else random.Random()
+    lifted = _effective_key(key)
+
+    offset = n // 2
+    while offset >= 1:
+        regions = [start for start in range(0, n, offset)]
+        # Core shaker pass: each adjacent region pair, both directions.
+        for index in range(len(regions) - 1):
+            _region_compare(
+                table, lifted, rng, regions[index], regions[index + 1], offset, passes
+            )
+        for index in range(len(regions) - 1, 0, -1):
+            _region_compare(
+                table, lifted, rng, regions[index - 1], regions[index], offset, passes
+            )
+        # Brick passes: regions at distance 2 and 3 (jumping compares that
+        # give the algorithm its high-probability guarantee).
+        for distance in (2, 3):
+            for index in range(len(regions) - distance):
+                _region_compare(
+                    table,
+                    lifted,
+                    rng,
+                    regions[index],
+                    regions[index + distance],
+                    offset,
+                    max(1, passes // 2),
+                )
+        offset //= 2
+    # Final local clean-up: odd/even adjacent exchanges.
+    for parity in (0, 1):
+        for i in range(parity, n - 1, 2):
+            _compare_exchange(table, lifted, i, i + 1)
+
+
+def is_sorted(table: FlatStorage, key: SortKey) -> bool:
+    """One linear verification scan (fixed pattern: reads 0..n-1)."""
+    lifted = _effective_key(key)
+    previous: tuple | None = None
+    sorted_so_far = True
+    for index in range(table.capacity):
+        current = lifted(table.read_row(index))
+        if previous is not None and current < previous:
+            sorted_so_far = False  # keep scanning: fixed-length pass
+        previous = current
+    return sorted_so_far
+
+
+def robust_shellsort(
+    table: FlatStorage,
+    key: SortKey,
+    rng: random.Random | None = None,
+    max_attempts: int = 2,
+) -> bool:
+    """Randomized Shellsort with verification and bitonic fallback.
+
+    Returns True if a randomized attempt succeeded, False if the
+    deterministic fallback ran.  ``table.capacity`` must be a power of two
+    only if the fallback triggers (bitonic's requirement).
+    """
+    rng = rng if rng is not None else random.Random()
+    for _ in range(max_attempts):
+        randomized_shellsort(table, key, rng=rng)
+        if is_sorted(table, key):
+            return True
+    bitonic_sort(table, key)
+    return False

@@ -1,0 +1,197 @@
+"""Oblivious sorting (Section 4.3's building block).
+
+Two sorters over a :class:`~repro.storage.flat.FlatStorage` scratch table:
+
+* :func:`bitonic_sort` — a bitonic sorting network.  Every compare-exchange
+  reads both blocks and writes both back regardless of whether it swapped,
+  so the access pattern is a fixed function of the (public) table size:
+  O(n log² n) accesses.  An optional ``enclave_rows`` threshold implements
+  the paper's 0-OM join optimisation: once a recursive subproblem fits in
+  enclave memory it is loaded, sorted locally, and written back — the same
+  fixed access pattern at block granularity, far fewer boundary crossings.
+
+* :func:`external_oblivious_sort` — the Opaque-style sort: quicksort chunks
+  that fit in oblivious memory, then run a bitonic network *over chunks*
+  whose comparator is a merge-split (load two sorted chunks, merge in the
+  enclave, write the low half left and the high half right).  Cost
+  O(n log²(n/S)) block accesses for oblivious memory of S rows.
+
+Both sort dummy rows after all real rows, so a sorted scratch table has its
+real prefix compacted — which is also how they double as an oblivious
+compaction primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..storage.flat import FlatStorage
+from ..storage.schema import Row
+
+SortKey = Callable[[Row], tuple]
+
+
+def _effective_key(key: SortKey) -> Callable[[Row | None], tuple]:
+    """Lift a row key to rows-or-dummies; dummies sort after every real row."""
+
+    def lifted(row: Row | None) -> tuple:
+        if row is None:
+            return (1,)
+        return (0,) + key(row)
+
+    return lifted
+
+
+def _ceil_pow2(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def bitonic_sort(
+    table: FlatStorage,
+    key: SortKey,
+    enclave_rows: int = 1,
+) -> None:
+    """Sort ``table`` in place with a bitonic network (dummies last).
+
+    ``table.capacity`` must be a power of two (callers pad with dummies;
+    :func:`padded_scratch` below helps).  ``enclave_rows`` > 1 enables the
+    in-enclave cutover optimisation of the 0-OM join.
+    """
+    n = table.capacity
+    if n & (n - 1):
+        raise ValueError(f"bitonic sort needs a power-of-two capacity, got {n}")
+    if n <= 1:
+        return
+    lifted = _effective_key(key)
+    enclave = table.enclave
+
+    def load_sort_store(lo: int, length: int, ascending: bool) -> None:
+        """Cutover: read a whole subrange, sort in the enclave, write back.
+
+        Valid for both sort and merge steps because any sequence, bitonic or
+        not, becomes sorted; the block access pattern (read run, write run)
+        is fixed given (lo, length).
+        """
+        rows = [table.read_row(lo + i) for i in range(length)]
+        rows.sort(key=lifted, reverse=not ascending)
+        enclave.cost.record_comparisons(length * max(1, length.bit_length()))
+        for i, row in enumerate(rows):
+            table.write_row(lo + i, row)
+
+    def compare_exchange(i: int, j: int, ascending: bool) -> None:
+        a = table.read_row(i)
+        b = table.read_row(j)
+        enclave.cost.record_comparisons(1)
+        if (lifted(a) > lifted(b)) == ascending:
+            a, b = b, a  # out of order for this direction: swap
+        table.write_row(i, a)
+        table.write_row(j, b)
+
+    def merge(lo: int, length: int, ascending: bool) -> None:
+        if length <= 1:
+            return
+        if length <= enclave_rows:
+            load_sort_store(lo, length, ascending)
+            return
+        half = length // 2
+        for i in range(lo, lo + half):
+            compare_exchange(i, i + half, ascending)
+        merge(lo, half, ascending)
+        merge(lo + half, half, ascending)
+
+    def sort(lo: int, length: int, ascending: bool) -> None:
+        if length <= 1:
+            return
+        if length <= enclave_rows:
+            load_sort_store(lo, length, ascending)
+            return
+        half = length // 2
+        sort(lo, half, True)
+        sort(lo + half, half, False)
+        merge(lo, length, ascending)
+
+    sort(0, n, True)
+
+
+def external_oblivious_sort(
+    table: FlatStorage,
+    key: SortKey,
+    chunk_rows: int,
+) -> None:
+    """Opaque-style sort: quicksorted chunks merged by a bitonic network.
+
+    ``chunk_rows`` is the number of rows that fit in oblivious memory; the
+    table capacity must be a multiple of a power-of-two number of chunks
+    (pad via :func:`padded_scratch`).  Comparators are merge-splits, so the
+    network operates on chunk indices: O((n/S)·log²(n/S)) comparators, each
+    moving 2S rows.
+    """
+    n = table.capacity
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be positive")
+    if chunk_rows >= n:
+        # Everything fits: one quicksort pass in the enclave.
+        _quicksort_chunk(table, 0, n, key)
+        return
+    if n % chunk_rows:
+        raise ValueError(
+            f"capacity {n} is not a multiple of chunk size {chunk_rows}"
+        )
+    num_chunks = n // chunk_rows
+    if num_chunks & (num_chunks - 1):
+        raise ValueError(f"chunk count {num_chunks} must be a power of two")
+
+    with table.enclave.oblivious_buffer(2 * chunk_rows * (table.schema.row_size + 1)):
+        for chunk in range(num_chunks):
+            _quicksort_chunk(table, chunk * chunk_rows, chunk_rows, key)
+
+        lifted = _effective_key(key)
+
+        def merge_split(left_chunk: int, right_chunk: int, ascending: bool) -> None:
+            lo_left = left_chunk * chunk_rows
+            lo_right = right_chunk * chunk_rows
+            rows = [table.read_row(lo_left + i) for i in range(chunk_rows)]
+            rows += [table.read_row(lo_right + i) for i in range(chunk_rows)]
+            rows.sort(key=lifted, reverse=not ascending)
+            table.enclave.cost.record_comparisons(
+                2 * chunk_rows * max(1, (2 * chunk_rows).bit_length())
+            )
+            for i in range(chunk_rows):
+                table.write_row(lo_left + i, rows[i])
+            for i in range(chunk_rows):
+                table.write_row(lo_right + i, rows[chunk_rows + i])
+
+        # Iterative bitonic network over chunk indices.
+        k = 2
+        while k <= num_chunks:
+            j = k // 2
+            while j >= 1:
+                for i in range(num_chunks):
+                    partner = i ^ j
+                    if partner > i:
+                        ascending = (i & k) == 0
+                        merge_split(i, partner, ascending)
+                j //= 2
+            k *= 2
+
+
+def _quicksort_chunk(table: FlatStorage, lo: int, length: int, key: SortKey) -> None:
+    """Sort one chunk entirely inside the enclave (read run, write run)."""
+    lifted = _effective_key(key)
+    rows = [table.read_row(lo + i) for i in range(length)]
+    rows.sort(key=lifted)
+    table.enclave.cost.record_comparisons(length * max(1, length.bit_length()))
+    for i, row in enumerate(rows):
+        table.write_row(lo + i, row)
+
+
+def padded_scratch(
+    source_rows_capacity: int,
+    multiple_of: int = 1,
+) -> int:
+    """Smallest power-of-two capacity >= source that is a multiple of
+    ``multiple_of`` (itself assumed a power of two)."""
+    return max(_ceil_pow2(source_rows_capacity), multiple_of)

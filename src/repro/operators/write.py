@@ -1,0 +1,79 @@
+"""Oblivious write operators: INSERT, UPDATE, DELETE over either storage
+method (Sections 3.1 and 3.2).
+
+These are thin routing layers: flat tables use the single-pass dummy-write
+algorithms implemented in :class:`~repro.storage.flat.FlatStorage`; indexed
+tables use the padded B+ tree mutations.  A predicate-based update or
+delete against an *index-only* table cannot use the tree unless the
+predicate pins the key column, so it falls back to collecting affected keys
+via the oblivious linear scan and applying per-key padded operations — the
+operation count then equals the number of affected rows, which is the
+leaked "output size" of the statement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..enclave.errors import StorageError
+from ..storage.schema import Row, Value
+from ..storage.table import Table
+from .predicate import Predicate
+
+
+def oblivious_insert(table: Table, row: Row, fast: bool = False) -> None:
+    """Insert into every representation the table maintains."""
+    table.insert(row, fast=fast)
+
+
+def oblivious_update(
+    table: Table, predicate: Predicate, assign: Callable[[Row], Row]
+) -> int:
+    """Update all rows matching ``predicate``; returns the count.
+
+    On flat (or BOTH) tables this is one uniform pass.  Index-only tables
+    additionally require the predicate to identify rows by key, which the
+    linear-scan fallback below provides.
+    """
+    updated = 0
+    if table.flat is not None:
+        matcher = predicate.compile(table.schema)
+        updated = table.flat.update(matcher, assign)
+    if table.indexed is not None:
+        matcher = predicate.compile(table.schema)
+        key_index = table.schema.column_index(table.indexed.key_column)
+        affected = [row for row in table.indexed.linear_scan() if matcher(row)]
+        for row in affected:
+            new_row = table.schema.validate_row(assign(row))
+            if new_row[key_index] == row[key_index]:
+                table.indexed.tree.update(row[key_index], new_row)
+            else:
+                # Key changes need a delete + insert (both padded).
+                table.indexed.tree.delete(row[key_index])
+                table.indexed.tree.insert(new_row)
+        if table.flat is None:
+            updated = len(affected)
+    return updated
+
+
+def oblivious_delete(table: Table, predicate: Predicate) -> int:
+    """Delete all rows matching ``predicate``; returns the count."""
+    deleted = 0
+    if table.flat is not None:
+        matcher = predicate.compile(table.schema)
+        deleted = table.flat.delete(matcher)
+    if table.indexed is not None:
+        matcher = predicate.compile(table.schema)
+        affected_keys: list[Value] = []
+        key_index = table.schema.column_index(table.indexed.key_column)
+        for row in table.indexed.linear_scan():
+            if matcher(row):
+                affected_keys.append(row[key_index])
+        for key in affected_keys:
+            if not table.indexed.tree.delete(key):
+                raise StorageError(
+                    "index out of sync: key found by scan but not by delete"
+                )
+        if table.flat is None:
+            deleted = len(affected_keys)
+    return deleted

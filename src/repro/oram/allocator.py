@@ -1,0 +1,59 @@
+"""Block allocator for data structures living inside an ORAM.
+
+The oblivious B+ tree stores its nodes as ORAM blocks and needs to allocate
+and free node slots as the tree grows and shrinks.  The allocator is pure
+enclave-side bookkeeping (a free list over logical ids), so it makes no
+untrusted accesses and leaks nothing; its state is charged to oblivious
+memory by the owning structure.
+"""
+
+from __future__ import annotations
+
+from ..enclave.errors import CapacityError
+
+
+class BlockAllocator:
+    """Free-list allocator over the logical block ids of one ORAM."""
+
+    def __init__(self, capacity: int, reserved: int = 0) -> None:
+        """``reserved`` ids at the front are never handed out (e.g. metadata).
+
+        Ids are handed out in ascending order first, then recycled LIFO,
+        which keeps allocation deterministic for reproducible tests.
+        """
+        if reserved > capacity:
+            raise ValueError("reserved exceeds capacity")
+        self._capacity = capacity
+        self._next_fresh = reserved
+        self._free: list[int] = []
+        self._allocated: set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    def allocate(self) -> int:
+        """Return a free logical block id; raises :class:`CapacityError`."""
+        if self._free:
+            block_id = self._free.pop()
+        elif self._next_fresh < self._capacity:
+            block_id = self._next_fresh
+            self._next_fresh += 1
+        else:
+            raise CapacityError("ORAM block allocator exhausted")
+        self._allocated.add(block_id)
+        return block_id
+
+    def release(self, block_id: int) -> None:
+        """Return a block id to the free list."""
+        if block_id not in self._allocated:
+            raise ValueError(f"block id {block_id} is not allocated")
+        self._allocated.remove(block_id)
+        self._free.append(block_id)
+
+    def is_allocated(self, block_id: int) -> bool:
+        return block_id in self._allocated

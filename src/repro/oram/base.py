@@ -1,0 +1,63 @@
+"""Abstract ORAM interface.
+
+The paper uses ORAM "as a black box" (Section 3.2): storage methods and
+operators only need read/write on logical block ids, with the guarantee that
+any two access sequences of the same length are indistinguishable to an
+observer of untrusted memory.  Implementations in this package: the
+non-recursive :class:`~repro.oram.path_oram.PathORAM` (default, position map
+in oblivious memory) and the :class:`~repro.oram.recursive.RecursivePathORAM`
+(position map in a second ORAM, Appendix B).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class ORAM(ABC):
+    """Oblivious block store: fixed capacity of fixed-size blocks."""
+
+    @property
+    @abstractmethod
+    def capacity(self) -> int:
+        """Number of logical blocks this ORAM can hold."""
+
+    @property
+    @abstractmethod
+    def block_size(self) -> int:
+        """Size in bytes of each logical block's payload."""
+
+    @abstractmethod
+    def read(self, block_id: int) -> bytes | None:
+        """Read logical block ``block_id``; ``None`` if never written."""
+
+    @abstractmethod
+    def write(self, block_id: int, data: bytes) -> None:
+        """Write ``data`` (at most ``block_size`` bytes) to ``block_id``."""
+
+    @abstractmethod
+    def dummy_access(self) -> None:
+        """Perform one access indistinguishable from a real read/write.
+
+        Used to pad B+ tree operations to their worst-case access count
+        (Section 3.2).
+        """
+
+    @abstractmethod
+    def free(self) -> None:
+        """Release untrusted regions and oblivious-memory reservations."""
+
+    @property
+    def accesses_per_operation(self) -> int:
+        """Counted ORAM accesses per logical read/write/dummy (1 for the
+        direct constructions; 2 for the recursive one, whose every logical
+        operation touches the position-map ORAM too).  Padding budgets in
+        higher layers scale by this factor."""
+        return 1
+
+    def check_block_id(self, block_id: int) -> None:
+        """Validate a logical block id against capacity."""
+        if not 0 <= block_id < self.capacity:
+            raise IndexError(
+                f"block id {block_id} out of range (capacity {self.capacity})"
+            )

@@ -1,0 +1,315 @@
+"""Non-recursive Path ORAM (Stefanov et al., CCS 2013).
+
+Blocks live in a complete binary tree of buckets stored in untrusted memory;
+each bucket holds up to ``bucket_size`` (Z) blocks, sealed together as one
+encrypted unit.  The client state — position map and stash — resides in the
+enclave's oblivious memory, costing 8 bytes per logical block for the map
+(the figure quoted in the paper's Figure 3 caption) plus a small stash.
+
+Every logical access:
+
+1. looks up (or assigns) the block's leaf in the position map,
+2. reads the entire root→leaf path into the stash,
+3. remaps the block to a fresh uniformly random leaf,
+4. writes the same path back, greedily evicting stash blocks to the deepest
+   bucket still on the path to their assigned leaf.
+
+Reads and writes are therefore indistinguishable, and the observable trace
+of each access is one uniformly random path — independent of which logical
+block was touched.  ``dummy_access`` performs steps 2–4 for a random leaf
+without touching any block, which is what lets the B+ tree pad its
+operations to worst-case counts.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from ..enclave.enclave import Enclave
+from ..enclave.errors import ORAMError
+from .base import ORAM
+
+#: Bytes of oblivious memory per position-map entry (paper, Figure 3 caption).
+POSITION_MAP_BYTES_PER_BLOCK = 8
+
+#: Default bucket capacity Z; Z=4 gives negligible stash overflow probability.
+DEFAULT_BUCKET_SIZE = 4
+
+#: Stash slots reserved in oblivious memory (blocks, not bytes).
+DEFAULT_STASH_LIMIT = 256
+
+_HEADER = struct.Struct("<qqI")  # block_id, leaf, payload length
+
+
+def _pack_bucket(
+    entries: list[tuple[int, int, bytes]], bucket_size: int, block_size: int
+) -> bytes:
+    """Serialise a bucket to a fixed-size plaintext.
+
+    Fixed size matters: sealed buckets must be the same length whether they
+    hold zero or Z real blocks, or the adversary could count occupancy.
+    """
+    parts: list[bytes] = []
+    for block_id, leaf, payload in entries:
+        parts.append(_HEADER.pack(block_id, leaf, len(payload)))
+        parts.append(payload.ljust(block_size, b"\x00"))
+    for _ in range(bucket_size - len(entries)):
+        parts.append(_HEADER.pack(-1, -1, 0))
+        parts.append(b"\x00" * block_size)
+    return b"".join(parts)
+
+
+def _unpack_bucket(
+    data: bytes, bucket_size: int, block_size: int
+) -> list[tuple[int, int, bytes]]:
+    """Parse a bucket plaintext back into (block_id, leaf, payload) entries."""
+    entries: list[tuple[int, int, bytes]] = []
+    stride = _HEADER.size + block_size
+    for i in range(bucket_size):
+        offset = i * stride
+        block_id, leaf, length = _HEADER.unpack_from(data, offset)
+        if block_id < 0:
+            continue
+        start = offset + _HEADER.size
+        entries.append((block_id, leaf, data[start : start + length]))
+    return entries
+
+
+class PathORAM(ORAM):
+    """Path ORAM over one untrusted region, client state in oblivious memory.
+
+    Parameters
+    ----------
+    enclave:
+        The enclave providing untrusted memory, crypto, and the oblivious
+        memory account the position map is charged to.
+    capacity:
+        Number of logical blocks (N).  The tree has enough leaves that load
+        stays below the Z·leaves bound.
+    block_size:
+        Payload bytes per logical block.
+    rng:
+        Randomness source for leaf assignment; injectable for reproducible
+        tests.
+    charge_position_map:
+        Whether to charge 8·N bytes of oblivious memory for the position map
+        (disabled by the recursive construction, which stores it elsewhere).
+    """
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        capacity: int,
+        block_size: int,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        rng: random.Random | None = None,
+        region_name: str | None = None,
+        stash_limit: int = DEFAULT_STASH_LIMIT,
+        charge_position_map: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self._enclave = enclave
+        self._capacity = capacity
+        self._block_size = block_size
+        self._bucket_size = bucket_size
+        self._rng = rng if rng is not None else random.Random()
+        self._stash_limit = stash_limit
+
+        # Tree geometry: enough leaves to hold capacity blocks at bucket load
+        # <= Z, i.e. leaves >= ceil(N / Z) rounded to a power of two, and at
+        # least 2 so there is a real path.
+        leaves = 1
+        while leaves * bucket_size < capacity or leaves < 2:
+            leaves *= 2
+        self._leaves = leaves
+        self._levels = leaves.bit_length()  # root level 0 .. leaf level L
+        self._num_buckets = 2 * leaves - 1
+
+        self._region = region_name or enclave.fresh_region_name("oram")
+        enclave.untrusted.allocate_region(self._region, self._num_buckets)
+
+        # Client state, charged to oblivious memory.
+        self._posmap_bytes = (
+            POSITION_MAP_BYTES_PER_BLOCK * capacity if charge_position_map else 0
+        )
+        self._stash_bytes = stash_limit * block_size
+        enclave.oblivious.allocate(self._posmap_bytes + self._stash_bytes)
+        self._position: list[int] = [
+            self._rng.randrange(self._leaves) for _ in range(capacity)
+        ]
+        self._stash: dict[int, tuple[int, bytes]] = {}  # id -> (leaf, payload)
+        self._freed = False
+
+        # Initialise every bucket so reads before first write are well formed.
+        empty = _pack_bucket([], bucket_size, block_size)
+        for index in range(self._num_buckets):
+            sealed = enclave.seal(empty, self._bucket_aad(index))
+            enclave.untrusted.write(self._region, index, sealed)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers (heap-ordered complete binary tree)
+    # ------------------------------------------------------------------
+    def _bucket_aad(self, index: int) -> bytes:
+        """Associated data binding a sealed bucket to its tree position."""
+        return f"{self._region}:{index}".encode()
+
+    def _path_indices(self, leaf: int) -> list[int]:
+        """Bucket indices from root to the given leaf."""
+        index = self._num_buckets - self._leaves + leaf  # leaf bucket index
+        path = [index]
+        while index > 0:
+            index = (index - 1) // 2
+            path.append(index)
+        path.reverse()
+        return path
+
+    def _ancestor_at_depth(self, leaf: int, depth: int) -> int:
+        """Bucket index at ``depth`` on the root→``leaf`` path.
+
+        Uses 1-based heap arithmetic: the ancestor of node ``n`` that sits
+        ``k`` levels higher is ``n >> k``.
+        """
+        leaf_node = self._num_buckets - self._leaves + leaf + 1  # 1-based
+        return (leaf_node >> (self._levels - 1 - depth)) - 1
+
+    def bucket_level(self, index: int) -> int:
+        """Tree depth of a bucket index (0 = root); used by trace analysis."""
+        return (index + 1).bit_length() - 1
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def region_name(self) -> str:
+        return self._region
+
+    @property
+    def levels(self) -> int:
+        return self._levels
+
+    @property
+    def stash_size(self) -> int:
+        """Current number of blocks in the stash (should stay small)."""
+        return len(self._stash)
+
+    # ------------------------------------------------------------------
+    # Core access
+    # ------------------------------------------------------------------
+    def _access(
+        self,
+        block_id: int | None,
+        new_data: bytes | None,
+        mutate=None,
+    ) -> bytes | None:
+        """One Path ORAM access; ``block_id is None`` means a dummy access.
+
+        ``mutate``, if given, maps the current payload (or ``None``) to the
+        new payload within the same access — a read-modify-write in one
+        observable operation, used by the recursive position map.
+        """
+        if self._freed:
+            raise ORAMError("ORAM has been freed")
+        self._enclave.cost.record_oram_access()
+
+        if block_id is not None:
+            self.check_block_id(block_id)
+            leaf = self._position[block_id]
+        else:
+            leaf = self._rng.randrange(self._leaves)
+
+        path = self._path_indices(leaf)
+
+        # Read the whole path into the stash.
+        for index in path:
+            sealed = self._enclave.untrusted.read(self._region, index)
+            if sealed is None:
+                raise ORAMError(f"missing bucket {index} in {self._region}")
+            plaintext = self._enclave.open(sealed, self._bucket_aad(index))
+            for bid, bleaf, payload in _unpack_bucket(
+                plaintext, self._bucket_size, self._block_size
+            ):
+                self._stash[bid] = (bleaf, payload)
+
+        result: bytes | None = None
+        if block_id is not None:
+            # Remap to a fresh leaf; serve the read from the stash.
+            new_leaf = self._rng.randrange(self._leaves)
+            if block_id in self._stash:
+                _, payload = self._stash[block_id]
+                result = payload
+                self._stash[block_id] = (new_leaf, payload)
+            if mutate is not None:
+                new_data = mutate(result)
+            if new_data is not None:
+                if len(new_data) > self._block_size:
+                    raise ValueError(
+                        f"payload of {len(new_data)} B exceeds block size "
+                        f"{self._block_size} B"
+                    )
+                self._stash[block_id] = (new_leaf, new_data)
+            self._position[block_id] = new_leaf
+        else:
+            # Dummy: burn one leaf draw so real and dummy accesses consume
+            # randomness identically.
+            self._rng.randrange(self._leaves)
+
+        # Write the path back, evicting stash blocks as deep as possible: a
+        # block assigned to leaf l may live in any bucket on the root→l path,
+        # so it fits bucket `index` at `depth` iff that bucket is l's ancestor.
+        for depth in range(len(path) - 1, -1, -1):
+            index = path[depth]
+            placed: list[tuple[int, int, bytes]] = []
+            for bid in list(self._stash):
+                if len(placed) >= self._bucket_size:
+                    break
+                bleaf, payload = self._stash[bid]
+                if self._ancestor_at_depth(bleaf, depth) == index:
+                    placed.append((bid, bleaf, payload))
+                    del self._stash[bid]
+            plaintext = _pack_bucket(placed, self._bucket_size, self._block_size)
+            sealed = self._enclave.seal(plaintext, self._bucket_aad(index))
+            self._enclave.untrusted.write(self._region, index, sealed)
+
+        if len(self._stash) > self._stash_limit:
+            raise ORAMError(
+                f"stash overflow: {len(self._stash)} blocks exceeds limit "
+                f"{self._stash_limit}"
+            )
+        return result
+
+    def read(self, block_id: int) -> bytes | None:
+        """Oblivious read of a logical block."""
+        return self._access(block_id, None)
+
+    def write(self, block_id: int, data: bytes) -> None:
+        """Oblivious write of a logical block."""
+        self._access(block_id, data)
+
+    def update(self, block_id: int, mutate) -> None:
+        """Read-modify-write in a single observable ORAM access.
+
+        ``mutate`` receives the current payload (``None`` if unwritten) and
+        returns the payload to store.
+        """
+        self._access(block_id, None, mutate=mutate)
+
+    def dummy_access(self) -> None:
+        """An access to a random path, indistinguishable from read/write."""
+        self._access(None, None)
+
+    def free(self) -> None:
+        """Release the untrusted region and oblivious-memory reservations."""
+        if self._freed:
+            return
+        self._enclave.untrusted.free_region(self._region)
+        self._enclave.oblivious.release(self._posmap_bytes + self._stash_bytes)
+        self._freed = True

@@ -1,0 +1,352 @@
+"""Ring ORAM (Ren et al., USENIX Security 2015).
+
+The paper's Related Work singles out Ring ORAM as the drop-in upgrade for
+ObliDB's indexed storage: "using a newer scheme such as Ring ORAM would
+result in performance improvements corresponding to the approximately 1.5×
+improvement of Ring ORAM over Path ORAM" (Section 8).  This module provides
+that alternative behind the same :class:`~repro.oram.base.ORAM` interface.
+
+Ring ORAM's trick: buckets hold Z real slots plus S reserved dummy slots,
+each sealed *individually*, and every slot's position within its bucket is
+secretly permuted.  A logical access then reads only **one slot per bucket**
+on the path — the target block where it lives, a fresh dummy everywhere
+else — instead of Path ORAM's whole buckets.  Writes go to the stash.  The
+path-write cost is amortised: every ``EVICTION_RATE`` accesses one path is
+read in full and rewritten (round-robin over leaves in reverse-bit order),
+and a bucket whose dummies run out is *early-reshuffled* individually.
+
+Observable behaviour: each access touches one uniformly-distributed path at
+one slot per bucket; evictions and reshuffles occur on a data-independent
+schedule (access counter / per-bucket touch counts, both public).  Client
+metadata (per-bucket permutations and valid bits) is charged to oblivious
+memory alongside the position map.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from ..enclave.enclave import Enclave
+from ..enclave.errors import ORAMError
+from .base import ORAM
+from .path_oram import POSITION_MAP_BYTES_PER_BLOCK
+
+#: Real slots per bucket.
+DEFAULT_Z = 4
+#: Reserved dummy slots per bucket (spent one per passing access before the
+#: bucket needs an early reshuffle).
+DEFAULT_S = 8
+#: Accesses between eviction path writes (Ring ORAM's A parameter).
+DEFAULT_EVICTION_RATE = 5
+#: Stash bound.
+DEFAULT_STASH_LIMIT = 384
+
+_SLOT_HEADER = struct.Struct("<qqI")  # block_id, leaf, payload length
+
+#: Oblivious-memory bytes per bucket of client metadata (permutation,
+#: valid bits, touch count).
+METADATA_BYTES_PER_BUCKET = 16
+
+
+class _BucketMeta:
+    """Enclave-side metadata for one bucket: who is where, what's used."""
+
+    __slots__ = ("slots", "valid", "reads_since_shuffle")
+
+    def __init__(self, z: int, s: int) -> None:
+        # slots[i] = block_id occupying physical slot i, or -1 for a dummy.
+        self.slots: list[int] = [-1] * (z + s)
+        self.valid: list[bool] = [True] * (z + s)
+        self.reads_since_shuffle = 0
+
+
+class RingORAM(ORAM):
+    """Ring ORAM over individually sealed slots, same interface as PathORAM."""
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        capacity: int,
+        block_size: int,
+        z: int = DEFAULT_Z,
+        s: int = DEFAULT_S,
+        eviction_rate: int = DEFAULT_EVICTION_RATE,
+        rng: random.Random | None = None,
+        stash_limit: int = DEFAULT_STASH_LIMIT,
+    ) -> None:
+        if capacity < 1 or block_size < 1:
+            raise ValueError("capacity and block_size must be positive")
+        self._enclave = enclave
+        self._capacity = capacity
+        self._block_size = block_size
+        self._z = z
+        self._s = s
+        self._slots_per_bucket = z + s
+        self._eviction_rate = eviction_rate
+        self._rng = rng if rng is not None else random.Random()
+        self._stash_limit = stash_limit
+
+        leaves = 1
+        while leaves * z < capacity or leaves < 2:
+            leaves *= 2
+        self._leaves = leaves
+        self._levels = leaves.bit_length()
+        self._num_buckets = 2 * leaves - 1
+
+        self._region = enclave.fresh_region_name("oram-ring")
+        enclave.untrusted.allocate_region(
+            self._region, self._num_buckets * self._slots_per_bucket
+        )
+
+        self._client_bytes = (
+            POSITION_MAP_BYTES_PER_BLOCK * capacity
+            + METADATA_BYTES_PER_BUCKET * self._num_buckets
+            + stash_limit * block_size
+        )
+        enclave.oblivious.allocate(self._client_bytes)
+
+        self._position = [self._rng.randrange(leaves) for _ in range(capacity)]
+        self._stash: dict[int, tuple[int, bytes]] = {}
+        self._meta = [
+            _BucketMeta(z, s) for _ in range(self._num_buckets)
+        ]
+        self._access_count = 0
+        self._eviction_counter = 0  # reverse-bit-order leaf scheduler
+        self._freed = False
+
+        # Initialise every slot with a sealed dummy.
+        for bucket in range(self._num_buckets):
+            for slot in range(self._slots_per_bucket):
+                self._write_slot(bucket, slot, -1, -1, b"")
+
+    # ------------------------------------------------------------------
+    # Slot-level IO
+    # ------------------------------------------------------------------
+    def _slot_index(self, bucket: int, slot: int) -> int:
+        return bucket * self._slots_per_bucket + slot
+
+    def _slot_aad(self, bucket: int, slot: int) -> bytes:
+        return f"{self._region}:{bucket}:{slot}".encode()
+
+    def _write_slot(
+        self, bucket: int, slot: int, block_id: int, leaf: int, payload: bytes
+    ) -> None:
+        plaintext = _SLOT_HEADER.pack(block_id, leaf, len(payload)) + payload.ljust(
+            self._block_size, b"\x00"
+        )
+        sealed = self._enclave.seal(plaintext, self._slot_aad(bucket, slot))
+        self._enclave.untrusted.write(self._region, self._slot_index(bucket, slot), sealed)
+
+    def _read_slot(self, bucket: int, slot: int) -> tuple[int, int, bytes]:
+        sealed = self._enclave.untrusted.read(
+            self._region, self._slot_index(bucket, slot)
+        )
+        if sealed is None:
+            raise ORAMError(f"missing slot {bucket}:{slot}")
+        plaintext = self._enclave.open(sealed, self._slot_aad(bucket, slot))
+        block_id, leaf, length = _SLOT_HEADER.unpack_from(plaintext, 0)
+        payload = plaintext[_SLOT_HEADER.size : _SLOT_HEADER.size + length]
+        return block_id, leaf, payload
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def _path_buckets(self, leaf: int) -> list[int]:
+        index = self._num_buckets - self._leaves + leaf
+        path = [index]
+        while index > 0:
+            index = (index - 1) // 2
+            path.append(index)
+        path.reverse()
+        return path
+
+    def _ancestor_at_depth(self, leaf: int, depth: int) -> int:
+        leaf_node = self._num_buckets - self._leaves + leaf + 1
+        return (leaf_node >> (self._levels - 1 - depth)) - 1
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def levels(self) -> int:
+        return self._levels
+
+    @property
+    def region_name(self) -> str:
+        return self._region
+
+    @property
+    def stash_size(self) -> int:
+        return len(self._stash)
+
+    # ------------------------------------------------------------------
+    # Core access
+    # ------------------------------------------------------------------
+    def _access(self, block_id: int | None, new_data: bytes | None) -> bytes | None:
+        if self._freed:
+            raise ORAMError("ORAM has been freed")
+        self._enclave.cost.record_oram_access()
+
+        if block_id is not None:
+            self.check_block_id(block_id)
+            leaf = self._position[block_id]
+        else:
+            leaf = self._rng.randrange(self._leaves)
+
+        result: bytes | None = None
+        if block_id is not None and block_id in self._stash:
+            result = self._stash[block_id][1]
+
+        # Read ONE slot per bucket on the path: the target if it lives
+        # there, a fresh dummy otherwise (indistinguishable to the OS).
+        for bucket_index in self._path_buckets(leaf):
+            meta = self._meta[bucket_index]
+            target_slot = -1
+            if block_id is not None:
+                for slot, occupant in enumerate(meta.slots):
+                    if occupant == block_id and meta.valid[slot]:
+                        target_slot = slot
+                        break
+            if target_slot < 0:
+                target_slot = self._pick_dummy_slot(meta)
+            _, _, payload = self._read_slot(bucket_index, target_slot)
+            if block_id is not None and meta.slots[target_slot] == block_id:
+                result = payload
+                # Invalidate: the block now lives in the stash.
+                meta.slots[target_slot] = -1
+                self._stash[block_id] = (leaf, payload)
+            meta.valid[target_slot] = False
+            meta.reads_since_shuffle += 1
+
+        if block_id is not None:
+            new_leaf = self._rng.randrange(self._leaves)
+            self._position[block_id] = new_leaf
+            if new_data is not None:
+                if len(new_data) > self._block_size:
+                    raise ValueError("payload exceeds block size")
+                self._stash[block_id] = (new_leaf, new_data)
+            elif block_id in self._stash:
+                self._stash[block_id] = (new_leaf, self._stash[block_id][1])
+        else:
+            self._rng.randrange(self._leaves)  # burn a draw, like real ops
+
+        # Early reshuffle: buckets that have exhausted their dummies.
+        for bucket_index in self._path_buckets(leaf):
+            if self._meta[bucket_index].reads_since_shuffle >= self._s:
+                self._reshuffle_bucket(bucket_index)
+
+        # Scheduled eviction.
+        self._access_count += 1
+        if self._access_count % self._eviction_rate == 0:
+            self._evict_path(self._next_eviction_leaf())
+
+        if len(self._stash) > self._stash_limit:
+            raise ORAMError(
+                f"stash overflow: {len(self._stash)} > {self._stash_limit}"
+            )
+        return result
+
+    def _pick_dummy_slot(self, meta: _BucketMeta) -> int:
+        for slot, occupant in enumerate(meta.slots):
+            if occupant < 0 and meta.valid[slot]:
+                return slot
+        # All dummies consumed: any still-valid slot works (it will be
+        # reshuffled right after); fall back to slot 0.
+        for slot in range(len(meta.slots)):
+            if meta.valid[slot]:
+                return slot
+        return 0
+
+    def _next_eviction_leaf(self) -> int:
+        """Deterministic reverse-bit-order leaf schedule (data-independent)."""
+        bits = self._leaves.bit_length() - 1
+        counter = self._eviction_counter
+        self._eviction_counter = (self._eviction_counter + 1) % self._leaves
+        if bits == 0:
+            return 0
+        reversed_bits = int(format(counter, f"0{bits}b")[::-1], 2)
+        return reversed_bits
+
+    def _restock_reads(self, bucket_index: int) -> None:
+        """Pull the bucket's surviving real blocks into the stash with
+        exactly Z slot reads (real slots first, padded with dummy reads).
+
+        Reading a fixed Z slots — never the occupancy-dependent count — is
+        what keeps eviction and reshuffle traffic data-independent, and is
+        where Ring ORAM saves over reading whole (Z+S)-slot buckets.
+        """
+        meta = self._meta[bucket_index]
+        real_slots = [
+            slot
+            for slot, occupant in enumerate(meta.slots)
+            if occupant >= 0 and meta.valid[slot]
+        ]
+        pad_slots = [
+            slot
+            for slot, occupant in enumerate(meta.slots)
+            if occupant < 0
+        ]
+        to_read = (real_slots + pad_slots)[: self._z]
+        for slot in to_read:
+            block_id, bleaf, payload = self._read_slot(bucket_index, slot)
+            if slot in real_slots and block_id >= 0:
+                self._stash.setdefault(block_id, (bleaf, payload))
+
+    def _reshuffle_bucket(self, bucket_index: int) -> None:
+        """Restock the stash from the bucket, then rewrite it fresh."""
+        self._restock_reads(bucket_index)
+        self._meta[bucket_index] = _BucketMeta(self._z, self._s)
+        for slot in range(self._slots_per_bucket):
+            self._write_slot(bucket_index, slot, -1, -1, b"")
+
+    def _evict_path(self, leaf: int) -> None:
+        """Z reads per bucket + full rewrite of one path."""
+        path = self._path_buckets(leaf)
+        for bucket_index in path:
+            self._restock_reads(bucket_index)
+        # Rewrite from the leaf up, placing stash blocks as deep as possible.
+        for depth in range(len(path) - 1, -1, -1):
+            bucket_index = path[depth]
+            fresh = _BucketMeta(self._z, self._s)
+            placed = 0
+            slot_order = list(range(self._slots_per_bucket))
+            self._rng.shuffle(slot_order)  # the secret permutation
+            for block_id in list(self._stash):
+                if placed >= self._z:
+                    break
+                bleaf, payload = self._stash[block_id]
+                if self._ancestor_at_depth(bleaf, depth) == bucket_index:
+                    slot = slot_order[placed]
+                    fresh.slots[slot] = block_id
+                    self._write_slot(bucket_index, slot, block_id, bleaf, payload)
+                    placed += 1
+                    del self._stash[block_id]
+            # Fill remaining slots with dummies.
+            for slot in slot_order[placed:]:
+                self._write_slot(bucket_index, slot, -1, -1, b"")
+            self._meta[bucket_index] = fresh
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def read(self, block_id: int) -> bytes | None:
+        return self._access(block_id, None)
+
+    def write(self, block_id: int, data: bytes) -> None:
+        self._access(block_id, data)
+
+    def dummy_access(self) -> None:
+        self._access(None, None)
+
+    def free(self) -> None:
+        if self._freed:
+            return
+        self._enclave.untrusted.free_region(self._region)
+        self._enclave.oblivious.release(self._client_bytes)
+        self._freed = True

@@ -1,0 +1,33 @@
+"""Query planner: statistics pass, operator selection, plan descriptions."""
+
+from .join_planner import (
+    JoinDecision,
+    estimate_join_costs,
+    execute_join,
+    plan_join,
+)
+from .plan import AccessMethod, JoinAlgorithm, PhysicalPlan, SelectAlgorithm
+from .select_planner import (
+    LARGE_SELECTIVITY_THRESHOLD,
+    SelectDecision,
+    execute_select,
+    plan_select,
+)
+from .stats import SelectionStats, scan_statistics
+
+__all__ = [
+    "AccessMethod",
+    "JoinAlgorithm",
+    "JoinDecision",
+    "LARGE_SELECTIVITY_THRESHOLD",
+    "PhysicalPlan",
+    "SelectAlgorithm",
+    "SelectDecision",
+    "SelectionStats",
+    "estimate_join_costs",
+    "execute_join",
+    "execute_select",
+    "plan_join",
+    "plan_select",
+    "scan_statistics",
+]

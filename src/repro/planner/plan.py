@@ -1,0 +1,69 @@
+"""Physical plan descriptions — exactly what ObliDB leaks per query.
+
+Under the security theorem (Appendix A) the simulator is given
+``OPT(D, Q)``, the planner's operator choices, along with table sizes.  A
+:class:`PhysicalPlan` is our concrete representation of that leaked value:
+benchmarks print it, the obliviousness checker treats runs with equal plans
+and equal sizes as required-indistinguishable, and the Appendix-A simulator
+consumes it to regenerate the expected trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class SelectAlgorithm(Enum):
+    """The five SELECT implementations of Section 4.1."""
+
+    NAIVE = "naive"
+    SMALL = "small"
+    LARGE = "large"
+    CONTINUOUS = "continuous"
+    HASH = "hash"
+
+
+class JoinAlgorithm(Enum):
+    """The three JOIN implementations of Section 4.3."""
+
+    HASH = "hash"
+    OPAQUE = "opaque"
+    ZERO_OM = "zero_om"
+
+
+class AccessMethod(Enum):
+    """Which storage representation a plan reads."""
+
+    FLAT_SCAN = "flat_scan"
+    INDEX_POINT = "index_point"
+    INDEX_RANGE = "index_range"
+    INDEX_LINEAR = "index_linear"  # flat-style scan over the raw ORAM
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """One operator's leaked planning decision.
+
+    ``sizes`` carries the public cardinalities the decision was based on
+    (input capacity, output size, oblivious memory) — all values the threat
+    model already concedes to the adversary.
+    """
+
+    operator: str  # "select" | "join" | "aggregate" | "group_by" | ...
+    access_method: AccessMethod = AccessMethod.FLAT_SCAN
+    select_algorithm: SelectAlgorithm | None = None
+    join_algorithm: JoinAlgorithm | None = None
+    sizes: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and benchmark output."""
+        parts = [self.operator, self.access_method.value]
+        if self.select_algorithm is not None:
+            parts.append(self.select_algorithm.value)
+        if self.join_algorithm is not None:
+            parts.append(self.join_algorithm.value)
+        if self.sizes:
+            sizes = ",".join(f"{key}={value}" for key, value in sorted(self.sizes.items()))
+            parts.append(f"[{sizes}]")
+        return " ".join(parts)

@@ -1,0 +1,230 @@
+"""Flat storage method (Section 3.1).
+
+Rows live in a series of adjacent sealed blocks — one record per block, as
+in the paper's implementation — with no built-in access-pattern protection,
+so every operation is a full scan in which *each* block is read and then
+written back (a real write or a re-encrypted dummy write).  Because every
+ciphertext is randomised, the adversary cannot tell which write was real;
+the trace of every insert/update/delete is exactly ``capacity`` read-write
+pairs regardless of data or parameters.
+
+The one exception is the *fast insert* path for rarely-deleted tables: the
+enclave remembers the next free slot and writes it directly, leaking only
+the number of insertions — which the adversary already learns from watching
+table sizes over time (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..enclave.enclave import Enclave
+from ..enclave.errors import CapacityError, StorageError
+from .integrity import RevisionLedger
+from .rows import frame_dummy, frame_row, unframe_row
+from .schema import Row, Schema
+
+
+class FlatStorage:
+    """A fixed-capacity array of sealed one-row blocks in untrusted memory."""
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        schema: Schema,
+        capacity: int,
+        name: str | None = None,
+        ledger: RevisionLedger | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._enclave = enclave
+        self.schema = schema
+        self._region = name or enclave.fresh_region_name("flat")
+        self._ledger = ledger if ledger is not None else RevisionLedger()
+        enclave.untrusted.allocate_region(self._region, capacity)
+        self._freed = False
+        # Enclave-side metadata: number of in-use rows and the fast-insert
+        # cursor.  Both are derivable from public information (observed
+        # insert/delete operations), so keeping them is not extra leakage.
+        self._used = 0
+        self._next_fast_insert = 0
+        # Initialise every block to a sealed dummy so the very first scan
+        # already touches uniform, well-formed ciphertexts.
+        for index in range(capacity):
+            self._seal_and_write(index, frame_dummy(schema))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Public size of the table's data structure (leaked by design)."""
+        return self._enclave.untrusted.region(self._region).capacity
+
+    @property
+    def region_name(self) -> str:
+        return self._region
+
+    @property
+    def used_rows(self) -> int:
+        """Enclave-side count of in-use rows."""
+        return self._used
+
+    @property
+    def enclave(self) -> Enclave:
+        return self._enclave
+
+    # ------------------------------------------------------------------
+    # Block-level primitives (each is one observable untrusted access)
+    # ------------------------------------------------------------------
+    def _seal_and_write(self, index: int, framed: bytes) -> None:
+        revision = self._ledger.next_revision(self._region, index)
+        aad = self._ledger.associated_data(self._region, index, revision)
+        sealed = self._enclave.seal(framed, aad)
+        self._enclave.untrusted.write(self._region, index, sealed)
+        self._ledger.commit(self._region, index, revision)
+
+    def _read_framed(self, index: int) -> bytes:
+        sealed = self._enclave.untrusted.read(self._region, index)
+        if sealed is None:
+            raise StorageError(f"missing block {self._region}[{index}]")
+        revision = self._ledger.current(self._region, index)
+        aad = self._ledger.associated_data(self._region, index, revision)
+        return self._enclave.open(sealed, aad)
+
+    def read_row(self, index: int) -> Row | None:
+        """Read one block; ``None`` when it holds a dummy row."""
+        return unframe_row(self.schema, self._read_framed(index))
+
+    def write_row(self, index: int, row: Row | None) -> None:
+        """Write one block: a real row, or a dummy when ``row is None``."""
+        if row is None:
+            framed = frame_dummy(self.schema)
+        else:
+            framed = frame_row(self.schema, self.schema.validate_row(row))
+        self._seal_and_write(index, framed)
+
+    def rewrite_row(self, index: int) -> Row | None:
+        """Dummy write: re-encrypt the block's current contents.
+
+        Observable as one read followed by one write, identical to a real
+        overwrite; returns the decoded row so scans can piggyback on it.
+        """
+        framed = self._read_framed(index)
+        self._seal_and_write(index, framed)
+        return unframe_row(self.schema, framed)
+
+    # ------------------------------------------------------------------
+    # Oblivious table operations (Section 3.1): one uniform pass each
+    # ------------------------------------------------------------------
+    def insert(self, row: Row) -> None:
+        """Oblivious insert: full pass, real write to the first free block."""
+        self.schema.validate_row(row)
+        if self._used >= self.capacity:
+            raise CapacityError(f"table {self._region} is full")
+        inserted = False
+        for index in range(self.capacity):
+            framed = self._read_framed(index)
+            if not inserted and unframe_row(self.schema, framed) is None:
+                self._seal_and_write(index, frame_row(self.schema, row))
+                inserted = True
+            else:
+                self._seal_and_write(index, framed)
+        self._used += 1
+        self._next_fast_insert = max(self._next_fast_insert, self._used)
+
+    def fast_insert(self, row: Row) -> None:
+        """Constant-time insert into the next sequential block.
+
+        Leaks only the number of insertions (already public from table-size
+        history).  Intended for tables with few deletions, per Section 3.1;
+        after deletions it will not reuse freed slots.
+        """
+        self.schema.validate_row(row)
+        if self._next_fast_insert >= self.capacity:
+            raise CapacityError(f"table {self._region} is full for fast inserts")
+        self.write_row(self._next_fast_insert, row)
+        self._next_fast_insert += 1
+        self._used += 1
+
+    def update(
+        self, predicate: Callable[[Row], bool], assign: Callable[[Row], Row]
+    ) -> int:
+        """Oblivious update: one pass; matching rows rewritten via ``assign``.
+
+        Every block gets a read and a write; returns the number updated.
+        """
+        updated = 0
+        for index in range(self.capacity):
+            framed = self._read_framed(index)
+            row = unframe_row(self.schema, framed)
+            if row is not None and predicate(row):
+                new_row = self.schema.validate_row(assign(row))
+                self._seal_and_write(index, frame_row(self.schema, new_row))
+                updated += 1
+            else:
+                self._seal_and_write(index, framed)
+        return updated
+
+    def delete(self, predicate: Callable[[Row], bool]) -> int:
+        """Oblivious delete: one pass; matches overwritten with dummies."""
+        deleted = 0
+        dummy = frame_dummy(self.schema)
+        for index in range(self.capacity):
+            framed = self._read_framed(index)
+            row = unframe_row(self.schema, framed)
+            if row is not None and predicate(row):
+                self._seal_and_write(index, dummy)
+                deleted += 1
+            else:
+                self._seal_and_write(index, framed)
+        self._used -= deleted
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[tuple[int, Row | None]]:
+        """Read every block in order, yielding (index, row-or-None).
+
+        The fixed head-to-tail read pattern is oblivious by construction;
+        this is the primitive the planner's statistics pass and the scan
+        sides of the oblivious operators are built from.
+        """
+        for index in range(self.capacity):
+            yield index, self.read_row(index)
+
+    def rows(self) -> list[Row]:
+        """All in-use rows, via one full oblivious scan."""
+        return [row for _, row in self.scan() if row is not None]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def copy_to(self, name: str | None = None, capacity: int | None = None) -> "FlatStorage":
+        """Copy into a new (possibly larger) flat table, block by block.
+
+        This is how ObliDB grows a table past its initial maximum capacity;
+        the access pattern is a uniform read of the source and sequential
+        writes to the target.
+        """
+        new_capacity = capacity if capacity is not None else self.capacity
+        if new_capacity < self.capacity:
+            raise StorageError("copy_to target must not be smaller")
+        target = FlatStorage(
+            self._enclave, self.schema, new_capacity, name=name, ledger=self._ledger
+        )
+        for index in range(self.capacity):
+            target.write_row(index, self.read_row(index))
+        target._used = self._used
+        target._next_fast_insert = self._next_fast_insert
+        return target
+
+    def free(self) -> None:
+        """Release the untrusted region (e.g. an intermediate result)."""
+        if self._freed:
+            return
+        self._enclave.untrusted.free_region(self._region)
+        self._ledger.forget_region(self._region)
+        self._freed = True

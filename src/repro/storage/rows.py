@@ -1,0 +1,52 @@
+"""Row framing: in-use flags and dummy rows.
+
+Every block in flat storage and every B+ tree leaf stores one record plus a
+boolean in-use flag (Section 3).  Dummy rows — flag 0 — are what make
+oblivious writes possible: rewriting a block with a dummy is outwardly
+identical to writing a real row because both produce a fresh ciphertext of
+the same length.
+
+The framed form of a row is ``flag byte || encoded row``, always exactly
+``schema.row_size + 1`` bytes.
+"""
+
+from __future__ import annotations
+
+from .schema import Row, Schema
+
+FLAG_SIZE = 1
+_IN_USE = b"\x01"
+_DUMMY = b"\x00"
+
+
+def framed_size(schema: Schema) -> int:
+    """Bytes of a framed row for ``schema`` (flag + fixed-length payload)."""
+    return FLAG_SIZE + schema.row_size
+
+
+def frame_row(schema: Schema, row: Row) -> bytes:
+    """Frame a real row: in-use flag followed by the encoded values."""
+    return _IN_USE + schema.encode_row(row)
+
+
+def frame_dummy(schema: Schema) -> bytes:
+    """Frame a dummy row: unused flag followed by zero padding.
+
+    The padding is constant rather than random; confidentiality comes from
+    the encryption layer, which randomises every ciphertext.
+    """
+    return _DUMMY + b"\x00" * schema.row_size
+
+
+def unframe_row(schema: Schema, data: bytes) -> Row | None:
+    """Decode a framed row; ``None`` for a dummy."""
+    if not data:
+        return None
+    if data[0:1] == _DUMMY:
+        return None
+    return schema.decode_row(data[FLAG_SIZE:])
+
+
+def is_dummy(data: bytes) -> bool:
+    """True when the framed bytes carry a dummy row."""
+    return not data or data[0:1] == _DUMMY

@@ -1,0 +1,202 @@
+"""Table schemas and the fixed-length row codec.
+
+ObliDB's implementation assumes fixed-length records (Section 3), which is
+what makes every sealed block the same size and thus keeps block contents
+from leaking row lengths.  A :class:`Schema` is an ordered list of typed
+:class:`Column` definitions; the codec maps a row (tuple of Python values)
+to exactly ``schema.row_size`` bytes and back.
+
+Supported column types:
+
+* ``INT`` — 64-bit signed integer,
+* ``FLOAT`` — IEEE-754 double,
+* ``STR`` — UTF-8, padded to a declared fixed byte width.
+
+INT and STR columns may serve as index keys; their ``sort_key`` encodings are
+order-preserving byte strings so the B+ tree can compare sealed keys after
+decryption without type dispatch.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+from ..enclave.errors import SchemaError
+
+Value = int | float | str
+Row = tuple[Value, ...]
+
+_INT = struct.Struct("<q")
+_FLOAT = struct.Struct("<d")
+_INT_BIAS = 1 << 63  # maps signed 64-bit ints onto unsigned, preserving order
+
+
+class ColumnType(Enum):
+    """The three fixed-width column types of the reproduction."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column.  ``size`` is required (bytes) for STR columns."""
+
+    name: str
+    type: ColumnType
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.type is ColumnType.STR:
+            if self.size < 1:
+                raise SchemaError(f"STR column {self.name!r} needs a positive size")
+        elif self.size:
+            raise SchemaError(f"{self.type.value} column {self.name!r} takes no size")
+
+    @property
+    def byte_width(self) -> int:
+        """Encoded width of this column in a row."""
+        if self.type is ColumnType.STR:
+            return self.size
+        return 8
+
+    def validate(self, value: Value) -> None:
+        """Check ``value`` fits this column; raises :class:`SchemaError`."""
+        if self.type is ColumnType.INT:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SchemaError(f"column {self.name!r} expects int, got {value!r}")
+        elif self.type is ColumnType.FLOAT:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError(f"column {self.name!r} expects float, got {value!r}")
+        else:
+            if not isinstance(value, str):
+                raise SchemaError(f"column {self.name!r} expects str, got {value!r}")
+            if len(value.encode()) > self.size:
+                raise SchemaError(
+                    f"value {value!r} exceeds {self.size} bytes in column "
+                    f"{self.name!r}"
+                )
+
+    def encode(self, value: Value) -> bytes:
+        """Fixed-width little-endian encoding (not order-preserving)."""
+        if self.type is ColumnType.INT:
+            return _INT.pack(value)  # type: ignore[arg-type]
+        if self.type is ColumnType.FLOAT:
+            return _FLOAT.pack(float(value))
+        encoded = value.encode()  # type: ignore[union-attr]
+        return encoded.ljust(self.size, b"\x00")
+
+    def decode(self, data: bytes) -> Value:
+        """Inverse of :meth:`encode`."""
+        if self.type is ColumnType.INT:
+            return _INT.unpack(data)[0]
+        if self.type is ColumnType.FLOAT:
+            return _FLOAT.unpack(data)[0]
+        return data.rstrip(b"\x00").decode()
+
+    def sort_key(self, value: Value) -> bytes:
+        """Order-preserving byte encoding, for B+ tree keys.
+
+        INT uses a bias so byte-wise comparison matches signed comparison;
+        STR is its padded UTF-8 form (byte order = lexicographic order, which
+        matches Python ``str`` comparison for ASCII data like dates and ids).
+        """
+        if self.type is ColumnType.INT:
+            return (value + _INT_BIAS).to_bytes(8, "big")  # type: ignore[operator]
+        if self.type is ColumnType.FLOAT:
+            raise SchemaError(f"FLOAT column {self.name!r} cannot be an index key")
+        return self.encode(value)
+
+
+class Schema:
+    """An ordered, named collection of columns with row encode/decode."""
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self.columns: tuple[Column, ...] = tuple(columns)
+        if not self.columns:
+            raise SchemaError("schema needs at least one column")
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self._index = {column.name: i for i, column in enumerate(self.columns)}
+        self.row_size = sum(column.byte_width for column in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def column_index(self, name: str) -> int:
+        """Position of column ``name``; raises :class:`SchemaError`."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def validate_row(self, row: Sequence[Value]) -> Row:
+        """Validate and normalise a row; raises :class:`SchemaError`."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self.columns)} columns"
+            )
+        for column, value in zip(self.columns, row):
+            column.validate(value)
+        return tuple(row)
+
+    def encode_row(self, row: Sequence[Value]) -> bytes:
+        """Encode a validated row into exactly ``row_size`` bytes."""
+        return b"".join(
+            column.encode(value) for column, value in zip(self.columns, row)
+        )
+
+    def decode_row(self, data: bytes) -> Row:
+        """Inverse of :meth:`encode_row`."""
+        if len(data) < self.row_size:
+            raise SchemaError(
+                f"row payload of {len(data)} bytes, schema needs {self.row_size}"
+            )
+        values: list[Value] = []
+        offset = 0
+        for column in self.columns:
+            width = column.byte_width
+            values.append(column.decode(data[offset : offset + width]))
+            offset += width
+        return tuple(values)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema(self.column(name) for name in names)
+
+
+def int_column(name: str) -> Column:
+    """Convenience constructor for an INT column."""
+    return Column(name, ColumnType.INT)
+
+
+def float_column(name: str) -> Column:
+    """Convenience constructor for a FLOAT column."""
+    return Column(name, ColumnType.FLOAT)
+
+
+def str_column(name: str, size: int) -> Column:
+    """Convenience constructor for a STR column of fixed byte width."""
+    return Column(name, ColumnType.STR, size)

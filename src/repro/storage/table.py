@@ -1,0 +1,166 @@
+"""Tables: flat, indexed, or both (Section 3).
+
+Administrators choose per table which storage method(s) to maintain, like
+deciding whether to build an index in a conventional DBMS.  A ``BOTH`` table
+pays insert/update/delete on each representation but lets the query planner
+pick the cheaper one per query — the configuration Figure 12 shows winning
+on mixed workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import Callable
+
+from ..enclave.enclave import Enclave
+from ..enclave.errors import StorageError
+from .flat import FlatStorage
+from .indexed import IndexedStorage
+from .schema import Row, Schema, Value
+
+
+class StorageMethod(Enum):
+    """Which physical representations a table maintains."""
+
+    FLAT = "flat"
+    INDEXED = "indexed"
+    BOTH = "both"
+
+
+class Table:
+    """A named table with one or two physical representations."""
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        name: str,
+        schema: Schema,
+        capacity: int,
+        method: StorageMethod = StorageMethod.FLAT,
+        key_column: str | None = None,
+        rng: random.Random | None = None,
+        oram_kind: str = "path",
+    ) -> None:
+        if method is not StorageMethod.FLAT and key_column is None:
+            raise StorageError(f"table {name!r}: indexed storage needs a key column")
+        self._enclave = enclave
+        self.name = name
+        self.schema = schema
+        self.method = method
+        self.key_column = key_column
+        self.flat: FlatStorage | None = None
+        self.indexed: IndexedStorage | None = None
+        if method in (StorageMethod.FLAT, StorageMethod.BOTH):
+            self.flat = FlatStorage(
+                enclave, schema, capacity, name=f"table:{name}:flat"
+            )
+        if method in (StorageMethod.INDEXED, StorageMethod.BOTH):
+            assert key_column is not None
+            self.indexed = IndexedStorage(
+                enclave, schema, key_column, capacity, rng=rng, oram_kind=oram_kind
+            )
+
+    @property
+    def capacity(self) -> int:
+        if self.flat is not None:
+            return self.flat.capacity
+        assert self.indexed is not None
+        return self.indexed.capacity
+
+    @property
+    def used_rows(self) -> int:
+        if self.flat is not None:
+            return self.flat.used_rows
+        assert self.indexed is not None
+        return self.indexed.used_rows
+
+    @property
+    def enclave(self) -> Enclave:
+        return self._enclave
+
+    def has_flat(self) -> bool:
+        return self.flat is not None
+
+    def has_index(self) -> bool:
+        return self.indexed is not None
+
+    def require_flat(self) -> FlatStorage:
+        if self.flat is None:
+            raise StorageError(f"table {self.name!r} has no flat representation")
+        return self.flat
+
+    def require_index(self) -> IndexedStorage:
+        if self.indexed is None:
+            raise StorageError(f"table {self.name!r} has no index")
+        return self.indexed
+
+    # ------------------------------------------------------------------
+    # Mutations: routed to every maintained representation so both stay
+    # consistent (the BOTH method's cost, measured in Figure 12).
+    # ------------------------------------------------------------------
+    def insert(self, row: Row, fast: bool = False) -> None:
+        """Insert into every representation.
+
+        ``fast=True`` uses flat storage's constant-time append (for tables
+        with few deletions, Section 3.1).
+        """
+        row = self.schema.validate_row(row)
+        if self.flat is not None:
+            if fast:
+                self.flat.fast_insert(row)
+            else:
+                self.flat.insert(row)
+        if self.indexed is not None:
+            self.indexed.insert(row)
+
+    def delete_key(self, key: Value) -> int:
+        """Delete all rows whose indexed/first column equals ``key``."""
+        column = self.key_column or self.schema.columns[0].name
+        key_index = self.schema.column_index(column)
+        deleted = 0
+        if self.flat is not None:
+            deleted = self.flat.delete(lambda row: row[key_index] == key)
+        if self.indexed is not None:
+            indexed_deleted = self.indexed.delete_all(key)
+            if self.flat is None:
+                deleted = indexed_deleted
+        return deleted
+
+    def update_key(self, key: Value, assign: Callable[[Row], Row]) -> int:
+        """Update rows whose key column equals ``key`` via ``assign``."""
+        column = self.key_column or self.schema.columns[0].name
+        key_index = self.schema.column_index(column)
+        updated = 0
+        if self.flat is not None:
+            updated = self.flat.update(lambda row: row[key_index] == key, assign)
+        if self.indexed is not None:
+            indexed_updated = self.indexed.update_key(key, assign)
+            if self.flat is None:
+                updated = indexed_updated
+        return updated
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def point_lookup(self, key: Value) -> list[Row]:
+        """Index point lookup; falls back to a full flat scan if no index."""
+        if self.indexed is not None:
+            return self.indexed.point_lookup(key)
+        column = self.key_column or self.schema.columns[0].name
+        key_index = self.schema.column_index(column)
+        flat = self.require_flat()
+        return [row for row in flat.rows() if row[key_index] == key]
+
+    def rows(self) -> list[Row]:
+        """All rows via the cheapest oblivious full scan available."""
+        if self.flat is not None:
+            return self.flat.rows()
+        assert self.indexed is not None
+        return list(self.indexed.linear_scan())
+
+    def free(self) -> None:
+        if self.flat is not None:
+            self.flat.free()
+        if self.indexed is not None:
+            self.indexed.free()

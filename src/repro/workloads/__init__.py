@@ -1,0 +1,34 @@
+"""Workload generators: Big Data Benchmark, synthetic, mixed L1-L5, CFPB."""
+
+from .bdb import (
+    BDBData,
+    Q1_SQL,
+    Q2_SQL,
+    Q3_SQL,
+    RANKINGS_SCHEMA,
+    USERVISITS_SCHEMA,
+    generate,
+)
+from .cfpb import CFPB_SCHEMA, complaint_rows
+from .mixed import WORKLOADS, WorkloadReport, run_workload
+from .synthetic import KV_SCHEMA, WIDE_SCHEMA, kv_rows, shuffled, wide_rows
+
+__all__ = [
+    "BDBData",
+    "CFPB_SCHEMA",
+    "KV_SCHEMA",
+    "Q1_SQL",
+    "Q2_SQL",
+    "Q3_SQL",
+    "RANKINGS_SCHEMA",
+    "USERVISITS_SCHEMA",
+    "WIDE_SCHEMA",
+    "WORKLOADS",
+    "WorkloadReport",
+    "complaint_rows",
+    "generate",
+    "kv_rows",
+    "run_workload",
+    "shuffled",
+    "wide_rows",
+]

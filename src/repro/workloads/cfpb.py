@@ -1,0 +1,57 @@
+"""CFPB-style consumer-complaints table for the padding-mode experiment.
+
+Section 7.1 evaluates padding mode "running queries on the CFPB table of
+107,000 rows padded to 200,000 rows": an aggregate query slowed 4.4× and a
+select 2.4×.  The real Consumer Financial Protection Bureau complaint dump
+is unavailable offline; only the row count, the padded capacity, and the
+presence of a modest-cardinality categorical column (product type) matter
+to the experiment, so we generate a synthetic table with that shape.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..storage.schema import Row, Schema, int_column, str_column
+
+PRODUCTS = (
+    "mortgage",
+    "credit_card",
+    "student_loan",
+    "bank_account",
+    "debt_collection",
+    "credit_report",
+    "payday_loan",
+    "money_transfer",
+)
+
+CFPB_SCHEMA = Schema(
+    [
+        int_column("complaint_id"),
+        str_column("product", 16),
+        str_column("state", 2),
+        str_column("date", 10),
+        int_column("resolved"),
+    ]
+)
+
+_STATES = ("CA", "TX", "NY", "FL", "IL", "PA", "OH", "GA", "NC", "MI")
+
+
+def complaint_rows(count: int, seed: int = 17) -> list[Row]:
+    """``count`` synthetic complaints with realistic categorical skew."""
+    rng = random.Random(seed)
+    rows: list[Row] = []
+    for index in range(count):
+        product = PRODUCTS[min(int(rng.expovariate(0.6)), len(PRODUCTS) - 1)]
+        rows.append(
+            (
+                index,
+                product,
+                rng.choice(_STATES),
+                f"{rng.randint(2012, 2018)}-{rng.randint(1, 12):02d}-"
+                f"{rng.randint(1, 28):02d}",
+                rng.randrange(2),
+            )
+        )
+    return rows

@@ -1,0 +1,61 @@
+"""Synthetic tables for the microbenchmarks (Figures 9–14).
+
+The paper's microbenchmarks run on synthetic data: a keyed table with a
+small payload (64-byte entries for the HIRB comparison, generic rows for
+the storage/operator studies).  Generators here are deterministic given a
+seed so every benchmark and test is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..storage.schema import Row, Schema, int_column, str_column
+
+#: Schema used by the point-query experiments: 64-byte entries as in the
+#: HIRB comparison (key + 56-byte value ≈ 64 B per record).
+KV_SCHEMA = Schema([int_column("key"), str_column("value", 56)])
+
+#: Generic analytics row: an id, a category, and two measures.
+WIDE_SCHEMA = Schema(
+    [
+        int_column("id"),
+        int_column("category"),
+        int_column("measure"),
+        str_column("label", 12),
+    ]
+)
+
+
+def kv_rows(count: int, seed: int = 7) -> list[Row]:
+    """``count`` key/value rows with keys 0..count-1 in random order."""
+    rng = random.Random(seed)
+    keys = list(range(count))
+    rng.shuffle(keys)
+    return [(key, f"value-{key:08d}") for key in keys]
+
+
+def wide_rows(count: int, categories: int = 16, seed: int = 11) -> list[Row]:
+    """``count`` analytics rows with ids 0..count-1 in id order.
+
+    Id-ordered generation means range predicates on ``id`` select contiguous
+    segments — the scenario the Continuous algorithm and the index target.
+    """
+    rng = random.Random(seed)
+    return [
+        (
+            index,
+            rng.randrange(categories),
+            rng.randrange(10_000),
+            f"row-{index:06d}",
+        )
+        for index in range(count)
+    ]
+
+
+def shuffled(rows: list[Row], seed: int = 13) -> list[Row]:
+    """A shuffled copy, for experiments that need non-contiguous matches."""
+    rng = random.Random(seed)
+    copy = list(rows)
+    rng.shuffle(copy)
+    return copy

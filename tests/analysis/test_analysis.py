@@ -1,0 +1,102 @@
+"""Unit tests for the analysis utilities (canonical traces, asymptotics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    CanonicalTrace,
+    assert_indistinguishable,
+    canonicalize,
+    fit_polylog,
+    fit_power_law,
+)
+from repro.enclave.trace import AccessEvent
+
+
+def events(*tuples: tuple[str, str, int]) -> list[AccessEvent]:
+    return [AccessEvent(*t) for t in tuples]
+
+
+class TestCanonicalize:
+    def test_identical_traces_match(self) -> None:
+        a = canonicalize(events(("R", "t", 0), ("W", "t", 1)))
+        b = canonicalize(events(("R", "t", 0), ("W", "t", 1)))
+        assert a.matches(b)
+
+    def test_different_flat_indexes_differ(self) -> None:
+        a = canonicalize(events(("R", "t", 0)))
+        b = canonicalize(events(("R", "t", 1)))
+        assert not a.matches(b)
+
+    def test_oram_indexes_canonicalised_by_level(self) -> None:
+        """Two different paths through the same ORAM tree are equivalent."""
+        # Heap indexes 1 and 2 are both level-1 buckets.
+        a = canonicalize(events(("R", "oram#1", 0), ("R", "oram#1", 1)), {"oram#1"})
+        b = canonicalize(events(("R", "oram#1", 0), ("R", "oram#1", 2)), {"oram#1"})
+        assert a.matches(b)
+
+    def test_oram_different_levels_differ(self) -> None:
+        a = canonicalize(events(("R", "oram#1", 1)), {"oram#1"})
+        b = canonicalize(events(("R", "oram#1", 3)), {"oram#1"})  # level 2
+        assert not a.matches(b)
+
+    def test_name_normalisation(self) -> None:
+        """Same structure under different region names compares equal."""
+        a = canonicalize(events(("R", "flat#5", 0), ("W", "flat#6", 0)))
+        b = canonicalize(events(("R", "flat#1", 0), ("W", "flat#2", 0)))
+        assert a.matches(b)
+
+    def test_name_normalisation_detects_cross_references(self) -> None:
+        a = canonicalize(events(("R", "x", 0), ("W", "x", 0)))
+        b = canonicalize(events(("R", "x", 0), ("W", "y", 0)))
+        assert not a.matches(b)
+
+    def test_assert_indistinguishable(self) -> None:
+        trace = canonicalize(events(("R", "t", 0)))
+        assert_indistinguishable([trace, trace])
+        other = canonicalize(events(("W", "t", 0)))
+        with pytest.raises(AssertionError):
+            assert_indistinguishable([trace, other])
+
+    def test_empty_list_ok(self) -> None:
+        assert_indistinguishable([])
+
+
+class TestAsymptoticsFitting:
+    def test_linear_fit(self) -> None:
+        sizes = [100, 1000, 10_000, 100_000]
+        costs = [2 * n for n in sizes]
+        assert fit_power_law(sizes, costs) == pytest.approx(1.0, abs=0.01)
+
+    def test_quadratic_fit(self) -> None:
+        sizes = [10, 100, 1000]
+        costs = [n * n for n in sizes]
+        assert fit_power_law(sizes, costs) == pytest.approx(2.0, abs=0.01)
+
+    def test_constant_fit(self) -> None:
+        sizes = [10, 100, 1000]
+        costs = [5.0, 5.0, 5.0]
+        assert fit_power_law(sizes, costs) == pytest.approx(0.0, abs=0.01)
+
+    def test_polylog_fit(self) -> None:
+        sizes = [2**k for k in range(4, 20, 2)]
+        costs = [math.log(n) ** 2 for n in sizes]
+        assert fit_polylog(sizes, costs) == pytest.approx(2.0, abs=0.05)
+
+    def test_too_few_points_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            fit_power_law([10], [1.0])
+
+    def test_identical_sizes_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            fit_power_law([10, 10], [1.0, 2.0])
+
+    def test_matches_helper(self) -> None:
+        a = CanonicalTrace(digest="x", length=1)
+        b = CanonicalTrace(digest="x", length=1)
+        c = CanonicalTrace(digest="y", length=1)
+        assert a.matches(b)
+        assert not a.matches(c)

@@ -1,0 +1,92 @@
+"""Tests for the Appendix A simulator: SIM's trace must match real traces."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import SelectLeakage, real_select_trace, simulate_select
+from repro.enclave import Enclave
+from repro.operators import Comparison
+from repro.planner import SelectAlgorithm, plan_select
+from repro.storage import FlatStorage, Schema, int_column
+
+SCHEMA = Schema([int_column("x"), int_column("payload")])
+OM_BYTES = 1 << 14
+
+
+def build(seed: int, capacity: int, matches: int, contiguous: bool) -> tuple[Enclave, FlatStorage]:
+    enclave = Enclave(
+        oblivious_memory_bytes=OM_BYTES, cipher="null", keep_trace_events=True
+    )
+    rng = random.Random(seed)
+    if contiguous:
+        start = rng.randrange(max(1, capacity - matches))
+        positions = set(range(start, start + matches))
+    else:
+        positions = set(rng.sample(range(capacity), matches))
+    table = FlatStorage(enclave, SCHEMA, capacity)
+    for index in range(capacity):
+        value = 1 if index in positions else rng.randrange(2, 99)
+        table.fast_insert((value, rng.randrange(1000)))
+    return enclave, table
+
+
+PREDICATE = Comparison("x", "=", 1)
+
+
+class TestSimulatorTheorem:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_sim_matches_real_small(self, seed: int) -> None:
+        enclave, table = build(seed, capacity=32, matches=5, contiguous=False)
+        decision = plan_select(table, PREDICATE)
+        assert decision.algorithm is SelectAlgorithm.SMALL
+        real = real_select_trace(table, PREDICATE, decision)
+        sim = simulate_select(
+            SelectLeakage.from_decision(SCHEMA.row_size, decision), OM_BYTES
+        )
+        assert real.matches(sim)
+
+    def test_sim_matches_real_large(self) -> None:
+        enclave, table = build(4, capacity=32, matches=28, contiguous=False)
+        decision = plan_select(table, PREDICATE, force=SelectAlgorithm.LARGE)
+        real = real_select_trace(table, PREDICATE, decision)
+        sim = simulate_select(
+            SelectLeakage.from_decision(SCHEMA.row_size, decision), OM_BYTES
+        )
+        assert real.matches(sim)
+
+    def test_sim_matches_real_continuous(self) -> None:
+        enclave, table = build(5, capacity=32, matches=6, contiguous=True)
+        decision = plan_select(table, PREDICATE, force=SelectAlgorithm.CONTINUOUS)
+        real = real_select_trace(table, PREDICATE, decision)
+        sim = simulate_select(
+            SelectLeakage.from_decision(SCHEMA.row_size, decision), OM_BYTES
+        )
+        assert real.matches(sim)
+
+    def test_sim_matches_real_hash(self) -> None:
+        enclave, table = build(6, capacity=32, matches=5, contiguous=False)
+        decision = plan_select(table, PREDICATE, force=SelectAlgorithm.HASH)
+        real = real_select_trace(table, PREDICATE, decision)
+        sim = simulate_select(
+            SelectLeakage.from_decision(SCHEMA.row_size, decision), OM_BYTES
+        )
+        assert real.matches(sim)
+
+    def test_sim_differs_when_leakage_differs(self) -> None:
+        """SIM given different leakage must produce a different trace —
+        otherwise the check would be vacuous."""
+        enclave, table = build(7, capacity=32, matches=5, contiguous=False)
+        decision = plan_select(table, PREDICATE)
+        real = real_select_trace(table, PREDICATE, decision)
+        wrong = SelectLeakage(
+            input_capacity=32,
+            output_size=9,  # wrong output size
+            algorithm=decision.algorithm,
+            buffer_rows=decision.buffer_rows,
+            row_size=SCHEMA.row_size,
+        )
+        sim = simulate_select(wrong, OM_BYTES)
+        assert not real.matches(sim)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the ObliDB reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enclave import Enclave
+from repro.storage import Schema, int_column, str_column
+
+
+@pytest.fixture
+def enclave() -> Enclave:
+    """A fresh enclave with a generous budget and real encryption."""
+    return Enclave(oblivious_memory_bytes=1 << 24, keep_trace_events=True)
+
+
+@pytest.fixture
+def fast_enclave() -> Enclave:
+    """A fresh enclave with the cost-only cipher, for heavier tests."""
+    return Enclave(
+        oblivious_memory_bytes=1 << 24, cipher="null", keep_trace_events=True
+    )
+
+
+@pytest.fixture
+def kv_schema() -> Schema:
+    """A small key/value schema used across storage and operator tests."""
+    return Schema([int_column("key"), str_column("value", 16)])
+
+
+@pytest.fixture
+def wide_schema() -> Schema:
+    """An analytics-style schema with id, category, and a measure."""
+    return Schema(
+        [
+            int_column("id"),
+            int_column("category"),
+            int_column("measure"),
+            str_column("label", 12),
+        ]
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic randomness for reproducible tests."""
+    return random.Random(0xDB)

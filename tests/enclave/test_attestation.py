@@ -1,0 +1,59 @@
+"""Unit tests for the attestation handshake."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import (
+    AttestationError,
+    AttestationPlatform,
+    AttestingClient,
+    attest,
+    measure,
+)
+
+CODE = "oblidb-engine-v1"
+
+
+class TestAttestation:
+    def test_successful_handshake(self) -> None:
+        platform = AttestationPlatform()
+        client = AttestingClient(platform, expected_code_identity=CODE)
+        attest(platform, CODE, client)  # must not raise
+
+    def test_corrupted_code_rejected(self) -> None:
+        platform = AttestationPlatform()
+        client = AttestingClient(platform, expected_code_identity=CODE)
+        with pytest.raises(AttestationError, match="measurement"):
+            attest(platform, "oblidb-engine-evil", client)
+
+    def test_replayed_quote_rejected(self) -> None:
+        """A quote answering an old challenge must not satisfy a new one."""
+        platform = AttestationPlatform()
+        client = AttestingClient(platform, expected_code_identity=CODE)
+        challenge = client.challenge()
+        quote = platform.sign_quote(measure(CODE), challenge)
+        client.verify(quote)
+        client.challenge()  # new session
+        with pytest.raises(AttestationError, match="challenge"):
+            client.verify(quote)
+
+    def test_forged_signature_rejected(self) -> None:
+        platform = AttestationPlatform(b"a" * 32)
+        rogue = AttestationPlatform(b"b" * 32)
+        client = AttestingClient(platform, expected_code_identity=CODE)
+        challenge = client.challenge()
+        quote = rogue.sign_quote(measure(CODE), challenge)
+        with pytest.raises(AttestationError, match="signature"):
+            client.verify(quote)
+
+    def test_verify_without_challenge_rejected(self) -> None:
+        platform = AttestationPlatform()
+        client = AttestingClient(platform, expected_code_identity=CODE)
+        quote = platform.sign_quote(measure(CODE), b"nonce")
+        with pytest.raises(AttestationError):
+            client.verify(quote)
+
+    def test_measurement_deterministic(self) -> None:
+        assert measure(CODE) == measure(CODE)
+        assert measure(CODE) != measure(CODE + "x")

@@ -1,0 +1,106 @@
+"""Unit tests for the authenticated encryption layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import AuthenticatedCipher, IntegrityError, NullCipher
+from repro.enclave.crypto import SealedBlock
+
+
+class TestAuthenticatedCipher:
+    def test_roundtrip(self) -> None:
+        cipher = AuthenticatedCipher(b"k" * 32)
+        sealed = cipher.seal(b"hello world")
+        assert cipher.open(sealed) == b"hello world"
+
+    def test_roundtrip_empty_plaintext(self) -> None:
+        cipher = AuthenticatedCipher(b"k" * 32)
+        assert cipher.open(cipher.seal(b"")) == b""
+
+    def test_associated_data_roundtrip(self) -> None:
+        cipher = AuthenticatedCipher(b"k" * 32)
+        sealed = cipher.seal(b"payload", b"row:7:rev:3")
+        assert cipher.open(sealed, b"row:7:rev:3") == b"payload"
+
+    def test_ciphertext_randomised_per_seal(self) -> None:
+        """Re-encrypting the same plaintext must give a fresh ciphertext —
+        this is what makes dummy writes indistinguishable from real ones."""
+        cipher = AuthenticatedCipher(b"k" * 32)
+        a = cipher.seal(b"same")
+        b = cipher.seal(b"same")
+        assert a.ciphertext != b.ciphertext or a.nonce != b.nonce
+
+    def test_ciphertext_not_plaintext(self) -> None:
+        cipher = AuthenticatedCipher(b"k" * 32)
+        sealed = cipher.seal(b"secret-row-data")
+        assert b"secret-row-data" not in sealed.ciphertext
+
+    def test_tampered_ciphertext_rejected(self) -> None:
+        cipher = AuthenticatedCipher(b"k" * 32)
+        sealed = cipher.seal(b"payload")
+        corrupted = SealedBlock(
+            nonce=sealed.nonce,
+            ciphertext=bytes([sealed.ciphertext[0] ^ 1]) + sealed.ciphertext[1:],
+            mac=sealed.mac,
+        )
+        with pytest.raises(IntegrityError):
+            cipher.open(corrupted)
+
+    def test_tampered_mac_rejected(self) -> None:
+        cipher = AuthenticatedCipher(b"k" * 32)
+        sealed = cipher.seal(b"payload")
+        corrupted = SealedBlock(
+            nonce=sealed.nonce,
+            ciphertext=sealed.ciphertext,
+            mac=bytes([sealed.mac[0] ^ 1]) + sealed.mac[1:],
+        )
+        with pytest.raises(IntegrityError):
+            cipher.open(corrupted)
+
+    def test_wrong_associated_data_rejected(self) -> None:
+        """A block moved to a different slot must fail verification — the
+        defence against shuffling attacks."""
+        cipher = AuthenticatedCipher(b"k" * 32)
+        sealed = cipher.seal(b"payload", b"slot:1")
+        with pytest.raises(IntegrityError):
+            cipher.open(sealed, b"slot:2")
+
+    def test_different_keys_reject_each_other(self) -> None:
+        sealed = AuthenticatedCipher(b"a" * 32).seal(b"payload")
+        with pytest.raises(IntegrityError):
+            AuthenticatedCipher(b"b" * 32).open(sealed)
+
+    def test_short_key_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            AuthenticatedCipher(b"short")
+
+    def test_random_key_by_default(self) -> None:
+        a, b = AuthenticatedCipher(), AuthenticatedCipher()
+        sealed = a.seal(b"x")
+        with pytest.raises(IntegrityError):
+            b.open(sealed)
+
+    def test_large_payload(self) -> None:
+        cipher = AuthenticatedCipher(b"k" * 32)
+        payload = bytes(range(256)) * 64
+        assert cipher.open(cipher.seal(payload)) == payload
+
+
+class TestNullCipher:
+    def test_roundtrip(self) -> None:
+        cipher = NullCipher()
+        assert cipher.open(cipher.seal(b"data", b"aad"), b"aad") == b"data"
+
+    def test_detects_tampering(self) -> None:
+        cipher = NullCipher()
+        sealed = cipher.seal(b"data")
+        corrupted = SealedBlock(nonce=b"", ciphertext=b"datb", mac=sealed.mac)
+        with pytest.raises(IntegrityError):
+            cipher.open(corrupted)
+
+    def test_detects_wrong_associated_data(self) -> None:
+        cipher = NullCipher()
+        sealed = cipher.seal(b"data", b"slot:1")
+        with pytest.raises(IntegrityError):
+            cipher.open(sealed, b"slot:2")

@@ -1,0 +1,112 @@
+"""Unit tests for enclave lifecycle, oblivious memory, and cost counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import (
+    CostModel,
+    CostWeights,
+    Enclave,
+    ObliviousMemoryAccount,
+    ObliviousMemoryError,
+)
+
+
+class TestObliviousMemory:
+    def test_allocate_within_budget(self) -> None:
+        account = ObliviousMemoryAccount(100)
+        account.allocate(60)
+        assert account.in_use_bytes == 60
+        assert account.free_bytes == 40
+
+    def test_budget_enforced(self) -> None:
+        account = ObliviousMemoryAccount(100)
+        account.allocate(80)
+        with pytest.raises(ObliviousMemoryError):
+            account.allocate(30)
+
+    def test_peak_tracking(self) -> None:
+        account = ObliviousMemoryAccount(100)
+        account.allocate(70)
+        account.release(50)
+        account.allocate(10)
+        assert account.peak_bytes == 70
+        assert account.in_use_bytes == 30
+
+    def test_over_release_rejected(self) -> None:
+        account = ObliviousMemoryAccount(100)
+        account.allocate(10)
+        with pytest.raises(ValueError):
+            account.release(20)
+
+    def test_enclave_buffer_context(self) -> None:
+        enclave = Enclave(oblivious_memory_bytes=100)
+        with enclave.oblivious_buffer(90):
+            assert enclave.oblivious.in_use_bytes == 90
+            with pytest.raises(ObliviousMemoryError):
+                enclave.oblivious.allocate(20)
+        assert enclave.oblivious.in_use_bytes == 0
+
+    def test_buffer_released_on_exception(self) -> None:
+        enclave = Enclave(oblivious_memory_bytes=100)
+        with pytest.raises(RuntimeError):
+            with enclave.oblivious_buffer(50):
+                raise RuntimeError("boom")
+        assert enclave.oblivious.in_use_bytes == 0
+
+
+class TestCostModel:
+    def test_modeled_time_uses_weights(self) -> None:
+        cost = CostModel(weights=CostWeights(untrusted_read_us=2.0))
+        cost.record_read(10)
+        assert cost.modeled_time_us() == pytest.approx(20.0)
+
+    def test_snapshot_delta(self) -> None:
+        cost = CostModel()
+        cost.record_read(5)
+        snapshot = cost.snapshot()
+        cost.record_read(3)
+        cost.record_write(2)
+        delta = cost.delta_since(snapshot)
+        assert delta.untrusted_reads == 3
+        assert delta.untrusted_writes == 2
+
+    def test_block_ios(self) -> None:
+        cost = CostModel()
+        cost.record_read(4)
+        cost.record_write(6)
+        assert cost.block_ios == 10
+
+    def test_reset(self) -> None:
+        cost = CostModel()
+        cost.record_oram_access(7)
+        cost.reset()
+        assert cost.oram_accesses == 0
+
+
+class TestEnclave:
+    def test_seal_open_roundtrip(self) -> None:
+        enclave = Enclave()
+        assert enclave.open(enclave.seal(b"data", b"aad"), b"aad") == b"data"
+
+    def test_null_cipher_option(self) -> None:
+        enclave = Enclave(cipher="null")
+        assert enclave.open(enclave.seal(b"data")) == b"data"
+
+    def test_unknown_cipher_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Enclave(cipher="rot13")
+
+    def test_fresh_region_names_unique(self) -> None:
+        enclave = Enclave()
+        names = {enclave.fresh_region_name("t") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_cost_snapshot_helpers(self) -> None:
+        enclave = Enclave()
+        snapshot = enclave.cost_snapshot()
+        enclave.untrusted.allocate_region("t", 1)
+        enclave.untrusted.write("t", 0, enclave.seal(b"x"))
+        delta = enclave.cost_delta(snapshot)
+        assert delta.untrusted_writes == 1

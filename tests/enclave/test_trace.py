@@ -1,0 +1,73 @@
+"""Unit tests for access traces and their digests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import AccessTrace
+
+
+class TestAccessTrace:
+    def test_record_and_iterate(self) -> None:
+        trace = AccessTrace()
+        trace.record("R", "t", 0)
+        trace.record("W", "t", 1)
+        assert len(trace) == 2
+        assert [(e.op, e.index) for e in trace] == [("R", 0), ("W", 1)]
+
+    def test_identical_sequences_match(self) -> None:
+        a, b = AccessTrace(), AccessTrace()
+        for trace in (a, b):
+            trace.record("R", "t", 3)
+            trace.record("W", "u", 5)
+        assert a.matches(b)
+        assert a.digest() == b.digest()
+
+    def test_different_order_differs(self) -> None:
+        a, b = AccessTrace(), AccessTrace()
+        a.record("R", "t", 0)
+        a.record("R", "t", 1)
+        b.record("R", "t", 1)
+        b.record("R", "t", 0)
+        assert not a.matches(b)
+
+    def test_op_direction_is_observable(self) -> None:
+        a, b = AccessTrace(), AccessTrace()
+        a.record("R", "t", 0)
+        b.record("W", "t", 0)
+        assert not a.matches(b)
+
+    def test_region_is_observable(self) -> None:
+        a, b = AccessTrace(), AccessTrace()
+        a.record("R", "t1", 0)
+        b.record("R", "t2", 0)
+        assert not a.matches(b)
+
+    def test_length_mismatch_never_matches(self) -> None:
+        a, b = AccessTrace(), AccessTrace()
+        a.record("R", "t", 0)
+        assert not a.matches(b)
+
+    def test_clear_resets(self) -> None:
+        trace = AccessTrace()
+        trace.record("R", "t", 0)
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.matches(AccessTrace())
+
+    def test_digest_only_mode(self) -> None:
+        trace = AccessTrace(keep_events=False)
+        trace.record("R", "t", 0)
+        assert len(trace) == 1
+        with pytest.raises(ValueError):
+            trace.events
+        reference = AccessTrace()
+        reference.record("R", "t", 0)
+        assert trace.matches(reference)
+
+    def test_region_histogram(self) -> None:
+        trace = AccessTrace()
+        for _ in range(3):
+            trace.record("R", "a", 0)
+        trace.record("W", "b", 0)
+        assert trace.region_histogram() == {"a": 3, "b": 1}

@@ -1,0 +1,150 @@
+"""Tests for ORDER BY / LIMIT and EXPLAIN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ObliDB
+from repro.enclave import QueryError
+from repro.engine import parse
+from repro.planner import SelectAlgorithm
+
+
+@pytest.fixture
+def db() -> ObliDB:
+    db = ObliDB(cipher="null", seed=8)
+    db.sql("CREATE TABLE t (k INT, v INT, s STR(8)) CAPACITY 64 METHOD both KEY k")
+    values = [50, 10, 90, 30, 70, 20, 80, 40, 60, 0]
+    for k, v in enumerate(values):
+        db.sql(f"INSERT INTO t VALUES ({k}, {v}, 's{v}')")
+    return db
+
+
+class TestOrderByParsing:
+    def test_order_by_default_asc(self) -> None:
+        statement = parse("SELECT * FROM t ORDER BY v")
+        assert statement.order_by == "v"
+        assert not statement.descending
+        assert statement.limit is None
+
+    def test_order_by_desc_limit(self) -> None:
+        statement = parse("SELECT * FROM t ORDER BY v DESC LIMIT 5")
+        assert statement.descending
+        assert statement.limit == 5
+
+    def test_limit_alone(self) -> None:
+        statement = parse("SELECT * FROM t LIMIT 3")
+        assert statement.limit == 3
+
+    def test_bad_limit_rejected(self) -> None:
+        from repro.enclave import SQLSyntaxError
+
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM t LIMIT many")
+
+    def test_order_by_on_scalar_aggregate_rejected(self) -> None:
+        with pytest.raises(QueryError):
+            parse("SELECT COUNT(*) FROM t ORDER BY v")
+
+
+class TestOrderByExecution:
+    def test_ascending(self, db: ObliDB) -> None:
+        result = db.sql("SELECT v FROM t ORDER BY v")
+        assert [row[0] for row in result.rows] == sorted(range(0, 100, 10))
+
+    def test_descending(self, db: ObliDB) -> None:
+        result = db.sql("SELECT v FROM t ORDER BY v DESC")
+        assert [row[0] for row in result.rows] == sorted(range(0, 100, 10), reverse=True)
+
+    def test_order_by_string_column(self, db: ObliDB) -> None:
+        result = db.sql("SELECT s FROM t ORDER BY s LIMIT 2")
+        assert result.rows == [("s0",), ("s10",)]
+
+    def test_limit_truncates(self, db: ObliDB) -> None:
+        result = db.sql("SELECT v FROM t ORDER BY v LIMIT 3")
+        assert [row[0] for row in result.rows] == [0, 10, 20]
+
+    def test_limit_larger_than_result(self, db: ObliDB) -> None:
+        result = db.sql("SELECT v FROM t WHERE v < 30 ORDER BY v LIMIT 100")
+        assert [row[0] for row in result.rows] == [0, 10, 20]
+
+    def test_limit_zero(self, db: ObliDB) -> None:
+        result = db.sql("SELECT * FROM t LIMIT 0")
+        assert result.rows == []
+
+    def test_order_with_where(self, db: ObliDB) -> None:
+        result = db.sql("SELECT v FROM t WHERE v >= 40 ORDER BY v DESC LIMIT 2")
+        assert [row[0] for row in result.rows] == [90, 80]
+
+    def test_group_by_order_by_group_column(self, db: ObliDB) -> None:
+        db.sql("CREATE TABLE g (c INT, x INT) CAPACITY 16")
+        for i in range(12):
+            db.sql(f"INSERT INTO g VALUES ({i % 3}, {i})")
+        result = db.sql("SELECT c, SUM(x) FROM g GROUP BY c ORDER BY c DESC")
+        assert [row[0] for row in result.rows] == [2, 1, 0]
+
+    def test_group_by_order_by_unknown_rejected(self, db: ObliDB) -> None:
+        db.sql("CREATE TABLE g2 (c INT, x INT) CAPACITY 8")
+        db.sql("INSERT INTO g2 VALUES (1, 1)")
+        with pytest.raises(QueryError):
+            db.sql("SELECT c, SUM(x) FROM g2 GROUP BY c ORDER BY ghost")
+
+    def test_large_result_oblivious_sort_path(self) -> None:
+        """With almost no oblivious memory the in-enclave sort can't fit,
+        exercising the bitonic scratch path."""
+        db = ObliDB(cipher="null", oblivious_memory_bytes=32, seed=9)
+        db.sql("CREATE TABLE big (v INT) CAPACITY 32")
+        values = [7, 3, 9, 1, 5, 8, 2, 6]
+        for v in values:
+            db.sql(f"INSERT INTO big VALUES ({v})")
+        result = db.sql("SELECT v FROM big ORDER BY v")
+        assert [row[0] for row in result.rows] == sorted(values)
+        assert any(
+            p.operator == "order_by" and p.sizes.get("in_enclave") == 0
+            for p in result.plans
+        )
+
+
+class TestExplain:
+    def test_explain_select_runs_no_operator(self, db: ObliDB) -> None:
+        plans = db.explain("SELECT * FROM t WHERE v = 10")
+        select_plans = [p for p in plans if p.operator == "select"]
+        assert len(select_plans) == 1
+        assert select_plans[0].select_algorithm is not None
+        assert select_plans[0].sizes["output"] == 1
+
+    def test_explain_matches_execution_plan(self, db: ObliDB) -> None:
+        sql = "SELECT * FROM t WHERE v < 40"
+        explained = db.explain(sql)
+        executed = db.sql(sql).plans
+        explained_algorithms = [
+            p.select_algorithm for p in explained if p.operator == "select"
+        ]
+        executed_algorithms = [
+            p.select_algorithm for p in executed if p.operator == "select"
+        ]
+        assert explained_algorithms == executed_algorithms
+
+    def test_explain_index_point_query(self, db: ObliDB) -> None:
+        plans = db.explain("SELECT * FROM t WHERE k = 3")
+        assert any(p.operator == "index_range" for p in plans)
+
+    def test_explain_join(self, db: ObliDB) -> None:
+        db.sql("CREATE TABLE u (k INT) CAPACITY 8")
+        db.sql("INSERT INTO u VALUES (1)")
+        plans = db.explain("SELECT * FROM t JOIN u ON t.k = u.k")
+        assert any(p.operator == "join" and p.join_algorithm is not None for p in plans)
+
+    def test_explain_writes(self, db: ObliDB) -> None:
+        assert db.explain("INSERT INTO t VALUES (99, 1, 'x')")[0].operator == "insert"
+        assert db.explain("UPDATE t SET v = 0 WHERE k = 1")[0].operator == "update"
+        assert db.explain("DELETE FROM t WHERE k = 1")[0].operator == "delete"
+
+    def test_explain_does_not_modify(self, db: ObliDB) -> None:
+        before = db.sql("SELECT COUNT(*) FROM t").scalar()
+        db.explain("DELETE FROM t")
+        assert db.sql("SELECT COUNT(*) FROM t").scalar() == before
+
+    def test_explain_create_rejected(self, db: ObliDB) -> None:
+        with pytest.raises(QueryError):
+            db.explain("CREATE TABLE x (y INT)")

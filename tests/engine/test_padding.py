@@ -1,0 +1,99 @@
+"""Tests for padding mode (Section 7.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ObliDB, PaddingConfig
+from repro.enclave import QueryError
+
+
+@pytest.fixture
+def padded_db() -> ObliDB:
+    db = ObliDB(
+        cipher="null",
+        padding=PaddingConfig(pad_rows=30, pad_groups=16),
+        seed=5,
+    )
+    db.sql("CREATE TABLE t (id INT, g INT) CAPACITY 64")
+    for i in range(20):
+        db.sql(f"INSERT INTO t VALUES ({i}, {i % 3})")
+    return db
+
+
+class TestPaddingConfig:
+    def test_bounds_validated(self) -> None:
+        with pytest.raises(QueryError):
+            PaddingConfig(pad_rows=0, pad_groups=1)
+        with pytest.raises(QueryError):
+            PaddingConfig(pad_rows=1, pad_groups=0)
+
+    def test_check_fits(self) -> None:
+        config = PaddingConfig(pad_rows=10, pad_groups=5)
+        config.check_fits(10)
+        with pytest.raises(QueryError):
+            config.check_fits(11)
+
+
+class TestPaddedExecution:
+    def test_select_results_correct(self, padded_db: ObliDB) -> None:
+        result = padded_db.sql("SELECT * FROM t WHERE id < 5")
+        assert sorted(row[0] for row in result.rows) == [0, 1, 2, 3, 4]
+
+    def test_select_always_hash_algorithm(self, padded_db: ObliDB) -> None:
+        result = padded_db.sql("SELECT * FROM t WHERE id < 5")
+        select_plans = [p for p in result.plans if p.operator == "select"]
+        assert select_plans and all(
+            p.select_algorithm is not None
+            and p.select_algorithm.value == "hash"
+            for p in select_plans
+        )
+
+    def test_output_size_is_padded_constant(self, padded_db: ObliDB) -> None:
+        """Different selectivities leak the same padded output size."""
+        small = padded_db.sql("SELECT * FROM t WHERE id < 2")
+        large = padded_db.sql("SELECT * FROM t WHERE id < 15")
+        small_sizes = [p.sizes.get("output") for p in small.plans if p.operator == "select"]
+        large_sizes = [p.sizes.get("output") for p in large.plans if p.operator == "select"]
+        assert small_sizes == large_sizes == [30]
+
+    def test_group_output_padded(self, padded_db: ObliDB) -> None:
+        result = padded_db.sql("SELECT g, COUNT(*) FROM t GROUP BY g")
+        assert sorted(result.rows) == [(0, 7.0), (1, 7.0), (2, 6.0)]
+        group_plans = [p for p in result.plans if p.operator == "group_by"]
+        assert group_plans[0].sizes["output"] == 16
+
+    def test_overflow_rejected(self) -> None:
+        db = ObliDB(
+            cipher="null", padding=PaddingConfig(pad_rows=3, pad_groups=4), seed=1
+        )
+        db.sql("CREATE TABLE t (id INT) CAPACITY 16")
+        for i in range(10):
+            db.sql(f"INSERT INTO t VALUES ({i})")
+        with pytest.raises(Exception):
+            db.sql("SELECT * FROM t WHERE id < 9")
+
+    def test_padding_ignores_index(self) -> None:
+        """Indexes reveal selectivity; padding mode must not use them."""
+        db = ObliDB(
+            cipher="null",
+            padding=PaddingConfig(pad_rows=20, pad_groups=8),
+            seed=2,
+        )
+        db.sql("CREATE TABLE t (id INT) CAPACITY 32 METHOD both KEY id")
+        for i in range(10):
+            db.sql(f"INSERT INTO t VALUES ({i})")
+        result = db.sql("SELECT * FROM t WHERE id = 4")
+        assert result.rows == [(4,)]
+        assert all(p.operator != "index_range" for p in result.plans)
+
+    def test_padded_slowdown_is_bounded(self, padded_db: ObliDB) -> None:
+        """Padding costs more than the planned path but not absurdly more
+        (the paper reports 2.4x for selects at ~2x table padding)."""
+        plain_db = ObliDB(cipher="null", seed=5)
+        plain_db.sql("CREATE TABLE t (id INT, g INT) CAPACITY 64")
+        for i in range(20):
+            plain_db.sql(f"INSERT INTO t VALUES ({i}, {i % 3})")
+        padded_cost = padded_db.sql("SELECT * FROM t WHERE id < 5").cost
+        plain_cost = plain_db.sql("SELECT * FROM t WHERE id < 5").cost
+        assert padded_cost["untrusted_reads"] >= plain_cost["untrusted_reads"]

@@ -1,0 +1,165 @@
+"""Unit tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import SQLSyntaxError
+from repro.engine import parse
+from repro.engine.ast import (
+    CreateTableStatement,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+)
+from repro.operators import AggregateFunction, And, Comparison, Not, Or
+
+
+class TestSelectParsing:
+    def test_select_star(self) -> None:
+        statement = parse("SELECT * FROM t")
+        assert isinstance(statement, SelectStatement)
+        assert statement.table == "t"
+        assert statement.columns == ()
+        assert statement.where is None
+
+    def test_select_columns(self) -> None:
+        statement = parse("SELECT a, b FROM t")
+        assert statement.columns == ("a", "b")
+
+    def test_where_comparison(self) -> None:
+        statement = parse("SELECT * FROM t WHERE x = 5")
+        assert statement.where == Comparison("x", "=", 5)
+
+    def test_where_string_literal(self) -> None:
+        statement = parse("SELECT * FROM t WHERE d > '2018-01-01'")
+        assert statement.where == Comparison("d", ">", "2018-01-01")
+
+    def test_string_escape(self) -> None:
+        statement = parse("SELECT * FROM t WHERE s = 'it''s'")
+        assert statement.where == Comparison("s", "=", "it's")
+
+    def test_float_literal(self) -> None:
+        statement = parse("SELECT * FROM t WHERE f >= 1.25")
+        assert statement.where == Comparison("f", ">=", 1.25)
+
+    def test_and_or_precedence(self) -> None:
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(statement.where, Or)
+        assert statement.where.operands[0] == Comparison("a", "=", 1)
+        assert isinstance(statement.where.operands[1], And)
+
+    def test_parentheses(self) -> None:
+        statement = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(statement.where, And)
+        assert isinstance(statement.where.operands[0], Or)
+
+    def test_not(self) -> None:
+        statement = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert statement.where == Not(Comparison("a", "=", 1))
+
+    def test_not_equal_variants(self) -> None:
+        assert parse("SELECT * FROM t WHERE a != 1").where == Comparison("a", "!=", 1)
+        assert parse("SELECT * FROM t WHERE a <> 1").where == Comparison("a", "!=", 1)
+
+    def test_aggregates(self) -> None:
+        statement = parse("SELECT COUNT(*), SUM(x), AVG(y) FROM t")
+        functions = [spec.function for spec in statement.aggregates]
+        assert functions == [
+            AggregateFunction.COUNT,
+            AggregateFunction.SUM,
+            AggregateFunction.AVG,
+        ]
+
+    def test_group_by(self) -> None:
+        statement = parse("SELECT g, COUNT(*) FROM t GROUP BY g")
+        assert statement.group_by == "g"
+        assert statement.columns == ("g",)
+
+    def test_join(self) -> None:
+        statement = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z > 1"
+        )
+        assert statement.join is not None
+        assert statement.join.right_table == "b"
+        assert statement.join.left_column == "x"
+        assert statement.join.right_column == "y"
+        assert statement.where == Comparison("z", ">", 1)
+
+    def test_keywords_case_insensitive(self) -> None:
+        statement = parse("select x, count(*) from t where x = 1 group by x")
+        assert isinstance(statement, SelectStatement)
+        assert statement.group_by == "x"
+
+    def test_trailing_garbage_rejected(self) -> None:
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM t garbage garbage")
+
+    def test_missing_from_rejected(self) -> None:
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT *")
+
+    def test_bad_character_rejected(self) -> None:
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM t WHERE x = $5")
+
+
+class TestOtherStatements:
+    def test_insert(self) -> None:
+        statement = parse("INSERT INTO t VALUES (1, 'a', 2.5)")
+        assert isinstance(statement, InsertStatement)
+        assert statement.values == (1, "a", 2.5)
+        assert not statement.fast
+
+    def test_fast_insert(self) -> None:
+        statement = parse("INSERT INTO t FAST VALUES (1, 'a')")
+        assert statement.fast
+
+    def test_update(self) -> None:
+        statement = parse("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments == (("a", 1), ("b", "x"))
+        assert statement.where == Comparison("c", "=", 2)
+
+    def test_delete(self) -> None:
+        statement = parse("DELETE FROM t WHERE a < 3")
+        assert isinstance(statement, DeleteStatement)
+        assert statement.where == Comparison("a", "<", 3)
+
+    def test_delete_without_where(self) -> None:
+        statement = parse("DELETE FROM t")
+        assert statement.where is None
+
+    def test_create_table(self) -> None:
+        statement = parse(
+            "CREATE TABLE t (id INT, name STR(16), score FLOAT) "
+            "CAPACITY 500 METHOD both KEY id"
+        )
+        assert isinstance(statement, CreateTableStatement)
+        assert statement.columns == (
+            ("id", "int", 0),
+            ("name", "str", 16),
+            ("score", "float", 0),
+        )
+        assert statement.capacity == 500
+        assert statement.method == "both"
+        assert statement.key_column == "id"
+
+    def test_create_table_defaults(self) -> None:
+        statement = parse("CREATE TABLE t (id INT)")
+        assert statement.capacity == 1024
+        assert statement.method == "flat"
+        assert statement.key_column is None
+
+    def test_create_bad_type_rejected(self) -> None:
+        with pytest.raises(SQLSyntaxError):
+            parse("CREATE TABLE t (id BLOB)")
+
+    def test_unknown_statement_rejected(self) -> None:
+        with pytest.raises(SQLSyntaxError):
+            parse("EXPLAIN SELECT * FROM t")
+
+    def test_empty_statement_rejected(self) -> None:
+        with pytest.raises(SQLSyntaxError):
+            parse("")

@@ -1,0 +1,99 @@
+"""Tests for the write-ahead log extension (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ObliDB
+from repro.enclave import Enclave, IntegrityError, StorageError
+from repro.engine import WriteAheadLog
+
+
+class TestWriteAheadLog:
+    def test_append_and_read_back(self, enclave: Enclave) -> None:
+        wal = WriteAheadLog(enclave)
+        wal.append("INSERT INTO t VALUES (1)")
+        wal.append("DELETE FROM t WHERE x = 2")
+        assert wal.count == 2
+        assert wal.read_all() == [
+            "INSERT INTO t VALUES (1)",
+            "DELETE FROM t WHERE x = 2",
+        ]
+
+    def test_log_grows_past_initial_capacity(self, enclave: Enclave) -> None:
+        wal = WriteAheadLog(enclave)
+        for i in range(200):
+            wal.append(f"INSERT INTO t VALUES ({i})")
+        assert wal.count == 200
+        assert len(wal.read_all()) == 200
+
+    def test_append_is_one_sequential_write(self, enclave: Enclave) -> None:
+        """The paper's no-extra-leakage argument: one write per statement."""
+        wal = WriteAheadLog(enclave)
+        enclave.trace.clear()
+        wal.append("INSERT INTO t VALUES (1)")
+        events = enclave.trace.events
+        assert [(e.op, e.index) for e in events] == [("W", 0)]
+
+    def test_tampered_record_detected(self, enclave: Enclave) -> None:
+        wal = WriteAheadLog(enclave)
+        wal.append("INSERT INTO t VALUES (1)")
+        wal.append("INSERT INTO t VALUES (2)")
+        # The OS swaps two validly sealed records (a reorder attack).
+        first = enclave.untrusted.peek(wal.region_name, 0)
+        second = enclave.untrusted.peek(wal.region_name, 1)
+        enclave.untrusted.tamper(wal.region_name, 0, second)
+        enclave.untrusted.tamper(wal.region_name, 1, first)
+        with pytest.raises(IntegrityError):
+            wal.read_all()
+
+    def test_truncation_detected(self, enclave: Enclave) -> None:
+        wal = WriteAheadLog(enclave)
+        wal.append("INSERT INTO t VALUES (1)")
+        wal.append("INSERT INTO t VALUES (2)")
+        enclave.untrusted.tamper(wal.region_name, 1, None)
+        with pytest.raises(IntegrityError, match="truncated"):
+            wal.read_all(expected_count=2)
+
+
+class TestDatabaseIntegration:
+    def test_writes_logged_reads_not(self) -> None:
+        db = ObliDB(cipher="null", wal=True, seed=1)
+        db.sql("CREATE TABLE t (x INT) CAPACITY 8")
+        db.sql("INSERT INTO t VALUES (1)")
+        db.sql("SELECT * FROM t")
+        db.sql("UPDATE t SET x = 2 WHERE x = 1")
+        db.sql("DELETE FROM t WHERE x = 2")
+        assert db.wal is not None
+        assert db.wal.count == 4  # CREATE + 3 writes; SELECT not logged
+
+    def test_recovery_replays_to_same_state(self) -> None:
+        db = ObliDB(cipher="null", wal=True, seed=2)
+        db.sql("CREATE TABLE t (k INT, v STR(8)) CAPACITY 32 METHOD both KEY k")
+        for i in range(10):
+            db.sql(f"INSERT INTO t VALUES ({i}, 'v{i}')")
+        db.sql("UPDATE t SET v = 'new' WHERE k = 3")
+        db.sql("DELETE FROM t WHERE k = 7")
+
+        recovered = ObliDB(cipher="null", seed=3)
+        assert db.wal is not None
+        replayed = recovered.recover_from(db.wal)
+        assert replayed == db.wal.count
+        assert sorted(recovered.sql("SELECT * FROM t").rows) == sorted(
+            db.sql("SELECT * FROM t").rows
+        )
+        assert recovered.point_lookup("t", 3) == [(3, "new")]
+        assert recovered.point_lookup("t", 7) == []
+
+    def test_replay_into_nonempty_rejected(self) -> None:
+        db = ObliDB(cipher="null", wal=True, seed=4)
+        db.sql("CREATE TABLE t (x INT) CAPACITY 4")
+        occupied = ObliDB(cipher="null", seed=5)
+        occupied.sql("CREATE TABLE other (y INT) CAPACITY 4")
+        assert db.wal is not None
+        with pytest.raises(StorageError):
+            occupied.recover_from(db.wal)
+
+    def test_wal_disabled_by_default(self) -> None:
+        db = ObliDB(cipher="null", seed=6)
+        assert db.wal is None

@@ -1,0 +1,189 @@
+"""Unit tests for aggregation, GROUP BY, and the fused operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import Enclave, QueryError
+from repro.operators import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    aggregate,
+    group_by_aggregate,
+)
+from repro.storage import FlatStorage, Schema, int_column, str_column
+
+
+@pytest.fixture
+def table(fast_enclave: Enclave) -> FlatStorage:
+    schema = Schema([int_column("g"), int_column("x"), str_column("s", 8)])
+    table = FlatStorage(fast_enclave, schema, 32)
+    for i in range(24):
+        table.fast_insert((i % 3, i, f"s{i}"))
+    return table
+
+
+def spec(function: AggregateFunction, column: str | None = None) -> AggregateSpec:
+    return AggregateSpec(function, column)
+
+
+class TestAggregate:
+    def test_count(self, table: FlatStorage) -> None:
+        assert aggregate(table, [spec(AggregateFunction.COUNT)]) == (24,)
+
+    def test_sum_min_max_avg(self, table: FlatStorage) -> None:
+        values = list(range(24))
+        result = aggregate(
+            table,
+            [
+                spec(AggregateFunction.SUM, "x"),
+                spec(AggregateFunction.MIN, "x"),
+                spec(AggregateFunction.MAX, "x"),
+                spec(AggregateFunction.AVG, "x"),
+            ],
+        )
+        assert result[0] == sum(values)
+        assert result[1] == 0
+        assert result[2] == 23
+        assert result[3] == pytest.approx(sum(values) / 24)
+
+    def test_string_min_max(self, table: FlatStorage) -> None:
+        result = aggregate(
+            table,
+            [spec(AggregateFunction.MIN, "s"), spec(AggregateFunction.MAX, "s")],
+        )
+        assert result == ("s0", "s9")
+
+    def test_empty_table(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        empty = FlatStorage(fast_enclave, kv_schema, 8)
+        assert aggregate(empty, [spec(AggregateFunction.COUNT)]) == (0,)
+        assert aggregate(empty, [spec(AggregateFunction.AVG, "key")]) == (0.0,)
+
+    def test_requires_specs(self, table: FlatStorage) -> None:
+        with pytest.raises(QueryError):
+            aggregate(table, [])
+
+    def test_non_count_requires_column(self) -> None:
+        with pytest.raises(QueryError):
+            AggregateSpec(AggregateFunction.SUM)
+
+    def test_single_pass(self, table: FlatStorage, fast_enclave: Enclave) -> None:
+        before = fast_enclave.cost.untrusted_reads
+        aggregate(table, [spec(AggregateFunction.SUM, "x")])
+        assert fast_enclave.cost.untrusted_reads - before == table.capacity
+
+
+class TestFusedSelectAggregate:
+    def test_predicate_applied(self, table: FlatStorage) -> None:
+        result = aggregate(
+            table,
+            [spec(AggregateFunction.COUNT), spec(AggregateFunction.SUM, "x")],
+            predicate=Comparison("g", "=", 0),
+        )
+        members = [i for i in range(24) if i % 3 == 0]
+        assert result == (len(members), float(sum(members)))
+
+    def test_no_intermediate_table_created(
+        self, table: FlatStorage, fast_enclave: Enclave
+    ) -> None:
+        """The fused operator writes nothing to untrusted memory."""
+        before = fast_enclave.cost.untrusted_writes
+        aggregate(
+            table,
+            [spec(AggregateFunction.COUNT)],
+            predicate=Comparison("x", "<", 5),
+        )
+        assert fast_enclave.cost.untrusted_writes == before
+
+    def test_cost_independent_of_selectivity(
+        self, table: FlatStorage, fast_enclave: Enclave
+    ) -> None:
+        costs = []
+        for predicate in (Comparison("x", "<", 0), Comparison("x", "<", 100)):
+            before = fast_enclave.cost.block_ios
+            aggregate(table, [spec(AggregateFunction.COUNT)], predicate=predicate)
+            costs.append(fast_enclave.cost.block_ios - before)
+        assert costs[0] == costs[1]
+
+
+class TestGroupBy:
+    def test_hash_grouping(self, table: FlatStorage) -> None:
+        out = group_by_aggregate(
+            table, "g", [spec(AggregateFunction.SUM, "x")]
+        )
+        expected = sorted(
+            (g, float(sum(i for i in range(24) if i % 3 == g))) for g in range(3)
+        )
+        assert sorted(out.rows()) == expected
+
+    def test_count_per_group(self, table: FlatStorage) -> None:
+        out = group_by_aggregate(table, "g", [spec(AggregateFunction.COUNT)])
+        assert sorted(out.rows()) == [(0, 8.0), (1, 8.0), (2, 8.0)]
+
+    def test_multiple_aggregates(self, table: FlatStorage) -> None:
+        out = group_by_aggregate(
+            table,
+            "g",
+            [spec(AggregateFunction.MIN, "x"), spec(AggregateFunction.MAX, "x")],
+        )
+        rows = dict((row[0], (row[1], row[2])) for row in out.rows())
+        assert rows[0] == (0.0, 21.0)
+        assert rows[1] == (1.0, 22.0)
+        assert rows[2] == (2.0, 23.0)
+
+    def test_with_predicate(self, table: FlatStorage) -> None:
+        out = group_by_aggregate(
+            table,
+            "g",
+            [spec(AggregateFunction.COUNT)],
+            predicate=Comparison("x", "<", 6),
+        )
+        assert sorted(out.rows()) == [(0, 2.0), (1, 2.0), (2, 2.0)]
+
+    def test_group_by_string_column(self, fast_enclave: Enclave) -> None:
+        schema = Schema([str_column("cat", 8), int_column("x")])
+        table = FlatStorage(fast_enclave, schema, 16)
+        for i in range(12):
+            table.fast_insert((f"cat{i % 2}", i))
+        out = group_by_aggregate(table, "cat", [spec(AggregateFunction.COUNT)])
+        assert sorted(out.rows()) == [("cat0", 6.0), ("cat1", 6.0)]
+
+    def test_sorted_fallback_on_tiny_oblivious_memory(self) -> None:
+        """When the group table can't fit, Opaque's sort-based approach
+        must produce identical results."""
+        enclave = Enclave(oblivious_memory_bytes=4, cipher="null")
+        schema = Schema([int_column("g"), int_column("x")])
+        table = FlatStorage(enclave, schema, 32)
+        for i in range(24):
+            table.fast_insert((i % 5, i))
+        out = group_by_aggregate(table, "g", [spec(AggregateFunction.SUM, "x")])
+        expected = sorted(
+            (g, float(sum(i for i in range(24) if i % 5 == g))) for g in range(5)
+        )
+        assert sorted(out.rows()) == expected
+
+    def test_fallback_matches_hash_path(self, fast_enclave: Enclave) -> None:
+        from repro.operators.aggregate import _sorted_group_aggregate
+
+        schema = Schema([int_column("g"), int_column("x")])
+        table = FlatStorage(fast_enclave, schema, 32)
+        for i in range(20):
+            table.fast_insert((i % 4, i))
+        hash_out = group_by_aggregate(table, "g", [spec(AggregateFunction.AVG, "x")])
+        sort_out = _sorted_group_aggregate(
+            table, "g", [spec(AggregateFunction.AVG, "x")], None
+        )
+        assert sorted(hash_out.rows()) == sorted(sort_out.rows())
+
+    def test_empty_input(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        empty = FlatStorage(fast_enclave, kv_schema, 8)
+        out = group_by_aggregate(empty, "key", [spec(AggregateFunction.COUNT)])
+        assert out.rows() == []
+
+    def test_output_groups_padding(self, table: FlatStorage) -> None:
+        out = group_by_aggregate(
+            table, "g", [spec(AggregateFunction.COUNT)], output_groups=10
+        )
+        assert out.capacity == 10
+        assert len(out.rows()) == 3

@@ -1,0 +1,160 @@
+"""Unit tests for the three oblivious JOIN algorithms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enclave import Enclave, QueryError
+from repro.operators import hash_join, joined_schema, opaque_join, zero_om_join
+from repro.storage import FlatStorage, Schema, int_column, str_column
+
+PRIMARY_SCHEMA = Schema([int_column("pk"), str_column("name", 8)])
+FOREIGN_SCHEMA = Schema([int_column("fk"), int_column("amount")])
+
+
+@pytest.fixture
+def tables(fast_enclave: Enclave) -> tuple[FlatStorage, FlatStorage, list]:
+    primary = FlatStorage(fast_enclave, PRIMARY_SCHEMA, 16)
+    foreign = FlatStorage(fast_enclave, FOREIGN_SCHEMA, 32)
+    rng = random.Random(21)
+    primary_rows = [(i, f"p{i}") for i in range(12)]
+    foreign_rows = [(rng.randrange(12), 100 + j) for j in range(25)]
+    for row in primary_rows:
+        primary.fast_insert(row)
+    for row in foreign_rows:
+        foreign.fast_insert(row)
+    expected = sorted(
+        (pk, name, fk, amount)
+        for (pk, name) in primary_rows
+        for (fk, amount) in foreign_rows
+        if pk == fk
+    )
+    return primary, foreign, expected
+
+
+class TestJoinedSchema:
+    def test_concatenates(self) -> None:
+        schema = joined_schema(PRIMARY_SCHEMA, FOREIGN_SCHEMA)
+        assert schema.column_names() == ["pk", "name", "fk", "amount"]
+
+    def test_collision_prefixed(self) -> None:
+        left = Schema([int_column("id"), int_column("x")])
+        right = Schema([int_column("id"), int_column("y")])
+        schema = joined_schema(left, right)
+        assert schema.column_names() == ["id", "x", "r_id", "y"]
+
+
+class TestHashJoin:
+    def test_correct_large_memory(self, tables) -> None:
+        primary, foreign, expected = tables
+        out = hash_join(primary, foreign, "pk", "fk", 1 << 20)
+        assert sorted(out.rows()) == expected
+
+    def test_correct_chunked(self, tables) -> None:
+        """Tiny oblivious memory forces multiple chunks over T1."""
+        primary, foreign, expected = tables
+        out = hash_join(primary, foreign, "pk", "fk", 128)
+        assert sorted(out.rows()) == expected
+
+    def test_output_structure_size_formula(self, tables, fast_enclave) -> None:
+        primary, foreign, _ = tables
+        out = hash_join(primary, foreign, "pk", "fk", 1 << 20)
+        # One chunk: output structure is 1 x |T2|.
+        assert out.capacity == foreign.capacity
+
+    def test_cost_scales_with_chunks(self, tables, fast_enclave: Enclave) -> None:
+        primary, foreign, _ = tables
+        costs = []
+        for budget in (1 << 20, 128):
+            before = fast_enclave.cost.block_ios
+            out = hash_join(primary, foreign, "pk", "fk", budget)
+            costs.append(fast_enclave.cost.block_ios - before)
+            out.free()
+        assert costs[1] > costs[0]
+
+    def test_no_matches(self, fast_enclave: Enclave) -> None:
+        primary = FlatStorage(fast_enclave, PRIMARY_SCHEMA, 4)
+        foreign = FlatStorage(fast_enclave, FOREIGN_SCHEMA, 4)
+        primary.fast_insert((1, "a"))
+        foreign.fast_insert((2, 100))
+        out = hash_join(primary, foreign, "pk", "fk", 1 << 20)
+        assert out.rows() == []
+
+
+class TestOpaqueJoin:
+    def test_correct(self, tables) -> None:
+        primary, foreign, expected = tables
+        out = opaque_join(primary, foreign, "pk", "fk", 2048)
+        assert sorted(out.rows()) == expected
+
+    @pytest.mark.parametrize("budget", [512, 4096, 1 << 16])
+    def test_correct_across_budgets(self, tables, budget: int) -> None:
+        primary, foreign, expected = tables
+        out = opaque_join(primary, foreign, "pk", "fk", budget)
+        assert sorted(out.rows()) == expected
+
+    def test_mismatched_join_types_rejected(self, fast_enclave: Enclave) -> None:
+        left = FlatStorage(fast_enclave, PRIMARY_SCHEMA, 2)
+        right = FlatStorage(
+            fast_enclave, Schema([str_column("fk", 8), int_column("v")]), 2
+        )
+        with pytest.raises(QueryError):
+            opaque_join(left, right, "pk", "fk", 1024)
+
+
+class TestZeroOMJoin:
+    def test_correct(self, tables) -> None:
+        primary, foreign, expected = tables
+        out = zero_om_join(primary, foreign, "pk", "fk")
+        assert sorted(out.rows()) == expected
+
+    def test_correct_with_enclave_cutover(self, tables) -> None:
+        primary, foreign, expected = tables
+        out = zero_om_join(primary, foreign, "pk", "fk", enclave_rows=16)
+        assert sorted(out.rows()) == expected
+
+    def test_uses_no_oblivious_memory(self, tables, fast_enclave: Enclave) -> None:
+        primary, foreign, _ = tables
+        before = fast_enclave.oblivious.peak_bytes
+        zero_om_join(primary, foreign, "pk", "fk")
+        assert fast_enclave.oblivious.peak_bytes == before
+
+    def test_string_join_keys(self, fast_enclave: Enclave) -> None:
+        left = FlatStorage(
+            fast_enclave, Schema([str_column("url", 12), int_column("rank")]), 4
+        )
+        right = FlatStorage(
+            fast_enclave, Schema([str_column("dest", 12), int_column("visits")]), 8
+        )
+        left.fast_insert(("a.com", 10))
+        left.fast_insert(("b.com", 20))
+        for row in [("a.com", 1), ("b.com", 2), ("a.com", 3), ("c.com", 4)]:
+            right.fast_insert(row)
+        out = zero_om_join(left, right, "url", "dest")
+        assert sorted(out.rows()) == [
+            ("a.com", 10, "a.com", 1),
+            ("a.com", 10, "a.com", 3),
+            ("b.com", 20, "b.com", 2),
+        ]
+
+
+class TestJoinObliviousness:
+    def test_trace_independent_of_match_rate(self) -> None:
+        """Joins of equal-size inputs with different key overlap must have
+        identical traces (performance depends only on input sizes, §5)."""
+        digests = []
+        for overlap_seed in (1, 2):
+            enclave = Enclave(cipher="null", keep_trace_events=True)
+            primary = FlatStorage(enclave, PRIMARY_SCHEMA, 8)
+            foreign = FlatStorage(enclave, FOREIGN_SCHEMA, 8)
+            rng = random.Random(overlap_seed)
+            for i in range(8):
+                primary.fast_insert((i, "p"))
+                foreign.fast_insert((rng.randrange(100), i))
+            enclave.trace.clear()
+            out = zero_om_join(primary, foreign, "pk", "fk")
+            digests.append(enclave.trace.digest())
+            out.free()
+        assert digests[0] == digests[1]

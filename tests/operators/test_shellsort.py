@@ -1,0 +1,122 @@
+"""Unit tests for the randomized Shellsort (Section 4.3's cited speedup)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enclave import Enclave
+from repro.operators import is_sorted, randomized_shellsort, robust_shellsort
+from repro.storage import FlatStorage, Schema, int_column
+
+SCHEMA = Schema([int_column("x")])
+KEY = lambda row: (row[0],)  # noqa: E731
+
+
+def fill(enclave: Enclave, capacity: int, values: list[int]) -> FlatStorage:
+    table = FlatStorage(enclave, SCHEMA, capacity)
+    for value in values:
+        table.fast_insert((value,))
+    return table
+
+
+class TestRandomizedShellsort:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_sorts_random_inputs(self, fast_enclave: Enclave, trial: int) -> None:
+        rng = random.Random(trial)
+        values = [rng.randrange(1000) for _ in range(48)]
+        table = fill(fast_enclave, 48, values)
+        randomized_shellsort(table, KEY, rng=random.Random(trial + 50))
+        assert is_sorted(table, KEY)
+        reals = [table.read_row(i) for i in range(48)]
+        assert [row[0] for row in reals if row is not None] == sorted(values)
+        table.free()
+
+    def test_dummies_sort_last(self, fast_enclave: Enclave) -> None:
+        table = fill(fast_enclave, 16, [9, 1, 5])
+        randomized_shellsort(table, KEY, rng=random.Random(1))
+        rows = [table.read_row(i) for i in range(16)]
+        assert [row[0] for row in rows[:3] if row] == [1, 5, 9]
+        assert all(row is None for row in rows[3:])
+
+    def test_trivial_sizes(self, fast_enclave: Enclave) -> None:
+        empty = fill(fast_enclave, 1, [])
+        randomized_shellsort(empty, KEY, rng=random.Random(1))
+        single = fill(fast_enclave, 1, [5])
+        randomized_shellsort(single, KEY, rng=random.Random(1))
+        assert single.read_row(0) == (5,)
+
+    def test_trace_data_independent(self) -> None:
+        """The comparison schedule is drawn before seeing data: identical
+        traces for different contents of equal size."""
+        digests = []
+        for data_seed in (1, 2):
+            enclave = Enclave(cipher="null", keep_trace_events=True)
+            rng = random.Random(data_seed)
+            table = fill(enclave, 32, [rng.randrange(1000) for _ in range(32)])
+            enclave.trace.clear()
+            randomized_shellsort(table, KEY, rng=random.Random(42))
+            digests.append(enclave.trace.digest())
+        assert digests[0] == digests[1]
+
+    def test_comparison_growth_below_bitonic(self, fast_enclave: Enclave) -> None:
+        """The point of shellsort: O(n log n) comparisons vs bitonic's
+        O(n log^2 n).  The constants favour bitonic at laptop sizes, so we
+        assert the *growth rate* between two sizes is strictly smaller —
+        the asymptotic claim itself."""
+        from repro.operators import bitonic_sort
+
+        def comparisons(sort_fn, n: int) -> int:
+            rng = random.Random(n)
+            table = fill(fast_enclave, n, [rng.randrange(10_000) for _ in range(n)])
+            before = fast_enclave.cost.comparisons
+            sort_fn(table)
+            count = fast_enclave.cost.comparisons - before
+            table.free()
+            return count
+
+        shell_growth = comparisons(
+            lambda t: randomized_shellsort(t, KEY, rng=random.Random(1)), 256
+        ) / comparisons(
+            lambda t: randomized_shellsort(t, KEY, rng=random.Random(1)), 64
+        )
+        bitonic_growth = comparisons(lambda t: bitonic_sort(t, KEY), 256) / comparisons(
+            lambda t: bitonic_sort(t, KEY), 64
+        )
+        assert shell_growth < bitonic_growth
+
+
+class TestRobustShellsort:
+    @pytest.mark.parametrize("trial", range(5))
+    def test_always_sorted(self, fast_enclave: Enclave, trial: int) -> None:
+        rng = random.Random(trial + 77)
+        values = [rng.randrange(1000) for _ in range(64)]
+        table = fill(fast_enclave, 64, values)  # power of two: fallback-safe
+        robust_shellsort(table, KEY, rng=random.Random(trial))
+        assert is_sorted(table, KEY)
+
+    def test_fallback_path_sorts(self, fast_enclave: Enclave) -> None:
+        """Force the fallback by allowing zero randomized attempts' worth
+        of passes (max_attempts exhausted instantly on tiny pass count)."""
+        values = [5, 3, 8, 1]
+        table = fill(fast_enclave, 4, values)
+        result = robust_shellsort(table, KEY, rng=random.Random(1), max_attempts=0)
+        assert result is False  # fallback ran
+        assert is_sorted(table, KEY)
+
+
+class TestIsSorted:
+    def test_detects_sorted_and_unsorted(self, fast_enclave: Enclave) -> None:
+        table = fill(fast_enclave, 8, [1, 2, 3])
+        assert is_sorted(table, KEY)
+        table.write_row(0, (9,))
+        assert not is_sorted(table, KEY)
+
+    def test_fixed_scan_length(self, fast_enclave: Enclave) -> None:
+        """Verification reads every block whether or not it finds disorder
+        early — no early-exit side channel."""
+        table = fill(fast_enclave, 8, [9, 1])  # disorder at the front
+        before = fast_enclave.cost.untrusted_reads
+        is_sorted(table, KEY)
+        assert fast_enclave.cost.untrusted_reads - before == 8

@@ -1,0 +1,136 @@
+"""Unit tests for the oblivious sorters."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enclave import Enclave
+from repro.operators import bitonic_sort, external_oblivious_sort, padded_scratch
+from repro.storage import FlatStorage, Schema, int_column
+
+
+def fill(enclave: Enclave, capacity: int, values: list[int]) -> FlatStorage:
+    schema = Schema([int_column("x")])
+    table = FlatStorage(enclave, schema, capacity)
+    for value in values:
+        table.fast_insert((value,))
+    return table
+
+
+def sorted_values(table: FlatStorage) -> list[int]:
+    out = [table.read_row(i) for i in range(table.capacity)]
+    return [row[0] for row in out if row is not None]
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("n,fill_count", [(1, 1), (2, 2), (8, 8), (16, 11), (64, 64)])
+    def test_sorts_various_sizes(
+        self, fast_enclave: Enclave, n: int, fill_count: int
+    ) -> None:
+        rng = random.Random(n)
+        values = [rng.randrange(1000) for _ in range(fill_count)]
+        table = fill(fast_enclave, n, values)
+        bitonic_sort(table, key=lambda row: (row[0],))
+        assert sorted_values(table) == sorted(values)
+
+    def test_dummies_sort_last(self, fast_enclave: Enclave) -> None:
+        table = fill(fast_enclave, 8, [5, 3])
+        bitonic_sort(table, key=lambda row: (row[0],))
+        rows = [table.read_row(i) for i in range(8)]
+        assert rows[:2] == [(3,), (5,)]
+        assert all(row is None for row in rows[2:])
+
+    def test_non_power_of_two_rejected(self, fast_enclave: Enclave) -> None:
+        table = fill(fast_enclave, 6, [1, 2])
+        with pytest.raises(ValueError):
+            bitonic_sort(table, key=lambda row: (row[0],))
+
+    @pytest.mark.parametrize("enclave_rows", [2, 4, 16])
+    def test_enclave_cutover_correct(self, fast_enclave: Enclave, enclave_rows: int) -> None:
+        rng = random.Random(99)
+        values = [rng.randrange(100) for _ in range(32)]
+        table = fill(fast_enclave, 32, values)
+        bitonic_sort(table, key=lambda row: (row[0],), enclave_rows=enclave_rows)
+        assert sorted_values(table) == sorted(values)
+
+    def test_cutover_reduces_block_ios(self, fast_enclave: Enclave) -> None:
+        """The 0-OM join optimisation: bigger enclave buffers, fewer IOs."""
+        rng = random.Random(5)
+        values = [rng.randrange(100) for _ in range(64)]
+
+        table = fill(fast_enclave, 64, values)
+        before = fast_enclave.cost.block_ios
+        bitonic_sort(table, key=lambda row: (row[0],), enclave_rows=1)
+        network_cost = fast_enclave.cost.block_ios - before
+
+        table2 = fill(fast_enclave, 64, values)
+        before = fast_enclave.cost.block_ios
+        bitonic_sort(table2, key=lambda row: (row[0],), enclave_rows=16)
+        cutover_cost = fast_enclave.cost.block_ios - before
+        assert cutover_cost < network_cost
+
+    def test_access_pattern_data_independent(self, kv_schema: Schema) -> None:
+        """Two different datasets of equal size: identical traces."""
+        traces = []
+        for seed in (1, 2):
+            enclave = Enclave(cipher="null", keep_trace_events=True)
+            rng = random.Random(seed)
+            table = fill(enclave, 16, [rng.randrange(1000) for _ in range(16)])
+            enclave.trace.clear()
+            bitonic_sort(table, key=lambda row: (row[0],))
+            traces.append(enclave.trace.digest())
+        assert traces[0] == traces[1]
+
+
+class TestExternalObliviousSort:
+    @pytest.mark.parametrize("chunk", [1, 2, 4, 8])
+    def test_sorts_with_various_chunks(self, fast_enclave: Enclave, chunk: int) -> None:
+        rng = random.Random(chunk)
+        values = [rng.randrange(1000) for _ in range(32)]
+        table = fill(fast_enclave, 32, values)
+        external_oblivious_sort(table, key=lambda row: (row[0],), chunk_rows=chunk)
+        assert sorted_values(table) == sorted(values)
+
+    def test_single_chunk_quicksort(self, fast_enclave: Enclave) -> None:
+        values = [9, 1, 8, 2]
+        table = fill(fast_enclave, 4, values)
+        external_oblivious_sort(table, key=lambda row: (row[0],), chunk_rows=8)
+        assert sorted_values(table) == sorted(values)
+
+    def test_bad_chunk_divisibility_rejected(self, fast_enclave: Enclave) -> None:
+        table = fill(fast_enclave, 8, [1])
+        with pytest.raises(ValueError):
+            external_oblivious_sort(table, key=lambda row: (row[0],), chunk_rows=3)
+
+    def test_larger_chunks_cost_less(self, fast_enclave: Enclave) -> None:
+        """Opaque's speedup from oblivious memory: fewer merge stages."""
+        rng = random.Random(3)
+        values = [rng.randrange(1000) for _ in range(64)]
+        costs = {}
+        for chunk in (1, 16):
+            table = fill(fast_enclave, 64, values)
+            before = fast_enclave.cost.block_ios
+            external_oblivious_sort(table, key=lambda row: (row[0],), chunk_rows=chunk)
+            costs[chunk] = fast_enclave.cost.block_ios - before
+        assert costs[16] < costs[1]
+
+    def test_charges_oblivious_memory(self, kv_schema: Schema) -> None:
+        enclave = Enclave(oblivious_memory_bytes=8, cipher="null")
+        table = fill(enclave, 16, [3, 1, 2])
+        from repro.enclave import ObliviousMemoryError
+
+        with pytest.raises(ObliviousMemoryError):
+            external_oblivious_sort(table, key=lambda row: (row[0],), chunk_rows=4)
+
+
+class TestPaddedScratch:
+    def test_rounds_up_to_power_of_two(self) -> None:
+        assert padded_scratch(1) == 1
+        assert padded_scratch(2) == 2
+        assert padded_scratch(3) == 4
+        assert padded_scratch(100) == 128
+
+    def test_respects_multiple(self) -> None:
+        assert padded_scratch(3, multiple_of=8) == 8

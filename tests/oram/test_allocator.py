@@ -1,0 +1,54 @@
+"""Unit tests for the ORAM block allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave.errors import CapacityError
+from repro.oram import BlockAllocator
+
+
+class TestBlockAllocator:
+    def test_sequential_allocation(self) -> None:
+        allocator = BlockAllocator(4)
+        assert [allocator.allocate() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_exhaustion(self) -> None:
+        allocator = BlockAllocator(2)
+        allocator.allocate()
+        allocator.allocate()
+        with pytest.raises(CapacityError):
+            allocator.allocate()
+
+    def test_release_and_reuse(self) -> None:
+        allocator = BlockAllocator(2)
+        first = allocator.allocate()
+        allocator.allocate()
+        allocator.release(first)
+        assert allocator.allocate() == first
+
+    def test_release_unallocated_rejected(self) -> None:
+        allocator = BlockAllocator(2)
+        with pytest.raises(ValueError):
+            allocator.release(0)
+
+    def test_reserved_ids_skipped(self) -> None:
+        allocator = BlockAllocator(4, reserved=2)
+        assert allocator.allocate() == 2
+
+    def test_reserved_exceeding_capacity_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            BlockAllocator(2, reserved=3)
+
+    def test_is_allocated(self) -> None:
+        allocator = BlockAllocator(4)
+        block = allocator.allocate()
+        assert allocator.is_allocated(block)
+        allocator.release(block)
+        assert not allocator.is_allocated(block)
+
+    def test_allocated_count(self) -> None:
+        allocator = BlockAllocator(10)
+        for _ in range(3):
+            allocator.allocate()
+        assert allocator.allocated_count == 3

@@ -1,0 +1,79 @@
+"""Unit tests for the recursive Path ORAM."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enclave import Enclave
+from repro.oram import POSITION_MAP_BYTES_PER_BLOCK, PathORAM, RecursivePathORAM
+
+
+def make(enclave: Enclave, capacity: int = 64, fanout: int = 16) -> RecursivePathORAM:
+    return RecursivePathORAM(
+        enclave, capacity, block_size=16, fanout=fanout, rng=random.Random(5)
+    )
+
+
+class TestRecursiveCorrectness:
+    def test_write_then_read(self, fast_enclave: Enclave) -> None:
+        oram = make(fast_enclave)
+        oram.write(10, b"payload")
+        assert oram.read(10) == b"payload"
+
+    def test_random_operations(self, fast_enclave: Enclave) -> None:
+        oram = make(fast_enclave, capacity=40)
+        rng = random.Random(9)
+        mirror: dict[int, bytes] = {}
+        for _ in range(600):
+            block = rng.randrange(40)
+            if rng.random() < 0.5:
+                payload = bytes([rng.randrange(256) for _ in range(8)])
+                oram.write(block, payload)
+                mirror[block] = payload
+            else:
+                assert oram.read(block) == mirror.get(block)
+
+    def test_fanout_validation(self, fast_enclave: Enclave) -> None:
+        with pytest.raises(ValueError):
+            make(fast_enclave, fanout=1)
+
+    def test_bad_block_id(self, fast_enclave: Enclave) -> None:
+        oram = make(fast_enclave, capacity=8)
+        with pytest.raises(IndexError):
+            oram.read(8)
+
+
+class TestRecursiveCostProfile:
+    def test_reduces_oblivious_memory_vs_nonrecursive(self) -> None:
+        """The whole point of recursion: the charged position map shrinks by
+        roughly the packing fanout."""
+        capacity = 256
+        flat_enclave = Enclave(oblivious_memory_bytes=1 << 22, cipher="null")
+        flat = PathORAM(flat_enclave, capacity, 16, rng=random.Random(1))
+        flat_bytes = flat_enclave.oblivious.in_use_bytes
+
+        rec_enclave = Enclave(oblivious_memory_bytes=1 << 22, cipher="null")
+        recursive = RecursivePathORAM(
+            rec_enclave, capacity, 16, fanout=16, rng=random.Random(1)
+        )
+        rec_map_bytes = POSITION_MAP_BYTES_PER_BLOCK * recursive._map.capacity
+        assert rec_map_bytes * 8 <= POSITION_MAP_BYTES_PER_BLOCK * capacity
+        flat.free()
+        recursive.free()
+        assert flat_bytes > 0
+
+    def test_roughly_double_access_cost(self, fast_enclave: Enclave) -> None:
+        """Appendix B: one level of recursion costs ~2x per access."""
+        oram = make(fast_enclave, capacity=64)
+        before = fast_enclave.cost.oram_accesses
+        oram.write(0, b"x")
+        delta = fast_enclave.cost.oram_accesses - before
+        assert delta == 2  # one map access + one data access
+
+    def test_dummy_access_touches_both_orams(self, fast_enclave: Enclave) -> None:
+        oram = make(fast_enclave)
+        before = fast_enclave.cost.oram_accesses
+        oram.dummy_access()
+        assert fast_enclave.cost.oram_accesses - before == 2

@@ -1,0 +1,46 @@
+"""Tests for physical-plan descriptions (the leakage surface's API)."""
+
+from __future__ import annotations
+
+from repro.planner import AccessMethod, JoinAlgorithm, PhysicalPlan, SelectAlgorithm
+
+
+class TestPhysicalPlan:
+    def test_describe_select(self) -> None:
+        plan = PhysicalPlan(
+            operator="select",
+            access_method=AccessMethod.FLAT_SCAN,
+            select_algorithm=SelectAlgorithm.SMALL,
+            sizes={"input": 100, "output": 5},
+        )
+        text = plan.describe()
+        assert "select" in text
+        assert "small" in text
+        assert "input=100" in text
+        assert "output=5" in text
+
+    def test_describe_join(self) -> None:
+        plan = PhysicalPlan(
+            operator="join",
+            join_algorithm=JoinAlgorithm.OPAQUE,
+            sizes={"t1": 10, "t2": 20},
+        )
+        text = plan.describe()
+        assert "join" in text and "opaque" in text
+
+    def test_describe_no_sizes(self) -> None:
+        plan = PhysicalPlan(operator="aggregate")
+        assert "aggregate" in plan.describe()
+        assert "[" not in plan.describe()
+
+    def test_plans_are_immutable_value_objects(self) -> None:
+        a = PhysicalPlan(operator="select", sizes={"input": 1})
+        b = PhysicalPlan(operator="select", sizes={"input": 1})
+        assert a.operator == b.operator
+        assert a.sizes == b.sizes
+
+    def test_sizes_sorted_in_description(self) -> None:
+        """Deterministic output regardless of dict insertion order."""
+        a = PhysicalPlan(operator="x", sizes={"b": 2, "a": 1})
+        b = PhysicalPlan(operator="x", sizes={"a": 1, "b": 2})
+        assert a.describe() == b.describe()

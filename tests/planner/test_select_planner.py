@@ -1,0 +1,137 @@
+"""Unit tests for the selection planner (Section 5 / Figure 13 behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import Enclave, PlannerError
+from repro.operators import Comparison, Or
+from repro.planner import SelectAlgorithm, execute_select, plan_select
+from repro.storage import FlatStorage, Schema
+from repro.workloads import shuffled, wide_rows
+
+
+def load(enclave: Enclave, schema: Schema, rows: list) -> FlatStorage:
+    table = FlatStorage(enclave, schema, len(rows))
+    for row in rows:
+        table.fast_insert(row)
+    return table
+
+
+@pytest.fixture
+def ordered_table(fast_enclave: Enclave, wide_schema: Schema) -> FlatStorage:
+    return load(fast_enclave, wide_schema, wide_rows(200))
+
+
+@pytest.fixture
+def shuffled_table(fast_enclave: Enclave, wide_schema: Schema) -> FlatStorage:
+    return load(fast_enclave, wide_schema, shuffled(wide_rows(200)))
+
+
+class TestAlgorithmChoice:
+    def test_large_for_high_selectivity(self, wide_schema: Schema) -> None:
+        """With modest oblivious memory (Small needs many passes), a
+        95%-selectivity query should copy-and-clear (Large)."""
+        enclave = Enclave(oblivious_memory_bytes=2048, cipher="null")
+        table = load(enclave, wide_schema, shuffled(wide_rows(200)))
+        decision = plan_select(table, Comparison("id", ">=", 10))
+        assert decision.algorithm is SelectAlgorithm.LARGE
+
+    def test_small_wins_high_selectivity_with_big_buffer(
+        self, ordered_table: FlatStorage
+    ) -> None:
+        """With oblivious memory to hold the whole output, one Small pass
+        (N + R accesses) undercuts Large's two full passes."""
+        decision = plan_select(ordered_table, Comparison("id", ">=", 10))
+        assert decision.algorithm is SelectAlgorithm.SMALL
+
+    def test_continuous_for_contiguous_segment(self, wide_schema: Schema) -> None:
+        """When the buffer is tiny, the one-pass Continuous algorithm beats
+        multi-pass Small on a contiguous result."""
+        enclave = Enclave(oblivious_memory_bytes=150, cipher="null")
+        table = load(enclave, wide_schema, wide_rows(200))
+        decision = plan_select(table, Comparison("id", "<", 10))
+        assert decision.algorithm is SelectAlgorithm.CONTINUOUS
+
+    def test_continuous_disabled_falls_back(self, ordered_table: FlatStorage) -> None:
+        decision = plan_select(
+            ordered_table, Comparison("id", "<", 10), allow_continuous=False
+        )
+        assert decision.algorithm in (SelectAlgorithm.SMALL, SelectAlgorithm.HASH)
+
+    def test_small_for_scattered_low_selectivity(self, shuffled_table: FlatStorage) -> None:
+        decision = plan_select(shuffled_table, Comparison("id", "<", 10))
+        assert decision.algorithm is SelectAlgorithm.SMALL
+
+    def test_hash_when_buffer_too_small(self, wide_schema: Schema) -> None:
+        """With almost no oblivious memory, Small would need too many
+        passes; Hash wins."""
+        tiny = Enclave(oblivious_memory_bytes=64, cipher="null")
+        table = load(tiny, wide_schema, shuffled(wide_rows(200)))
+        decision = plan_select(table, Comparison("id", "<", 50))
+        assert decision.algorithm is SelectAlgorithm.HASH
+
+    def test_empty_result_uses_hash(self, ordered_table: FlatStorage) -> None:
+        decision = plan_select(ordered_table, Comparison("id", "=", -1))
+        assert decision.algorithm is SelectAlgorithm.HASH
+
+    def test_force_overrides(self, ordered_table: FlatStorage) -> None:
+        decision = plan_select(
+            ordered_table,
+            Comparison("id", "<", 10),
+            force=SelectAlgorithm.NAIVE,
+        )
+        assert decision.algorithm is SelectAlgorithm.NAIVE
+
+    def test_plan_records_leaked_sizes(self, ordered_table: FlatStorage) -> None:
+        decision = plan_select(ordered_table, Comparison("id", "<", 10))
+        assert decision.plan.sizes["input"] == 200
+        assert decision.plan.sizes["output"] == 10
+
+
+class TestExecuteSelect:
+    @pytest.mark.parametrize(
+        "force",
+        [
+            SelectAlgorithm.SMALL,
+            SelectAlgorithm.LARGE,
+            SelectAlgorithm.HASH,
+            SelectAlgorithm.NAIVE,
+            SelectAlgorithm.CONTINUOUS,
+        ],
+    )
+    def test_all_algorithms_agree(
+        self, ordered_table: FlatStorage, force: SelectAlgorithm
+    ) -> None:
+        predicate = Comparison("id", "<", 12)
+        decision = plan_select(ordered_table, predicate, force=force)
+        output = execute_select(ordered_table, predicate, decision)
+        assert sorted(row[0] for row in output.rows()) == list(range(12))
+        output.free()
+
+    def test_forced_continuous_on_scattered_rejected(
+        self, shuffled_table: FlatStorage
+    ) -> None:
+        predicate = Or(Comparison("id", "=", 0), Comparison("id", "=", 150))
+        decision = plan_select(
+            shuffled_table, predicate, force=SelectAlgorithm.CONTINUOUS
+        )
+        with pytest.raises(PlannerError):
+            execute_select(shuffled_table, predicate, decision)
+
+    def test_planner_beats_hash_on_planned_queries(
+        self, ordered_table: FlatStorage, fast_enclave: Enclave
+    ) -> None:
+        """The Figure 13 claim: the planner's pick outperforms the general
+        Hash algorithm."""
+        predicate = Comparison("id", ">=", 10)  # 95% selectivity
+        decision = plan_select(ordered_table, predicate)
+        before = fast_enclave.cost.block_ios
+        execute_select(ordered_table, predicate, decision)
+        planned_cost = fast_enclave.cost.block_ios - before
+
+        forced = plan_select(ordered_table, predicate, force=SelectAlgorithm.HASH)
+        before = fast_enclave.cost.block_ios
+        execute_select(ordered_table, predicate, forced)
+        hash_cost = fast_enclave.cost.block_ios - before
+        assert planned_cost * 2 < hash_cost

@@ -1,0 +1,82 @@
+"""Unit tests for the planner's statistics pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import Enclave
+from repro.operators import Comparison, TruePredicate
+from repro.planner import scan_statistics
+from repro.storage import FlatStorage, Schema
+
+
+@pytest.fixture
+def table(fast_enclave: Enclave, kv_schema: Schema) -> FlatStorage:
+    table = FlatStorage(fast_enclave, kv_schema, 24)
+    for key in range(20):
+        table.fast_insert((key, f"v{key}"))
+    return table
+
+
+class TestScanStatistics:
+    def test_match_count(self, table: FlatStorage) -> None:
+        stats = scan_statistics(table, Comparison("key", "<", 5))
+        assert stats.matching_rows == 5
+        assert stats.input_capacity == 24
+
+    def test_continuous_prefix(self, table: FlatStorage) -> None:
+        stats = scan_statistics(table, Comparison("key", "<", 5))
+        assert stats.continuous
+        assert stats.first_match_index == 0
+
+    def test_continuous_middle(self, table: FlatStorage) -> None:
+        from repro.operators import And
+
+        predicate = And(Comparison("key", ">=", 5), Comparison("key", "<", 9))
+        stats = scan_statistics(table, predicate)
+        assert stats.continuous
+        assert stats.first_match_index == 5
+        assert stats.matching_rows == 4
+
+    def test_non_continuous(self, table: FlatStorage) -> None:
+        from repro.operators import Or
+
+        predicate = Or(Comparison("key", "=", 2), Comparison("key", "=", 9))
+        stats = scan_statistics(table, predicate)
+        assert not stats.continuous
+        assert stats.matching_rows == 2
+
+    def test_no_matches(self, table: FlatStorage) -> None:
+        stats = scan_statistics(table, Comparison("key", "=", -1))
+        assert stats.matching_rows == 0
+        assert not stats.continuous
+        assert stats.first_match_index == -1
+
+    def test_dummies_do_not_break_continuity(
+        self, fast_enclave: Enclave, kv_schema: Schema
+    ) -> None:
+        """A deleted row between matches is invisible to the adversary's
+        notion of adjacency (the scan skips unused blocks)."""
+        table = FlatStorage(fast_enclave, kv_schema, 8)
+        for key in range(6):
+            table.fast_insert((key, "x"))
+        table.delete(lambda row: row[0] == 2)
+        stats = scan_statistics(table, Comparison("key", "<", 5))
+        assert stats.continuous
+
+    def test_selectivity(self, table: FlatStorage) -> None:
+        stats = scan_statistics(table, TruePredicate())
+        assert stats.matching_rows == 20
+        assert stats.selectivity == pytest.approx(20 / 24)
+
+    def test_scan_reads_every_block_once(
+        self, table: FlatStorage, fast_enclave: Enclave
+    ) -> None:
+        before = fast_enclave.cost.untrusted_reads
+        scan_statistics(table, Comparison("key", "=", 3))
+        assert fast_enclave.cost.untrusted_reads - before == table.capacity
+
+    def test_scan_makes_no_writes(self, table: FlatStorage, fast_enclave: Enclave) -> None:
+        before = fast_enclave.cost.untrusted_writes
+        scan_statistics(table, Comparison("key", "=", 3))
+        assert fast_enclave.cost.untrusted_writes == before

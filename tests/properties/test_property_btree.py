@@ -1,0 +1,104 @@
+"""Property-based tests for the oblivious B+ tree against a dict model."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enclave import Enclave
+from repro.storage import ObliviousBPlusTree, Schema, int_column, str_column
+
+SCHEMA = Schema([int_column("key"), str_column("value", 12)])
+
+
+def command_strategy():
+    """Insert/delete/search commands over a small key space."""
+    key = st.integers(min_value=0, max_value=30)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), key),
+            st.tuples(st.just("delete"), key),
+            st.tuples(st.just("search"), key),
+        ),
+        max_size=80,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(commands=command_strategy(), seed=st.integers(min_value=0, max_value=2**16))
+def test_btree_matches_dict_model(commands, seed) -> None:
+    """Unique-key usage: the tree behaves as a sorted dict."""
+    enclave = Enclave(oblivious_memory_bytes=1 << 22, cipher="null")
+    tree = ObliviousBPlusTree(
+        enclave, SCHEMA, "key", capacity=128, rng=random.Random(seed)
+    )
+    model: dict[int, str] = {}
+    for step, (command, key) in enumerate(commands):
+        if command == "insert":
+            if key not in model:  # keep keys unique to match the dict model
+                value = f"v{step}"
+                tree.insert((key, value))
+                model[key] = value
+        elif command == "delete":
+            assert tree.delete(key) == (1 if key in model else 0)
+            model.pop(key, None)
+        else:
+            expected = [(key, model[key])] if key in model else []
+            assert tree.search(key) == expected
+    # Final full-structure checks.
+    assert tree.count == len(model)
+    assert [row[0] for row in tree.items()] == sorted(model)
+    assert sorted(row[0] for row in tree.linear_scan()) == sorted(model)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=-1000, max_value=1000), unique=True, max_size=50
+    ),
+    low=st.integers(min_value=-1000, max_value=1000),
+    span=st.integers(min_value=0, max_value=500),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_range_scan_matches_filter(keys, low, span, seed) -> None:
+    enclave = Enclave(oblivious_memory_bytes=1 << 22, cipher="null")
+    tree = ObliviousBPlusTree(
+        enclave, SCHEMA, "key", capacity=128, rng=random.Random(seed)
+    )
+    for key in keys:
+        tree.insert((key, "x"))
+    high = low + span
+    result = [row[0] for row in tree.range_scan(low, high)]
+    assert result == sorted(key for key in keys if low <= key <= high)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=10_000),
+        unique=True,
+        min_size=20,
+        max_size=60,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_insert_cost_invariant_within_height(keys, seed) -> None:
+    """Whatever keys hypothesis picks, inserts at equal height cost the
+    same number of ORAM accesses — the padding invariant."""
+    enclave = Enclave(oblivious_memory_bytes=1 << 22, cipher="null")
+    tree = ObliviousBPlusTree(
+        enclave, SCHEMA, "key", capacity=256, rng=random.Random(seed)
+    )
+    cost_by_height: dict[int, set[int]] = {}
+    for key in keys:
+        before = enclave.cost.oram_accesses
+        tree.insert((key, "x"))
+        cost_by_height.setdefault(tree.height, set()).add(
+            enclave.cost.oram_accesses - before
+        )
+    for height, costs in cost_by_height.items():
+        # Allow two values per height bucket: ops that grew the tree into
+        # this height are padded against the new height mid-operation.
+        assert len(costs) <= 2, (height, costs)

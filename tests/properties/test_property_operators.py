@@ -1,0 +1,170 @@
+"""Property-based tests: every oblivious operator agrees with plain Python."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enclave import Enclave
+from repro.operators import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    aggregate,
+    bitonic_sort,
+    continuous_select,
+    group_by_aggregate,
+    hash_join,
+    hash_select,
+    large_select,
+    naive_select,
+    opaque_join,
+    small_select,
+    zero_om_join,
+)
+from repro.storage import FlatStorage, Schema, int_column
+
+SCHEMA = Schema([int_column("k"), int_column("v")])
+
+
+def load(rows: list[tuple[int, int]], capacity: int | None = None) -> FlatStorage:
+    enclave = Enclave(oblivious_memory_bytes=1 << 20, cipher="null")
+    table = FlatStorage(enclave, SCHEMA, capacity or max(1, len(rows)))
+    for row in rows:
+        table.fast_insert(row)
+    return table
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=99)),
+    max_size=40,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=rows_strategy, threshold=st.integers(min_value=0, max_value=50))
+def test_selects_agree_with_filter(rows, threshold) -> None:
+    table = load(rows)
+    predicate = Comparison("k", "<", threshold)
+    expected = sorted(row for row in rows if row[0] < threshold)
+    output_size = len(expected)
+
+    for select in (
+        lambda: small_select(table, predicate, output_size, buffer_rows=4),
+        lambda: large_select(table, predicate),
+        lambda: hash_select(table, predicate, output_size),
+        lambda: naive_select(table, predicate, output_size, rng=random.Random(1)),
+    ):
+        out = select()
+        assert sorted(out.rows()) == expected
+        out.free()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(0, 99)),
+        max_size=30,
+    ),
+    threshold=st.integers(min_value=0, max_value=1000),
+)
+def test_continuous_select_on_sorted_input(rows, threshold) -> None:
+    """On key-sorted input, a `<` predicate always selects a prefix, so the
+    Continuous algorithm applies and must agree with plain filtering."""
+    ordered = sorted(rows)
+    table = load(ordered)
+    predicate = Comparison("k", "<", threshold)
+    expected = sorted(row for row in ordered if row[0] < threshold)
+    out = continuous_select(table, predicate, len(expected))
+    assert sorted(out.rows()) == expected
+    out.free()
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=rows_strategy)
+def test_aggregates_agree_with_python(rows) -> None:
+    table = load(rows)
+    result = aggregate(
+        table,
+        [
+            AggregateSpec(AggregateFunction.COUNT),
+            AggregateSpec(AggregateFunction.SUM, "v"),
+            AggregateSpec(AggregateFunction.MIN, "v"),
+            AggregateSpec(AggregateFunction.MAX, "v"),
+        ],
+    )
+    values = [row[1] for row in rows]
+    assert result[0] == len(rows)
+    assert result[1] == sum(values)
+    if values:
+        assert result[2] == min(values)
+        assert result[3] == max(values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=rows_strategy)
+def test_group_by_agrees_with_python(rows) -> None:
+    table = load(rows)
+    out = group_by_aggregate(
+        table, "k", [AggregateSpec(AggregateFunction.SUM, "v")]
+    )
+    expected: dict[int, float] = {}
+    for key, value in rows:
+        expected[key] = expected.get(key, 0.0) + value
+    assert sorted(out.rows()) == sorted(expected.items())
+    out.free()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    left=st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 99)),
+        max_size=12,
+        unique_by=lambda row: row[0],  # primary side: unique keys
+    ),
+    right=st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 99)), max_size=20
+    ),
+)
+def test_joins_agree_with_python(left, right) -> None:
+    enclave = Enclave(oblivious_memory_bytes=1 << 20, cipher="null")
+    left_table = FlatStorage(enclave, SCHEMA, max(1, len(left)))
+    right_table = FlatStorage(enclave, SCHEMA, max(1, len(right)))
+    for row in left:
+        left_table.fast_insert(row)
+    for row in right:
+        right_table.fast_insert(row)
+    expected = sorted(
+        l + r for l in left for r in right if l[0] == r[0]
+    )
+    for join in (
+        lambda: hash_join(left_table, right_table, "k", "k", 1 << 16),
+        lambda: hash_join(left_table, right_table, "k", "k", 100),
+        lambda: opaque_join(left_table, right_table, "k", "k", 1 << 12),
+        lambda: zero_om_join(left_table, right_table, "k", "k"),
+    ):
+        out = join()
+        assert sorted(out.rows()) == expected
+        out.free()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.integers(-1000, 1000), max_size=32),
+    enclave_rows=st.sampled_from([1, 4, 16]),
+)
+def test_bitonic_sort_agrees_with_sorted(values, enclave_rows) -> None:
+    capacity = 1
+    while capacity < max(1, len(values)):
+        capacity *= 2
+    enclave = Enclave(oblivious_memory_bytes=1 << 20, cipher="null")
+    table = FlatStorage(enclave, SCHEMA, capacity)
+    for value in values:
+        table.fast_insert((value, 0))
+    bitonic_sort(table, key=lambda row: (row[0],), enclave_rows=enclave_rows)
+    result = [table.read_row(i) for i in range(capacity)]
+    reals = [row[0] for row in result if row is not None]
+    assert reals == sorted(values)
+    assert all(row is None for row in result[len(values):])

@@ -1,0 +1,167 @@
+"""End-to-end obliviousness: full SQL queries through the engine.
+
+The operator-level suite checks each algorithm in isolation; these tests
+check the composed engine — planner scan, operator execution, intermediate
+allocation — through `ObliDB.sql`, asserting that queries with identical
+declared leakage produce indistinguishable traces *end to end* (the paper's
+"the whole engine runs obliviously so long as each of the operators is
+individually oblivious", Section 4).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ObliDB, StorageMethod
+from repro.analysis import assert_indistinguishable, canonicalize, oram_regions_of
+from repro.storage import Schema, int_column, str_column
+
+SCHEMA_SQL = (
+    "CREATE TABLE t (k INT, v INT, s STR(8)) CAPACITY 48 METHOD both KEY k"
+)
+
+
+def build_db(seed: int) -> ObliDB:
+    """A database whose payload values differ per seed; keys 0..29."""
+    db = ObliDB(
+        cipher="null", keep_trace_events=True, allow_continuous=False, seed=1
+    )
+    db.sql(SCHEMA_SQL)
+    rng = random.Random(seed)
+    for key in range(30):
+        db.sql(f"INSERT INTO t VALUES ({key}, {rng.randrange(1000)}, 's{key}')")
+    return db
+
+
+def trace_of(db: ObliDB, sql: str):
+    db.enclave.trace.clear()
+    result = db.sql(sql)
+    return (
+        canonicalize(db.enclave.trace.events, oram_regions_of(db.enclave)),
+        result,
+    )
+
+
+class TestPointQueries:
+    def test_different_keys_same_trace(self) -> None:
+        """Point lookups for different keys are indistinguishable — the
+        engine hides *which* key was requested (Section 2.3)."""
+        traces = []
+        for key in (3, 17, 28):
+            db = build_db(seed=5)
+            trace, result = trace_of(db, f"SELECT * FROM t WHERE k = {key}")
+            assert len(result.rows) == 1
+            traces.append(trace)
+        assert_indistinguishable(traces)
+
+    def test_different_data_same_trace(self) -> None:
+        traces = []
+        for seed in (1, 2, 3):
+            db = build_db(seed=seed)
+            trace, _ = trace_of(db, "SELECT * FROM t WHERE k = 9")
+            traces.append(trace)
+        assert_indistinguishable(traces)
+
+    def test_repeated_key_indistinguishable_from_fresh(self) -> None:
+        """Asking the same key twice looks like asking two different keys:
+        no hot-key side channel."""
+        db_repeat = build_db(seed=4)
+        trace_of(db_repeat, "SELECT * FROM t WHERE k = 5")
+        repeat, _ = trace_of(db_repeat, "SELECT * FROM t WHERE k = 5")
+
+        db_fresh = build_db(seed=4)
+        trace_of(db_fresh, "SELECT * FROM t WHERE k = 11")
+        fresh, _ = trace_of(db_fresh, "SELECT * FROM t WHERE k = 23")
+        assert_indistinguishable([repeat, fresh])
+
+
+class TestRangeAndAggregates:
+    def test_equal_width_ranges_same_trace(self) -> None:
+        traces = []
+        for low in (2, 11, 20):
+            db = build_db(seed=6)
+            sql = f"SELECT * FROM t WHERE k >= {low} AND k <= {low + 4}"
+            trace, result = trace_of(db, sql)
+            assert len(result.rows) == 5
+            traces.append(trace)
+        assert_indistinguishable(traces)
+
+    def test_aggregate_hides_predicate_parameters(self) -> None:
+        """Fused aggregates leak nothing about selectivity: thresholds that
+        match 0% and 100% of rows give identical traces."""
+        traces = []
+        for threshold in (-1, 10_000):
+            db = build_db(seed=7)
+            trace, _ = trace_of(
+                db, f"SELECT COUNT(*), SUM(v) FROM t WHERE v < {threshold}"
+            )
+            traces.append(trace)
+        assert_indistinguishable(traces)
+
+    def test_group_by_same_group_count_same_trace(self) -> None:
+        traces = []
+        for seed in (8, 9):
+            db = ObliDB(cipher="null", keep_trace_events=True, seed=1)
+            db.sql("CREATE TABLE g (c INT, x INT) CAPACITY 16")
+            rng = random.Random(seed)
+            groups = rng.sample(range(100), 4)
+            for i in range(12):
+                db.sql(f"INSERT INTO g VALUES ({groups[i % 4]}, {rng.randrange(50)})")
+            trace, _ = trace_of(db, "SELECT c, SUM(x) FROM g GROUP BY c")
+            traces.append(trace)
+        assert_indistinguishable(traces)
+
+
+class TestWrites:
+    def test_update_parameters_hidden(self) -> None:
+        """Updates touching different rows (same match count) and writing
+        different values are indistinguishable."""
+        traces = []
+        for key, value in ((4, 111), (21, 999)):
+            db = build_db(seed=10)
+            trace, result = trace_of(
+                db, f"UPDATE t SET v = {value} WHERE k = {key}"
+            )
+            assert result.affected == 1
+            traces.append(trace)
+        assert_indistinguishable(traces)
+
+    def test_delete_parameters_hidden(self) -> None:
+        traces = []
+        for key in (2, 27):
+            db = build_db(seed=11)
+            trace, result = trace_of(db, f"DELETE FROM t WHERE k = {key}")
+            assert result.affected == 1
+            traces.append(trace)
+        assert_indistinguishable(traces)
+
+    def test_insert_values_hidden(self) -> None:
+        traces = []
+        for value in (0, 987654):
+            db = build_db(seed=12)
+            trace, _ = trace_of(db, f"INSERT INTO t VALUES (40, {value}, 'zz')")
+            traces.append(trace)
+        assert_indistinguishable(traces)
+
+
+class TestPaddingModeEndToEnd:
+    def test_selectivities_indistinguishable_under_padding(self) -> None:
+        """Padding mode's whole point: a query matching 1 row and a query
+        matching 20 rows leave identical traces."""
+        from repro import PaddingConfig
+
+        traces = []
+        for threshold in (1, 20):
+            db = ObliDB(
+                cipher="null",
+                keep_trace_events=True,
+                padding=PaddingConfig(pad_rows=25, pad_groups=8),
+                seed=1,
+            )
+            db.sql("CREATE TABLE p (k INT) CAPACITY 32")
+            for key in range(24):
+                db.sql(f"INSERT INTO p VALUES ({key})")
+            trace, result = trace_of(db, f"SELECT * FROM p WHERE k < {threshold}")
+            assert len(result.rows) == threshold
+            traces.append(trace)
+        assert_indistinguishable(traces)

@@ -1,0 +1,127 @@
+"""Regression tests for the leaf-boundary scan-padding fix (DESIGN.md §8).
+
+A match at the last slot of a leaf used to cost one extra ORAM access
+(loading the next leaf to check continuation), leaking the key's alignment
+within its leaf.  These tests pin the fixed behaviour: scan cost is a pure
+function of (tree height, result count).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enclave import Enclave
+from repro.storage import ObliviousBPlusTree, Schema, int_column, str_column
+
+SCHEMA = Schema([int_column("key"), str_column("value", 8)])
+
+
+@pytest.fixture
+def tree(fast_enclave: Enclave) -> ObliviousBPlusTree:
+    tree = ObliviousBPlusTree(
+        fast_enclave, SCHEMA, "key", 400, order=8, rng=random.Random(1)
+    )
+    # Sequential inserts give leaves packed at the split boundary, so some
+    # keys are guaranteed to sit at leaf edges.
+    for key in range(200):
+        tree.insert((key, f"v{key}"))
+    return tree
+
+
+class TestSearchPadding:
+    def test_every_key_costs_the_same(
+        self, tree: ObliviousBPlusTree, fast_enclave: Enclave
+    ) -> None:
+        """Whatever a key's position within its leaf, a 1-result search has
+        one fixed access count."""
+        counts = set()
+        for key in range(0, 200, 7):
+            before = fast_enclave.cost.oram_accesses
+            assert tree.search(key) == [(key, f"v{key}")]
+            counts.add(fast_enclave.cost.oram_accesses - before)
+        assert len(counts) == 1, counts
+
+    def test_miss_costs_like_hit(
+        self, tree: ObliviousBPlusTree, fast_enclave: Enclave
+    ) -> None:
+        before = fast_enclave.cost.oram_accesses
+        tree.search(77)
+        hit = fast_enclave.cost.oram_accesses - before
+        before = fast_enclave.cost.oram_accesses
+        tree.search(100_000)
+        miss = fast_enclave.cost.oram_accesses - before
+        # A miss pads to the 0-result target, a hit to the 1-result target:
+        # they differ by exactly the (public) result-count difference.
+        assert abs(hit - miss) <= 1
+
+    def test_range_cost_depends_only_on_result_count(
+        self, tree: ObliviousBPlusTree, fast_enclave: Enclave
+    ) -> None:
+        """Equal-width ranges anywhere in the key space cost the same."""
+        counts = set()
+        for low in (0, 37, 101, 150):
+            before = fast_enclave.cost.oram_accesses
+            rows = tree.range_scan(low, low + 9)
+            assert len(rows) == 10
+            counts.add(fast_enclave.cost.oram_accesses - before)
+        assert len(counts) == 1, counts
+
+    def test_larger_ranges_cost_more(
+        self, tree: ObliviousBPlusTree, fast_enclave: Enclave
+    ) -> None:
+        """Result size is declared leakage: it SHOULD show in the count."""
+        before = fast_enclave.cost.oram_accesses
+        tree.range_scan(0, 4)
+        small = fast_enclave.cost.oram_accesses - before
+        before = fast_enclave.cost.oram_accesses
+        tree.range_scan(0, 49)
+        large = fast_enclave.cost.oram_accesses - before
+        assert large > small
+
+    def test_duplicates_across_leaf_boundary(self, fast_enclave: Enclave) -> None:
+        """Duplicate keys spanning multiple leaves: the search must find
+        ALL of them, including those left of a split separator equal to
+        the key (regression: right-biased descent used to miss them)."""
+        tree = ObliviousBPlusTree(
+            fast_enclave, SCHEMA, "key", 200, order=8, rng=random.Random(2)
+        )
+        for i in range(20):
+            tree.insert((5, f"dup{i}"))
+        for key in (1, 2, 3, 9, 10, 11):
+            tree.insert((key, "other"))
+        results = tree.search(5)
+        assert len(results) == 20
+        assert all(row[0] == 5 for row in results)
+
+    def test_delete_all_duplicates_across_leaves(self, fast_enclave: Enclave) -> None:
+        """Every duplicate is reachable by delete, even once separators go
+        stale mid-run (regression for the forward-walk delete path)."""
+        tree = ObliviousBPlusTree(
+            fast_enclave, SCHEMA, "key", 200, order=8, rng=random.Random(3)
+        )
+        for i in range(20):
+            tree.insert((5, f"dup{i}"))
+        tree.insert((1, "low"))
+        tree.insert((9, "high"))
+        removed = 0
+        while tree.delete(5):
+            removed += 1
+        assert removed == 20
+        assert tree.search(5) == []
+        assert tree.count == 2
+        assert [row[0] for row in tree.items()] == [1, 9]
+
+    def test_range_scan_over_duplicates(self, fast_enclave: Enclave) -> None:
+        tree = ObliviousBPlusTree(
+            fast_enclave, SCHEMA, "key", 200, order=8, rng=random.Random(4)
+        )
+        for i in range(15):
+            tree.insert((7, f"d{i}"))
+        tree.insert((6, "before"))
+        tree.insert((8, "after"))
+        rows = tree.range_scan(7, 7)
+        assert len(rows) == 15
+        rows = tree.range_scan(6, 8)
+        assert len(rows) == 17

@@ -1,0 +1,147 @@
+"""Unit tests for the flat storage method."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import CapacityError, Enclave, StorageError
+from repro.storage import FlatStorage, Schema
+
+
+def make(enclave: Enclave, schema: Schema, capacity: int = 16) -> FlatStorage:
+    return FlatStorage(enclave, schema, capacity)
+
+
+class TestBasics:
+    def test_starts_empty(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema)
+        assert table.used_rows == 0
+        assert table.rows() == []
+        assert all(row is None for _, row in table.scan())
+
+    def test_insert_and_rows(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema)
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        assert sorted(table.rows()) == [(1, "a"), (2, "b")]
+        assert table.used_rows == 2
+
+    def test_insert_fills_capacity(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema, capacity=4)
+        for i in range(4):
+            table.insert((i, "x"))
+        with pytest.raises(CapacityError):
+            table.insert((9, "x"))
+
+    def test_fast_insert(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema)
+        table.fast_insert((1, "a"))
+        table.fast_insert((2, "b"))
+        assert table.read_row(0) == (1, "a")
+        assert table.read_row(1) == (2, "b")
+
+    def test_fast_insert_constant_cost(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        """The paper's constant-time insert: one write, no scan."""
+        table = make(fast_enclave, kv_schema, capacity=64)
+        before = fast_enclave.cost.block_ios
+        table.fast_insert((1, "a"))
+        assert fast_enclave.cost.block_ios - before == 1
+
+    def test_oblivious_insert_scans_whole_table(
+        self, fast_enclave: Enclave, kv_schema: Schema
+    ) -> None:
+        table = make(fast_enclave, kv_schema, capacity=10)
+        before = fast_enclave.cost.block_ios
+        table.insert((1, "a"))
+        assert fast_enclave.cost.block_ios - before == 20  # R+W per block
+
+    def test_insert_reuses_deleted_slot(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema, capacity=3)
+        for i in range(3):
+            table.insert((i, "x"))
+        table.delete(lambda row: row[0] == 1)
+        table.insert((9, "y"))
+        assert sorted(table.rows()) == [(0, "x"), (2, "x"), (9, "y")]
+
+
+class TestUpdateDelete:
+    def test_update_matching(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema)
+        for i in range(5):
+            table.fast_insert((i, "old"))
+        updated = table.update(
+            lambda row: row[0] % 2 == 0, lambda row: (row[0], "new")
+        )
+        assert updated == 3
+        assert sorted(r[1] for r in table.rows()) == ["new", "new", "new", "old", "old"]
+
+    def test_delete_matching(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema)
+        for i in range(6):
+            table.fast_insert((i, "x"))
+        deleted = table.delete(lambda row: row[0] < 2)
+        assert deleted == 2
+        assert table.used_rows == 4
+
+    def test_update_cost_independent_of_matches(
+        self, fast_enclave: Enclave, kv_schema: Schema
+    ) -> None:
+        """Zero matches and all matches must cost identically."""
+        table = make(fast_enclave, kv_schema, capacity=8)
+        for i in range(8):
+            table.fast_insert((i, "x"))
+        before = fast_enclave.cost.block_ios
+        table.update(lambda row: False, lambda row: row)
+        none_cost = fast_enclave.cost.block_ios - before
+        before = fast_enclave.cost.block_ios
+        table.update(lambda row: True, lambda row: (row[0], "y"))
+        all_cost = fast_enclave.cost.block_ios - before
+        assert none_cost == all_cost
+
+
+class TestBlockPrimitives:
+    def test_write_and_read_row(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema)
+        table.write_row(3, (7, "seven"))
+        assert table.read_row(3) == (7, "seven")
+        table.write_row(3, None)
+        assert table.read_row(3) is None
+
+    def test_rewrite_row_returns_content(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema)
+        table.write_row(0, (1, "a"))
+        assert table.rewrite_row(0) == (1, "a")
+        assert table.read_row(0) == (1, "a")
+
+    def test_rewrite_refreshes_ciphertext(self, kv_schema: Schema) -> None:
+        enclave = Enclave(keep_trace_events=True)  # real cipher
+        table = FlatStorage(enclave, kv_schema, 2)
+        table.write_row(0, (1, "a"))
+        before = enclave.untrusted.peek(table.region_name, 0)
+        table.rewrite_row(0)
+        after = enclave.untrusted.peek(table.region_name, 0)
+        assert before is not None and after is not None
+        assert before.ciphertext != after.ciphertext or before.nonce != after.nonce
+
+
+class TestLifecycle:
+    def test_copy_to_larger(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema, capacity=4)
+        for i in range(4):
+            table.fast_insert((i, "x"))
+        bigger = table.copy_to(capacity=8)
+        assert bigger.capacity == 8
+        assert sorted(bigger.rows()) == sorted(table.rows())
+        assert bigger.used_rows == 4
+
+    def test_copy_to_smaller_rejected(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema, capacity=4)
+        with pytest.raises(StorageError):
+            table.copy_to(capacity=2)
+
+    def test_free_releases_region(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        table = make(fast_enclave, kv_schema)
+        region = table.region_name
+        table.free()
+        assert not fast_enclave.untrusted.has_region(region)
+        table.free()  # idempotent

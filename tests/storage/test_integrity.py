@@ -1,0 +1,111 @@
+"""Failure-injection tests: the malicious OS attacks of Section 3.
+
+The adversary controls untrusted memory.  Each test stages one of the
+tampering strategies the paper's integrity machinery must catch:
+modification, shuffling/transplanting, and rollback to stale state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import Enclave, IntegrityError, RollbackError
+from repro.storage import FlatStorage, Schema
+from repro.storage.integrity import RevisionLedger
+
+
+@pytest.fixture
+def table(enclave: Enclave, kv_schema: Schema) -> FlatStorage:
+    table = FlatStorage(enclave, kv_schema, 8)
+    for i in range(4):
+        table.fast_insert((i, f"row{i}"))
+    return table
+
+
+class TestTamperDetection:
+    def test_modified_block_detected(self, enclave: Enclave, table: FlatStorage) -> None:
+        sealed = enclave.untrusted.peek(table.region_name, 0)
+        assert sealed is not None
+        from repro.enclave.crypto import SealedBlock
+
+        corrupted = SealedBlock(
+            nonce=sealed.nonce,
+            ciphertext=bytes([sealed.ciphertext[0] ^ 0xFF]) + sealed.ciphertext[1:],
+            mac=sealed.mac,
+        )
+        enclave.untrusted.tamper(table.region_name, 0, corrupted)
+        with pytest.raises(IntegrityError):
+            table.read_row(0)
+
+    def test_shuffled_blocks_detected(self, enclave: Enclave, table: FlatStorage) -> None:
+        """Swapping two validly-MACed blocks must fail: identity binding."""
+        a = enclave.untrusted.peek(table.region_name, 0)
+        b = enclave.untrusted.peek(table.region_name, 1)
+        enclave.untrusted.tamper(table.region_name, 0, b)
+        enclave.untrusted.tamper(table.region_name, 1, a)
+        with pytest.raises(IntegrityError):
+            table.read_row(0)
+
+    def test_cross_table_transplant_detected(
+        self, enclave: Enclave, table: FlatStorage, kv_schema: Schema
+    ) -> None:
+        """A block from another table must not verify, even at the same
+        index: the region name is part of the authenticated identity."""
+        other = FlatStorage(enclave, kv_schema, 8)
+        other.fast_insert((99, "evil"))
+        foreign = enclave.untrusted.peek(other.region_name, 0)
+        enclave.untrusted.tamper(table.region_name, 0, foreign)
+        with pytest.raises(IntegrityError):
+            table.read_row(0)
+
+    def test_rollback_detected(self, enclave: Enclave, table: FlatStorage) -> None:
+        """Serving a stale (previous-revision) copy must fail."""
+        stale = enclave.untrusted.peek(table.region_name, 0)
+        table.write_row(0, (0, "updated"))
+        enclave.untrusted.tamper(table.region_name, 0, stale)
+        with pytest.raises(IntegrityError):
+            table.read_row(0)
+
+    def test_honest_reads_still_pass(self, table: FlatStorage) -> None:
+        assert table.read_row(0) == (0, "row0")
+        table.write_row(0, (0, "v2"))
+        assert table.read_row(0) == (0, "v2")
+
+
+class TestRevisionLedger:
+    def test_revisions_increment(self) -> None:
+        ledger = RevisionLedger()
+        assert ledger.next_revision("t", 0) == 1
+        ledger.commit("t", 0, 1)
+        assert ledger.next_revision("t", 0) == 2
+        assert ledger.current("t", 0) == 1
+
+    def test_verify_accepts_current(self) -> None:
+        ledger = RevisionLedger()
+        ledger.commit("t", 0, 3)
+        ledger.verify("t", 0, 3)
+
+    def test_verify_rejects_stale(self) -> None:
+        ledger = RevisionLedger()
+        ledger.commit("t", 0, 3)
+        with pytest.raises(RollbackError):
+            ledger.verify("t", 0, 2)
+
+    def test_verify_rejects_future(self) -> None:
+        ledger = RevisionLedger()
+        ledger.commit("t", 0, 3)
+        with pytest.raises(RollbackError):
+            ledger.verify("t", 0, 4)
+
+    def test_forget_region(self) -> None:
+        ledger = RevisionLedger()
+        ledger.commit("t", 0, 5)
+        ledger.forget_region("t")
+        assert ledger.current("t", 0) == 0
+
+    def test_associated_data_binds_everything(self) -> None:
+        ledger = RevisionLedger()
+        base = ledger.associated_data("t", 0, 1)
+        assert ledger.associated_data("u", 0, 1) != base  # region
+        assert ledger.associated_data("t", 1, 1) != base  # index
+        assert ledger.associated_data("t", 0, 2) != base  # revision

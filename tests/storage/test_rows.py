@@ -1,0 +1,37 @@
+"""Unit tests for row framing (in-use flags, dummies)."""
+
+from __future__ import annotations
+
+from repro.storage import (
+    Schema,
+    frame_dummy,
+    frame_row,
+    framed_size,
+    is_dummy,
+    unframe_row,
+)
+
+
+class TestFraming:
+    def test_framed_size(self, kv_schema: Schema) -> None:
+        assert framed_size(kv_schema) == kv_schema.row_size + 1
+
+    def test_real_row_roundtrip(self, kv_schema: Schema) -> None:
+        framed = frame_row(kv_schema, (1, "x"))
+        assert len(framed) == framed_size(kv_schema)
+        assert unframe_row(kv_schema, framed) == (1, "x")
+        assert not is_dummy(framed)
+
+    def test_dummy_roundtrip(self, kv_schema: Schema) -> None:
+        framed = frame_dummy(kv_schema)
+        assert len(framed) == framed_size(kv_schema)
+        assert unframe_row(kv_schema, framed) is None
+        assert is_dummy(framed)
+
+    def test_dummy_and_real_same_length(self, kv_schema: Schema) -> None:
+        """Equal plaintext lengths are what make dummy writes unobservable."""
+        assert len(frame_dummy(kv_schema)) == len(frame_row(kv_schema, (0, "")))
+
+    def test_empty_bytes_is_dummy(self, kv_schema: Schema) -> None:
+        assert is_dummy(b"")
+        assert unframe_row(kv_schema, b"") is None

@@ -1,0 +1,140 @@
+"""Unit tests for schemas and the fixed-length row codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import SchemaError
+from repro.storage import (
+    Column,
+    ColumnType,
+    Schema,
+    float_column,
+    int_column,
+    str_column,
+)
+
+
+class TestColumn:
+    def test_int_width(self) -> None:
+        assert int_column("a").byte_width == 8
+
+    def test_str_width(self) -> None:
+        assert str_column("s", 20).byte_width == 20
+
+    def test_str_requires_size(self) -> None:
+        with pytest.raises(SchemaError):
+            Column("s", ColumnType.STR)
+
+    def test_int_rejects_size(self) -> None:
+        with pytest.raises(SchemaError):
+            Column("a", ColumnType.INT, 4)
+
+    def test_empty_name_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT)
+
+    def test_int_validation(self) -> None:
+        column = int_column("a")
+        column.validate(42)
+        with pytest.raises(SchemaError):
+            column.validate("nope")
+        with pytest.raises(SchemaError):
+            column.validate(True)  # bools are not ints here
+
+    def test_str_validation_length(self) -> None:
+        column = str_column("s", 4)
+        column.validate("abcd")
+        with pytest.raises(SchemaError):
+            column.validate("abcde")
+
+    def test_str_validation_utf8_bytes(self) -> None:
+        """Width is counted in encoded bytes, not characters."""
+        column = str_column("s", 4)
+        column.validate("hél")  # 4 UTF-8 bytes: fits exactly
+        with pytest.raises(SchemaError):
+            column.validate("héll")  # 5 UTF-8 bytes in 4 characters
+
+    def test_float_validation(self) -> None:
+        column = float_column("f")
+        column.validate(1.5)
+        column.validate(2)  # ints are acceptable floats
+        with pytest.raises(SchemaError):
+            column.validate("x")
+
+    def test_int_codec_roundtrip(self) -> None:
+        column = int_column("a")
+        for value in (0, 1, -1, 2**62, -(2**62)):
+            assert column.decode(column.encode(value)) == value
+
+    def test_str_codec_roundtrip(self) -> None:
+        column = str_column("s", 10)
+        for value in ("", "a", "hello", "héllo"):
+            assert column.decode(column.encode(value)) == value
+
+    def test_float_codec_roundtrip(self) -> None:
+        column = float_column("f")
+        assert column.decode(column.encode(3.25)) == 3.25
+
+    def test_int_sort_key_order_preserving(self) -> None:
+        column = int_column("a")
+        values = [-(2**40), -5, 0, 3, 2**40]
+        keys = [column.sort_key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_str_sort_key_order_preserving(self) -> None:
+        column = str_column("s", 12)
+        values = ["", "2018-01-01", "2018-09-01", "a", "ab"]
+        keys = [column.sort_key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_float_sort_key_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            float_column("f").sort_key(1.0)
+
+
+class TestSchema:
+    def test_row_size(self, kv_schema: Schema) -> None:
+        assert kv_schema.row_size == 8 + 16
+
+    def test_empty_schema_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Schema([int_column("a"), int_column("a")])
+
+    def test_column_lookup(self, kv_schema: Schema) -> None:
+        assert kv_schema.column_index("value") == 1
+        assert kv_schema.column("key").type is ColumnType.INT
+        with pytest.raises(SchemaError):
+            kv_schema.column_index("ghost")
+
+    def test_row_roundtrip(self, kv_schema: Schema) -> None:
+        row = (7, "hello")
+        assert kv_schema.decode_row(kv_schema.encode_row(row)) == row
+
+    def test_validate_row_length(self, kv_schema: Schema) -> None:
+        with pytest.raises(SchemaError):
+            kv_schema.validate_row((1,))
+        with pytest.raises(SchemaError):
+            kv_schema.validate_row((1, "x", 3))
+
+    def test_validate_row_types(self, kv_schema: Schema) -> None:
+        with pytest.raises(SchemaError):
+            kv_schema.validate_row(("one", "x"))
+
+    def test_decode_short_payload_rejected(self, kv_schema: Schema) -> None:
+        with pytest.raises(SchemaError):
+            kv_schema.decode_row(b"\x00" * 3)
+
+    def test_project(self, wide_schema: Schema) -> None:
+        projected = wide_schema.project(["measure", "id"])
+        assert projected.column_names() == ["measure", "id"]
+        assert projected.row_size == 16
+
+    def test_equality_and_hash(self, kv_schema: Schema) -> None:
+        clone = Schema([int_column("key"), str_column("value", 16)])
+        assert kv_schema == clone
+        assert hash(kv_schema) == hash(clone)

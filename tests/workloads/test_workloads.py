@@ -1,0 +1,120 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ObliDB, StorageMethod
+from repro.storage import Table
+from repro.workloads import (
+    CFPB_SCHEMA,
+    KV_SCHEMA,
+    RANKINGS_SCHEMA,
+    USERVISITS_SCHEMA,
+    WORKLOADS,
+    complaint_rows,
+    generate,
+    kv_rows,
+    run_workload,
+    shuffled,
+    wide_rows,
+)
+from repro.workloads.bdb import Q1_SELECTIVITY, Q3_DATE_SELECTIVITY
+
+
+class TestBDBGenerator:
+    def test_deterministic(self) -> None:
+        a = generate(rankings_rows=100, uservisits_rows=100, seed=1)
+        b = generate(rankings_rows=100, uservisits_rows=100, seed=1)
+        assert a.rankings == b.rankings
+        assert a.uservisits == b.uservisits
+
+    def test_schemas_validate(self) -> None:
+        data = generate(rankings_rows=50, uservisits_rows=50)
+        for row in data.rankings:
+            RANKINGS_SCHEMA.validate_row(row)
+        for row in data.uservisits:
+            USERVISITS_SCHEMA.validate_row(row)
+
+    def test_q1_selectivity(self) -> None:
+        data = generate(rankings_rows=1000, uservisits_rows=10)
+        matching = sum(1 for row in data.rankings if row[1] > 1000)
+        assert matching == pytest.approx(1000 * Q1_SELECTIVITY, rel=0.5)
+
+    def test_rankings_sorted_by_rank(self) -> None:
+        """Sorted generation makes Q1's result a contiguous segment."""
+        data = generate(rankings_rows=200, uservisits_rows=10)
+        ranks = [row[1] for row in data.rankings]
+        assert ranks == sorted(ranks)
+
+    def test_q3_date_selectivity(self) -> None:
+        data = generate(rankings_rows=10, uservisits_rows=1000)
+        in_window = sum(
+            1 for row in data.uservisits if row[3] < data.q3_date_threshold
+        )
+        assert in_window == pytest.approx(1000 * Q3_DATE_SELECTIVITY, rel=0.3)
+
+    def test_visits_reference_existing_urls(self) -> None:
+        data = generate(rankings_rows=100, uservisits_rows=100)
+        urls = {row[0] for row in data.rankings}
+        assert all(row[2] in urls for row in data.uservisits)
+
+    def test_ip_prefix_is_prefix(self) -> None:
+        data = generate(rankings_rows=10, uservisits_rows=50)
+        for row in data.uservisits:
+            assert row[0].startswith(row[1][:4])
+
+
+class TestSyntheticGenerators:
+    def test_kv_rows_cover_key_space(self) -> None:
+        rows = kv_rows(100)
+        assert sorted(row[0] for row in rows) == list(range(100))
+        for row in rows:
+            KV_SCHEMA.validate_row(row)
+
+    def test_wide_rows_ordered_ids(self) -> None:
+        rows = wide_rows(50)
+        assert [row[0] for row in rows] == list(range(50))
+
+    def test_shuffled_preserves_rows(self) -> None:
+        rows = wide_rows(30)
+        mixed = shuffled(rows)
+        assert mixed != rows
+        assert sorted(mixed) == sorted(rows)
+
+    def test_cfpb_rows(self) -> None:
+        rows = complaint_rows(200)
+        assert len(rows) == 200
+        for row in rows:
+            CFPB_SCHEMA.validate_row(row)
+        products = {row[1] for row in rows}
+        assert len(products) >= 3  # skewed but not degenerate
+
+
+class TestMixedWorkloads:
+    def test_percentages_sum_to_100(self) -> None:
+        for name, mix in WORKLOADS.items():
+            assert sum(mix) == 100, name
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_runs_on_both_table(self, workload: str) -> None:
+        db = ObliDB(cipher="null", seed=1)
+        table = db.create_table(
+            "t", KV_SCHEMA, 256, method=StorageMethod.BOTH, key_column="key"
+        )
+        for row in kv_rows(64):
+            table.insert(row, fast=True)
+        report = run_workload(table, workload, operations=12, key_space=64)
+        assert report.operations == 12
+        assert report.modeled_time_ms > 0
+        assert report.ops_per_second > 0
+
+    def test_unknown_workload_rejected(self) -> None:
+        db = ObliDB(cipher="null", seed=1)
+        table = db.create_table(
+            "t", KV_SCHEMA, 64, method=StorageMethod.FLAT
+        )
+        with pytest.raises(Exception):
+            run_workload(table, "L9", operations=1)
