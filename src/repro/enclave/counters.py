@@ -15,6 +15,10 @@ that dominate enclave query cost and combine them into a deterministic
 * ``ocalls`` — enclave/OS boundary crossings (one per batch of block IO).
 * ``comparisons`` — oblivious comparisons inside sorting networks.
 
+Every counter accepts a block/event count, so the batched range primitives in
+:mod:`repro.enclave.memory` record N transfers with one call — the totals are
+identical to N single-block recordings; only Python overhead is amortized.
+
 Weights (``CostWeights``) are calibrated so that the relative costs of the
 paper's operators — e.g. an ORAM access costing roughly 2·log2(N) block IOs,
 a bitonic sort costing N·log²N comparisons — mirror the published figures.

@@ -17,7 +17,7 @@ stated budget (e.g. Figure 8's 6–20 MB sweep) is honoured by construction.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from .counters import CostModel, CostWeights
 from .crypto import AuthenticatedCipher, CipherSuite, NullCipher, SealedBlock
@@ -112,6 +112,34 @@ class Enclave:
     def open(self, block: SealedBlock, associated_data: bytes = b"") -> bytes:
         """Decrypt and verify a block read from outside the enclave."""
         return self.cipher.open(block, associated_data)
+
+    def seal_many(
+        self, plaintexts: Sequence[bytes], associated_data: Sequence[bytes]
+    ) -> list[SealedBlock]:
+        """Batch :meth:`seal` over a run of blocks (shared setup cost).
+
+        Falls back to per-block sealing for cipher suites that do not
+        implement the batch API.
+        """
+        seal_many = getattr(self.cipher, "seal_many", None)
+        if seal_many is not None:
+            return seal_many(plaintexts, associated_data)
+        if len(associated_data) != len(plaintexts):
+            raise ValueError("seal_many needs one associated_data per plaintext")
+        seal = self.cipher.seal
+        return [seal(p, a) for p, a in zip(plaintexts, associated_data)]
+
+    def open_many(
+        self, blocks: Sequence[SealedBlock], associated_data: Sequence[bytes]
+    ) -> list[bytes]:
+        """Batch :meth:`open` over a run of blocks (shared setup cost)."""
+        open_many = getattr(self.cipher, "open_many", None)
+        if open_many is not None:
+            return open_many(blocks, associated_data)
+        if len(associated_data) != len(blocks):
+            raise ValueError("open_many needs one associated_data per block")
+        open_ = self.cipher.open
+        return [open_(b, a) for b, a in zip(blocks, associated_data)]
 
     # ------------------------------------------------------------------
     # Oblivious memory

@@ -6,12 +6,18 @@ named *regions* (contiguous arrays of block slots).  Every read and write is
 recorded in the enclave's :class:`~repro.enclave.trace.AccessTrace` and cost
 model, because this interface is exactly what a malicious OS observes.
 
-The store deliberately offers no bulk or content-addressed operations: the
-enclave must touch individual (region, index) slots, mirroring how an SGX
-application pages data in and out through OS upcalls.
+The store offers no content-addressed operations: the enclave must touch
+individual (region, index) slots, mirroring how an SGX application pages data
+in and out through OS upcalls.  The *range* primitives below are purely a
+simulator optimisation: they perform N slot accesses with one Python call,
+recording exactly the same N per-slot events in the trace and cost model as
+N individual ``read``/``write`` calls would — the adversary-visible sequence
+is bit-identical, only the interpreter overhead is amortized.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Sequence
 
 from .counters import CostModel
 from .crypto import SealedBlock
@@ -107,6 +113,106 @@ class UntrustedMemory:
         self._trace.record("W", region_name, index)
         self._cost.record_write()
         region._slots[index] = block
+
+    # ------------------------------------------------------------------
+    # Range primitives: N accesses, one call, identical observable trace
+    # ------------------------------------------------------------------
+    def _check_range(self, region: Region, start: int, count: int, what: str) -> None:
+        if count < 0:
+            raise StorageError(f"{what} with negative count {count}")
+        if not (0 <= start and start + count <= region.capacity):
+            raise StorageError(
+                f"{what} out of bounds: {region.name}[{start}:{start + count}] "
+                f"(capacity {region.capacity})"
+            )
+
+    def read_range(
+        self, region_name: str, start: int, count: int
+    ) -> list[SealedBlock | None]:
+        """Read ``count`` adjacent slots, in ascending index order.
+
+        Observable as ``count`` individual reads (``R start .. R start+count-1``).
+        """
+        region = self.region(region_name)
+        self._check_range(region, start, count, "range read")
+        self._trace.record_range("R", region_name, start, count)
+        self._cost.record_read(count)
+        return region._slots[start : start + count]
+
+    def write_range(
+        self, region_name: str, start: int, blocks: Sequence[SealedBlock | None]
+    ) -> None:
+        """Write ``blocks`` to adjacent slots, in ascending index order.
+
+        Observable as ``len(blocks)`` individual writes.
+        """
+        region = self.region(region_name)
+        count = len(blocks)
+        self._check_range(region, start, count, "range write")
+        self._trace.record_range("W", region_name, start, count)
+        self._cost.record_write(count)
+        region._slots[start : start + count] = list(blocks)
+
+    def exchange_range(
+        self,
+        region_name: str,
+        start: int,
+        count: int,
+        compute: Callable[[list[SealedBlock | None]], Sequence[SealedBlock | None]],
+    ) -> None:
+        """One read-modify-write pass over ``[start, start+count)``.
+
+        ``compute`` maps the current blocks to their replacements (enclave-side
+        work: decrypt, transform, re-encrypt).  Observable as ``count``
+        interleaved (read, write) pairs — ``R i, W i`` per slot in order —
+        exactly the trace of a per-slot read/write loop.  If ``compute``
+        raises, no access is recorded and no slot is modified (the per-slot
+        loop would have recorded a prefix; batches fail atomically).
+        """
+        region = self.region(region_name)
+        self._check_range(region, start, count, "range exchange")
+        replacements = list(compute(region._slots[start : start + count]))
+        if len(replacements) != count:
+            raise StorageError(
+                f"range exchange computed {len(replacements)} blocks for "
+                f"{count} slots"
+            )
+        self._trace.record_rw_range(region_name, start, count)
+        self._cost.record_read(count)
+        self._cost.record_write(count)
+        region._slots[start : start + count] = replacements
+
+    def exchange_pairs(
+        self,
+        region_name: str,
+        start: int,
+        half: int,
+        compute: Callable[
+            [list[SealedBlock | None], list[SealedBlock | None]],
+            tuple[Sequence[SealedBlock | None], Sequence[SealedBlock | None]],
+        ],
+    ) -> None:
+        """One compare-exchange pass at distance ``half`` over ``[start, start+2*half)``.
+
+        ``compute`` receives the low and high blocks (slots ``i`` and
+        ``i+half``) and returns their replacements.  Observable as, for each
+        ``i`` in ``[start, start+half)``: ``R i, R i+half, W i, W i+half`` —
+        the per-pair trace of a bitonic merge level.  Fails atomically like
+        :meth:`exchange_range`.
+        """
+        region = self.region(region_name)
+        self._check_range(region, start, 2 * half, "pair exchange")
+        mid = start + half
+        lows = region._slots[start:mid]
+        highs = region._slots[mid : mid + half]
+        new_lows, new_highs = compute(lows, highs)
+        if len(new_lows) != half or len(new_highs) != half:
+            raise StorageError("pair exchange computed a wrong number of blocks")
+        self._trace.record_pair_exchanges(region_name, start, half)
+        self._cost.record_read(2 * half)
+        self._cost.record_write(2 * half)
+        region._slots[start:mid] = list(new_lows)
+        region._slots[mid : mid + half] = list(new_highs)
 
     def peek(self, region_name: str, index: int) -> SealedBlock | None:
         """Adversary-side inspection: NOT traced, NOT counted.

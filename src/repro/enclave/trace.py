@@ -19,6 +19,9 @@ import hashlib
 from dataclasses import dataclass
 from typing import Iterator
 
+#: Upper bound on memoized batch patterns before the memo is reset.
+_PATTERN_CACHE_MAX = 512
+
 
 @dataclass(frozen=True)
 class AccessEvent:
@@ -52,6 +55,14 @@ class AccessTrace:
         self._events: list[AccessEvent] = []
         self._hash = hashlib.blake2b(digest_size=16)
         self._length = 0
+        # Memo of encoded batch patterns keyed by (kind, region, start, count):
+        # oblivious passes repeat the same fixed patterns (full scans, the
+        # merge levels of a sorting network), so the concatenated event string
+        # is built once per distinct pattern and replayed thereafter.  Region
+        # names are fresh per table, so the memo is bounded (reset when full)
+        # to keep long-lived enclaves from accumulating patterns for regions
+        # that have since been freed.
+        self._pattern_cache: dict[tuple[str, str, int, int], bytes] = {}
 
     def record(self, op: str, region: str, index: int) -> None:
         """Append one access event to the trace."""
@@ -59,6 +70,97 @@ class AccessTrace:
         self._length += 1
         if self._keep_events:
             self._events.append(AccessEvent(op, region, index))
+
+    # ------------------------------------------------------------------
+    # Batched recording.  BLAKE2b is a streaming hash, so hashing the
+    # concatenation of N per-event strings in one ``update`` yields exactly
+    # the digest of N :meth:`record` calls — these helpers amortize Python
+    # overhead without changing the observable sequence by a single event.
+    # ------------------------------------------------------------------
+    def _remember_pattern(self, key: tuple[str, str, int, int], encoded: bytes) -> None:
+        if len(self._pattern_cache) >= _PATTERN_CACHE_MAX:
+            self._pattern_cache.clear()
+        self._pattern_cache[key] = encoded
+
+    def record_range(self, op: str, region: str, start: int, count: int) -> None:
+        """Record ``count`` accesses to ``[start, start+count)``, in order.
+
+        Digest-identical to ``record(op, region, i)`` for each ``i`` in the
+        range.
+        """
+        if count <= 0:
+            return
+        cache_key = (op, region, start, count)
+        encoded = self._pattern_cache.get(cache_key)
+        if encoded is None:
+            prefix = f"{op}|{region}|"
+            encoded = "".join(
+                f"{prefix}{i};" for i in range(start, start + count)
+            ).encode()
+            self._remember_pattern(cache_key, encoded)
+        self._hash.update(encoded)
+        self._length += count
+        if self._keep_events:
+            self._events.extend(
+                AccessEvent(op, region, i) for i in range(start, start + count)
+            )
+
+    def record_rw_range(self, region: str, start: int, count: int) -> None:
+        """Record ``count`` interleaved (read, write) pairs over a range.
+
+        The sequence is ``R start, W start, R start+1, W start+1, ...`` —
+        the pattern of an oblivious read-modify-write pass (insert, update,
+        delete over flat storage).
+        """
+        if count <= 0:
+            return
+        cache_key = ("rw", region, start, count)
+        encoded = self._pattern_cache.get(cache_key)
+        if encoded is None:
+            read_prefix = f"R|{region}|"
+            write_prefix = f"W|{region}|"
+            encoded = "".join(
+                f"{read_prefix}{i};{write_prefix}{i};"
+                for i in range(start, start + count)
+            ).encode()
+            self._remember_pattern(cache_key, encoded)
+        self._hash.update(encoded)
+        self._length += 2 * count
+        if self._keep_events:
+            events = self._events
+            for i in range(start, start + count):
+                events.append(AccessEvent("R", region, i))
+                events.append(AccessEvent("W", region, i))
+
+    def record_pair_exchanges(self, region: str, start: int, half: int) -> None:
+        """Record one compare-exchange pass at distance ``half``.
+
+        For each ``i`` in ``[start, start+half)`` the sequence is
+        ``R i, R i+half, W i, W i+half`` — the access pattern of one level of
+        a bitonic merge over ``[start, start+2*half)``.
+        """
+        if half <= 0:
+            return
+        cache_key = ("px", region, start, half)
+        encoded = self._pattern_cache.get(cache_key)
+        if encoded is None:
+            read_prefix = f"R|{region}|"
+            write_prefix = f"W|{region}|"
+            encoded = "".join(
+                f"{read_prefix}{i};{read_prefix}{i + half};"
+                f"{write_prefix}{i};{write_prefix}{i + half};"
+                for i in range(start, start + half)
+            ).encode()
+            self._remember_pattern(cache_key, encoded)
+        self._hash.update(encoded)
+        self._length += 4 * half
+        if self._keep_events:
+            events = self._events
+            for i in range(start, start + half):
+                events.append(AccessEvent("R", region, i))
+                events.append(AccessEvent("R", region, i + half))
+                events.append(AccessEvent("W", region, i))
+                events.append(AccessEvent("W", region, i + half))
 
     def __len__(self) -> int:
         return self._length
@@ -88,6 +190,7 @@ class AccessTrace:
         self._events.clear()
         self._hash = hashlib.blake2b(digest_size=16)
         self._length = 0
+        self._pattern_cache.clear()
 
     def region_histogram(self) -> dict[str, int]:
         """Access counts per region (requires ``keep_events=True``)."""

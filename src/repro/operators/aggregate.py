@@ -20,6 +20,7 @@ from enum import Enum
 
 from ..enclave.errors import ObliviousMemoryError, QueryError
 from ..storage.flat import FlatStorage
+from ..storage.rows import frame_dummy, unframe_row
 from ..storage.schema import Column, ColumnType, Row, Schema, Value, float_column
 from .predicate import Predicate, TruePredicate
 from .sort import bitonic_sort, external_oblivious_sort, padded_scratch
@@ -115,8 +116,11 @@ def aggregate(
         for spec in specs
     ]
     accumulators = [_Accumulator(spec) for spec in specs]
-    for index in range(table.capacity):
-        row = table.read_row(index)
+    schema = table.schema
+    # One batched uniform read pass (R 0 .. R N-1, the per-block scan order);
+    # accumulators never leave the enclave.
+    for _, framed in table.scan_framed():
+        row = unframe_row(schema, framed)
         if row is None or not matches(row):
             continue
         for accumulator, column in zip(accumulators, columns):
@@ -223,11 +227,15 @@ def _sorted_group_aggregate(
     ]
 
     scratch = FlatStorage(enclave, schema, padded_scratch(max(1, table.capacity)))
+    dummy = frame_dummy(schema)
     position = 0
+    # Same interleaved R-source/W-scratch pattern as the per-block loop, but
+    # keepers' framed bytes are copied through without a codec round trip.
     for index in range(table.capacity):
-        row = table.read_row(index)
+        framed = table.read_framed(index)
+        row = unframe_row(schema, framed)
         keep = row is not None and matches(row)
-        scratch.write_row(position, row if keep else None)
+        scratch.write_framed(position, framed if keep else dummy)
         position += 1
     sort_column = schema.column(group_column)
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from ..enclave.errors import QueryError
 from ..storage.flat import FlatStorage
-from ..storage.rows import framed_size
+from ..storage.rows import framed_size, unframe_row
 from ..storage.schema import Column, Row, Schema, Value, int_column
 from .sort import bitonic_sort, external_oblivious_sort, padded_scratch
 
@@ -88,8 +88,10 @@ def hash_join(
             start = chunk * chunk_rows
             stop = min(start + chunk_rows, table1.capacity)
             hash_table: dict[Value, Row] = {}
-            for index in range(start, stop):
-                row = table1.read_row(index)
+            # Chunk build: one batched range read of T1 (same contiguous
+            # R start .. R stop-1 pattern as the per-block loop).
+            for framed in table1.read_range_framed(start, stop - start):
+                row = unframe_row(table1.schema, framed)
                 if row is not None:
                     hash_table[row[key1]] = row
             for index in range(table2.capacity):

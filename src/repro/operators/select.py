@@ -29,7 +29,7 @@ from ..enclave.errors import StorageError
 from ..oram.path_oram import PathORAM
 from ..storage.flat import FlatStorage
 from ..storage.indexed import IndexedStorage
-from ..storage.rows import frame_row, framed_size, unframe_row
+from ..storage.rows import frame_dummy, frame_row, framed_size, is_dummy, unframe_row
 from ..storage.schema import Row
 from .predicate import Predicate
 
@@ -111,8 +111,10 @@ def small_select(
         while copied < output_size:
             buffer: list[Row] = []
             last_buffered = cursor
-            for index in range(table.capacity):
-                row = table.read_row(index)
+            # Uniform pass: one batched range read (R 0 .. R N-1, the same
+            # per-block order), decode inside the enclave.
+            for index, framed in table.scan_framed():
+                row = unframe_row(table.schema, framed)
                 if (
                     index > cursor
                     and len(buffer) < buffer_rows
@@ -141,16 +143,21 @@ def large_select(table: FlatStorage, predicate: Predicate) -> FlatStorage:
     enclave = table.enclave
     matches = predicate.compile(table.schema)
     output = FlatStorage(enclave, table.schema, table.capacity)
+    # Copy framed bytes directly (same interleaved R-source/W-target pattern,
+    # no decode/re-encode); the clearing pass re-seals keepers' frames as-is.
     for index in range(table.capacity):
-        output.write_row(index, table.read_row(index))
+        output.write_framed(index, table.read_framed(index))
     kept = 0
-    for index in range(output.capacity):
-        row = output.read_row(index)
+
+    def clear(index: int, framed: bytes) -> bytes:
+        nonlocal kept
+        row = unframe_row(table.schema, framed)
         if row is not None and matches(row):
-            output.write_row(index, row)  # dummy write (fresh ciphertext)
             kept += 1
-        else:
-            output.write_row(index, None)
+            return framed  # dummy write (fresh ciphertext)
+        return frame_dummy(table.schema)
+
+    output.exchange_framed(0, output.capacity, clear)
     output._used = kept
     return output
 
@@ -175,12 +182,12 @@ def continuous_select(
     for index in range(table.capacity):
         row = table.read_row(index)
         slot = index % slots
-        current = output.read_row(slot)
+        current = output.read_framed(slot)
         if row is not None and matches(row):
             output.write_row(slot, row)
             written += 1
         else:
-            output.write_row(slot, current)  # dummy write, fresh ciphertext
+            output.write_framed(slot, current)  # dummy write, fresh ciphertext
     output._used = min(written, slots)
     if output_size == 0:
         output._used = 0
@@ -225,13 +232,13 @@ def hash_select(
                 bucket = _hash_slot(attempt, function, index, buckets)
                 for chain in range(HASH_CHAIN_SLOTS):
                     slot = bucket * HASH_CHAIN_SLOTS + chain
-                    current = output.read_row(slot)
-                    if selected and not done and current is None:
+                    current = output.read_framed(slot)
+                    if selected and not done and is_dummy(current):
                         output.write_row(slot, row)
                         done = True
                         placed += 1
                     else:
-                        output.write_row(slot, current)
+                        output.write_framed(slot, current)  # dummy rewrite
             if selected and not done:
                 failed = True
         if not failed:

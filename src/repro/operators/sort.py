@@ -19,16 +19,33 @@ Two sorters over a :class:`~repro.storage.flat.FlatStorage` scratch table:
 Both sort dummy rows after all real rows, so a sorted scratch table has its
 real prefix compacted — which is also how they double as an oblivious
 compaction primitive.
+
+Data-path batching
+------------------
+Sorting works on framed bytes end to end: blocks are never decoded and
+re-encoded just to move them, each compare-exchange level runs as one batched
+pair-exchange pass, and load/sort/store cutovers and merge-splits read and
+write whole runs through the storage range APIs.  Sort keys are computed once
+per row and memoized by block index for the duration of a pass (swaps move the
+cached key with the frame).  The key cache is simulator-side memoization of a
+pure function of row contents — a real enclave would recompute keys after each
+decryption — so it does not change any observable access; the trace of every
+pass is bit-identical to the per-block compare-exchange loop, as the
+trace-equivalence tests assert.
 """
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable
 
 from ..storage.flat import FlatStorage
+from ..storage.rows import unframe_row
 from ..storage.schema import Row
 
 SortKey = Callable[[Row], tuple]
+
+_KEY0 = itemgetter(0)
 
 
 def _effective_key(key: SortKey) -> Callable[[Row | None], tuple]:
@@ -49,6 +66,51 @@ def _ceil_pow2(n: int) -> int:
     return power
 
 
+class _KeyCache:
+    """Per-index memo of lifted sort keys, valid for one sorting pass.
+
+    Keys are a pure function of row contents; caching them per block index
+    (and moving them together with the frames on swaps/stores) avoids
+    recomputing ``lifted(row)`` — including the row decode — on every
+    compare-exchange touching the same block.
+    """
+
+    __slots__ = ("keys", "_lifted", "_schema")
+
+    def __init__(self, table: FlatStorage, key: SortKey) -> None:
+        self.keys: list[tuple | None] = [None] * table.capacity
+        self._lifted = _effective_key(key)
+        self._schema = table.schema
+
+    def key_at(self, index: int, framed: bytes) -> tuple:
+        cached = self.keys[index]
+        if cached is None:
+            cached = self._lifted(unframe_row(self._schema, framed))
+            self.keys[index] = cached
+        return cached
+
+
+def _run_sort(
+    table: FlatStorage, lo: int, length: int, ascending: bool, cache: _KeyCache
+) -> None:
+    """Read a whole run, sort it inside the enclave, write it back.
+
+    Valid for both sort and merge steps because any sequence, bitonic or
+    not, becomes sorted; the block access pattern (read run, write run) is
+    fixed given (lo, length).
+    """
+    frames = table.read_range_framed(lo, length)
+    pairs = [
+        (cache.key_at(lo + i, framed), framed) for i, framed in enumerate(frames)
+    ]
+    pairs.sort(key=_KEY0, reverse=not ascending)
+    table.enclave.cost.record_comparisons(length * max(1, length.bit_length()))
+    keys = cache.keys
+    for i, (key, _) in enumerate(pairs, lo):
+        keys[i] = key
+    table.write_range_framed(lo, [framed for _, framed in pairs])
+
+
 def bitonic_sort(
     table: FlatStorage,
     key: SortKey,
@@ -65,40 +127,39 @@ def bitonic_sort(
         raise ValueError(f"bitonic sort needs a power-of-two capacity, got {n}")
     if n <= 1:
         return
-    lifted = _effective_key(key)
+    cache = _KeyCache(table, key)
+    keys = cache.keys
+    key_at = cache.key_at
     enclave = table.enclave
 
-    def load_sort_store(lo: int, length: int, ascending: bool) -> None:
-        """Cutover: read a whole subrange, sort in the enclave, write back.
+    def exchange_level(lo: int, half: int, ascending: bool) -> None:
+        """One merge level: compare-exchange (i, i+half) for i in [lo, lo+half).
 
-        Valid for both sort and merge steps because any sequence, bitonic or
-        not, becomes sorted; the block access pattern (read run, write run)
-        is fixed given (lo, length).
+        Runs as a single batched pair-exchange pass; the per-pair trace
+        (R i, R i+half, W i, W i+half) matches the per-block loop exactly.
         """
-        rows = [table.read_row(lo + i) for i in range(length)]
-        rows.sort(key=lifted, reverse=not ascending)
-        enclave.cost.record_comparisons(length * max(1, length.bit_length()))
-        for i, row in enumerate(rows):
-            table.write_row(lo + i, row)
 
-    def compare_exchange(i: int, j: int, ascending: bool) -> None:
-        a = table.read_row(i)
-        b = table.read_row(j)
-        enclave.cost.record_comparisons(1)
-        if (lifted(a) > lifted(b)) == ascending:
-            a, b = b, a  # out of order for this direction: swap
-        table.write_row(i, a)
-        table.write_row(j, b)
+        def decide(offset: int, low: bytes, high: bytes) -> tuple[bytes, bytes]:
+            i = lo + offset
+            j = i + half
+            key_low = key_at(i, low)
+            key_high = key_at(j, high)
+            if (key_low > key_high) == ascending:
+                keys[i], keys[j] = key_high, key_low
+                return high, low
+            return low, high
+
+        table.exchange_pairs_framed(lo, half, decide)
+        enclave.cost.record_comparisons(half)
 
     def merge(lo: int, length: int, ascending: bool) -> None:
         if length <= 1:
             return
         if length <= enclave_rows:
-            load_sort_store(lo, length, ascending)
+            _run_sort(table, lo, length, ascending, cache)
             return
         half = length // 2
-        for i in range(lo, lo + half):
-            compare_exchange(i, i + half, ascending)
+        exchange_level(lo, half, ascending)
         merge(lo, half, ascending)
         merge(lo + half, half, ascending)
 
@@ -106,7 +167,7 @@ def bitonic_sort(
         if length <= 1:
             return
         if length <= enclave_rows:
-            load_sort_store(lo, length, ascending)
+            _run_sort(table, lo, length, ascending, cache)
             return
         half = length // 2
         sort(lo, half, True)
@@ -145,24 +206,43 @@ def external_oblivious_sort(
         raise ValueError(f"chunk count {num_chunks} must be a power of two")
 
     with table.enclave.oblivious_buffer(2 * chunk_rows * (table.schema.row_size + 1)):
+        cache = _KeyCache(table, key)
+        keys = cache.keys
+        key_at = cache.key_at
         for chunk in range(num_chunks):
-            _quicksort_chunk(table, chunk * chunk_rows, chunk_rows, key)
-
-        lifted = _effective_key(key)
+            _run_sort(table, chunk * chunk_rows, chunk_rows, True, cache)
 
         def merge_split(left_chunk: int, right_chunk: int, ascending: bool) -> None:
+            """Load two chunks, merge in the enclave, split low/high halves.
+
+            Trace: read left run, read right run, write left run, write
+            right run — identical to the per-block loops.
+            """
             lo_left = left_chunk * chunk_rows
             lo_right = right_chunk * chunk_rows
-            rows = [table.read_row(lo_left + i) for i in range(chunk_rows)]
-            rows += [table.read_row(lo_right + i) for i in range(chunk_rows)]
-            rows.sort(key=lifted, reverse=not ascending)
+            frames = table.read_range_framed(lo_left, chunk_rows)
+            frames += table.read_range_framed(lo_right, chunk_rows)
+            pairs = [
+                (key_at(lo_left + i, framed), framed)
+                for i, framed in enumerate(frames[:chunk_rows])
+            ]
+            pairs += [
+                (key_at(lo_right + i, framed), framed)
+                for i, framed in enumerate(frames[chunk_rows:])
+            ]
+            pairs.sort(key=_KEY0, reverse=not ascending)
             table.enclave.cost.record_comparisons(
                 2 * chunk_rows * max(1, (2 * chunk_rows).bit_length())
             )
             for i in range(chunk_rows):
-                table.write_row(lo_left + i, rows[i])
-            for i in range(chunk_rows):
-                table.write_row(lo_right + i, rows[chunk_rows + i])
+                keys[lo_left + i] = pairs[i][0]
+                keys[lo_right + i] = pairs[chunk_rows + i][0]
+            table.write_range_framed(
+                lo_left, [framed for _, framed in pairs[:chunk_rows]]
+            )
+            table.write_range_framed(
+                lo_right, [framed for _, framed in pairs[chunk_rows:]]
+            )
 
         # Iterative bitonic network over chunk indices.
         k = 2
@@ -180,12 +260,7 @@ def external_oblivious_sort(
 
 def _quicksort_chunk(table: FlatStorage, lo: int, length: int, key: SortKey) -> None:
     """Sort one chunk entirely inside the enclave (read run, write run)."""
-    lifted = _effective_key(key)
-    rows = [table.read_row(lo + i) for i in range(length)]
-    rows.sort(key=lifted)
-    table.enclave.cost.record_comparisons(length * max(1, length.bit_length()))
-    for i, row in enumerate(rows):
-        table.write_row(lo + i, row)
+    _run_sort(table, lo, length, True, _KeyCache(table, key))
 
 
 def padded_scratch(

@@ -12,6 +12,25 @@ The one exception is the *fast insert* path for rarely-deleted tables: the
 enclave remembers the next free slot and writes it directly, leaking only
 the number of insertions — which the adversary already learns from watching
 table sizes over time (Section 3.1).
+
+Data-path batching
+------------------
+All uniform passes run through range primitives (``read_range_framed``,
+``write_range_framed``, ``exchange_framed``, ``exchange_pairs_framed``) that
+amortize per-block Python overhead — one trace append, one ledger fetch and
+commit, one batched seal/open — across a contiguous run of blocks.  The
+invariant, enforced by the trace-equivalence tests, is that every batched
+pass records *exactly* the same adversary-visible access sequence (same
+region, same indices, same order, same read/write interleaving) as the
+equivalent per-block loop: batching amortizes simulator overhead, it never
+merges or reorders observable accesses.
+
+Full-table passes are internally chunked at :data:`_CHUNK_BLOCKS` so the
+enclave side holds a bounded number of decrypted frames at a time, keeping
+the paper's O(1)/O(S) enclave-memory claims honest for arbitrarily large
+tables; concatenated chunk traces are identical to one unchunked pass.
+(:meth:`exchange_pairs_framed` is the exception — a compare-exchange level
+at distance ``half`` inherently needs both ends of every pair in hand.)
 """
 
 from __future__ import annotations
@@ -21,8 +40,13 @@ from typing import Callable, Iterator
 from ..enclave.enclave import Enclave
 from ..enclave.errors import CapacityError, StorageError
 from .integrity import RevisionLedger
-from .rows import frame_dummy, frame_row, unframe_row
+from .rows import frame_dummy, frame_row_validated, is_dummy, unframe_row
 from .schema import Row, Schema
+
+#: Blocks handled per batched call (~0.5 MB of frames at the paper's 512 B
+#: block size): large enough to amortize per-call Python overhead, small
+#: enough to bound enclave-side residency during full-table passes.
+_CHUNK_BLOCKS = 1024
 
 
 class FlatStorage:
@@ -50,9 +74,10 @@ class FlatStorage:
         self._used = 0
         self._next_fast_insert = 0
         # Initialise every block to a sealed dummy so the very first scan
-        # already touches uniform, well-formed ciphertexts.
-        for index in range(capacity):
-            self._seal_and_write(index, frame_dummy(schema))
+        # already touches uniform, well-formed ciphertexts.  One batched
+        # write pass: W 0 .. W capacity-1, as the per-block loop would emit.
+        if capacity:
+            self.write_range_framed(0, [frame_dummy(schema)] * capacity)
 
     # ------------------------------------------------------------------
     # Properties
@@ -78,14 +103,16 @@ class FlatStorage:
     # ------------------------------------------------------------------
     # Block-level primitives (each is one observable untrusted access)
     # ------------------------------------------------------------------
-    def _seal_and_write(self, index: int, framed: bytes) -> None:
+    def write_framed(self, index: int, framed: bytes) -> None:
+        """Seal ``framed`` bytes into one block (one observable write)."""
         revision = self._ledger.next_revision(self._region, index)
         aad = self._ledger.associated_data(self._region, index, revision)
         sealed = self._enclave.seal(framed, aad)
         self._enclave.untrusted.write(self._region, index, sealed)
         self._ledger.commit(self._region, index, revision)
 
-    def _read_framed(self, index: int) -> bytes:
+    def read_framed(self, index: int) -> bytes:
+        """Open one block to its framed bytes (one observable read)."""
         sealed = self._enclave.untrusted.read(self._region, index)
         if sealed is None:
             raise StorageError(f"missing block {self._region}[{index}]")
@@ -95,15 +122,15 @@ class FlatStorage:
 
     def read_row(self, index: int) -> Row | None:
         """Read one block; ``None`` when it holds a dummy row."""
-        return unframe_row(self.schema, self._read_framed(index))
+        return unframe_row(self.schema, self.read_framed(index))
 
     def write_row(self, index: int, row: Row | None) -> None:
         """Write one block: a real row, or a dummy when ``row is None``."""
         if row is None:
             framed = frame_dummy(self.schema)
         else:
-            framed = frame_row(self.schema, self.schema.validate_row(row))
-        self._seal_and_write(index, framed)
+            framed = frame_row_validated(self.schema, row)
+        self.write_framed(index, framed)
 
     def rewrite_row(self, index: int) -> Row | None:
         """Dummy write: re-encrypt the block's current contents.
@@ -111,26 +138,135 @@ class FlatStorage:
         Observable as one read followed by one write, identical to a real
         overwrite; returns the decoded row so scans can piggyback on it.
         """
-        framed = self._read_framed(index)
-        self._seal_and_write(index, framed)
+        framed = self.read_framed(index)
+        self.write_framed(index, framed)
         return unframe_row(self.schema, framed)
+
+    # ------------------------------------------------------------------
+    # Range primitives: contiguous runs of blocks, one batched call each.
+    # Each records the identical per-block access sequence in the trace.
+    # ------------------------------------------------------------------
+    def read_range_framed(self, start: int, count: int) -> list[bytes]:
+        """Open blocks ``[start, start+count)``; trace: R start..start+count-1."""
+        sealed = self._enclave.untrusted.read_range(self._region, start, count)
+        for offset, block in enumerate(sealed):
+            if block is None:
+                raise StorageError(f"missing block {self._region}[{start + offset}]")
+        aads = self._ledger.open_range(self._region, start, count)
+        return self._enclave.open_many(sealed, aads)
+
+    def write_range_framed(self, start: int, frames: list[bytes]) -> None:
+        """Seal ``frames`` into ``[start, start+len))``; trace: W start..."""
+        for offset in range(0, len(frames), _CHUNK_BLOCKS):
+            chunk = frames[offset : offset + _CHUNK_BLOCKS]
+            chunk_start = start + offset
+            revisions, aads = self._ledger.stage_range(
+                self._region, chunk_start, len(chunk)
+            )
+            sealed = self._enclave.seal_many(chunk, aads)
+            self._enclave.untrusted.write_range(self._region, chunk_start, sealed)
+            self._ledger.commit_range(self._region, chunk_start, revisions)
+
+    def exchange_framed(
+        self, start: int, count: int, transform: Callable[[int, bytes], bytes]
+    ) -> None:
+        """Read-modify-write pass: ``transform(index, framed) -> framed``.
+
+        Trace: ``R i, W i`` per slot, in index order — identical to calling
+        :meth:`read_framed` then :meth:`write_framed` per block.  Processed
+        in :data:`_CHUNK_BLOCKS` chunks (each chunk fails atomically, like
+        the per-block loop's prefix behaviour).
+        """
+        end = start + count
+        for chunk_start in range(start, end, _CHUNK_BLOCKS):
+            self._exchange_chunk(
+                chunk_start, min(_CHUNK_BLOCKS, end - chunk_start), transform
+            )
+
+    def _exchange_chunk(
+        self, start: int, count: int, transform: Callable[[int, bytes], bytes]
+    ) -> None:
+        if not count:
+            return
+        region = self._region
+        ledger = self._ledger
+        enclave = self._enclave
+
+        def compute(sealed: list) -> list:
+            for offset, block in enumerate(sealed):
+                if block is None:
+                    raise StorageError(f"missing block {region}[{start + offset}]")
+            aads, next_aads, next_revisions = ledger.advance_range(
+                region, start, count
+            )
+            frames = enclave.open_many(sealed, aads)
+            new_frames = [
+                transform(index, framed)
+                for index, framed in enumerate(frames, start)
+            ]
+            resealed = enclave.seal_many(new_frames, next_aads)
+            ledger.commit_range(region, start, next_revisions)
+            return resealed
+
+        enclave.untrusted.exchange_range(region, start, count, compute)
+
+    def exchange_pairs_framed(
+        self,
+        start: int,
+        half: int,
+        decide: Callable[[int, bytes, bytes], tuple[bytes, bytes]],
+    ) -> None:
+        """Compare-exchange pass at distance ``half`` over ``[start, start+2*half)``.
+
+        ``decide(offset, low_framed, high_framed)`` returns the (possibly
+        swapped) frames for slots ``start+offset`` and ``start+offset+half``.
+        Trace per pair: ``R i, R i+half, W i, W i+half`` — identical to the
+        per-block compare-exchange loop of a bitonic merge level.
+        """
+        region = self._region
+        ledger = self._ledger
+        enclave = self._enclave
+        count = 2 * half
+
+        def compute(lows: list, highs: list) -> tuple[list, list]:
+            blocks = lows + highs
+            for offset, block in enumerate(blocks):
+                if block is None:
+                    raise StorageError(f"missing block {region}[{start + offset}]")
+            aads, next_aads, next_revisions = ledger.advance_range(
+                region, start, count
+            )
+            frames = enclave.open_many(blocks, aads)
+            new_lows: list[bytes] = []
+            new_highs: list[bytes] = []
+            for offset in range(half):
+                low, high = decide(offset, frames[offset], frames[half + offset])
+                new_lows.append(low)
+                new_highs.append(high)
+            resealed = enclave.seal_many(new_lows + new_highs, next_aads)
+            ledger.commit_range(region, start, next_revisions)
+            return resealed[:half], resealed[half:]
+
+        enclave.untrusted.exchange_pairs(region, start, half, compute)
 
     # ------------------------------------------------------------------
     # Oblivious table operations (Section 3.1): one uniform pass each
     # ------------------------------------------------------------------
     def insert(self, row: Row) -> None:
         """Oblivious insert: full pass, real write to the first free block."""
-        self.schema.validate_row(row)
+        framed_new = frame_row_validated(self.schema, row)
         if self._used >= self.capacity:
             raise CapacityError(f"table {self._region} is full")
         inserted = False
-        for index in range(self.capacity):
-            framed = self._read_framed(index)
-            if not inserted and unframe_row(self.schema, framed) is None:
-                self._seal_and_write(index, frame_row(self.schema, row))
+
+        def transform(index: int, framed: bytes) -> bytes:
+            nonlocal inserted
+            if not inserted and is_dummy(framed):
                 inserted = True
-            else:
-                self._seal_and_write(index, framed)
+                return framed_new
+            return framed
+
+        self.exchange_framed(0, self.capacity, transform)
         self._used += 1
         self._next_fast_insert = max(self._next_fast_insert, self._used)
 
@@ -141,10 +277,10 @@ class FlatStorage:
         history).  Intended for tables with few deletions, per Section 3.1;
         after deletions it will not reuse freed slots.
         """
-        self.schema.validate_row(row)
+        framed = frame_row_validated(self.schema, row)
         if self._next_fast_insert >= self.capacity:
             raise CapacityError(f"table {self._region} is full for fast inserts")
-        self.write_row(self._next_fast_insert, row)
+        self.write_framed(self._next_fast_insert, framed)
         self._next_fast_insert += 1
         self._used += 1
 
@@ -156,29 +292,34 @@ class FlatStorage:
         Every block gets a read and a write; returns the number updated.
         """
         updated = 0
-        for index in range(self.capacity):
-            framed = self._read_framed(index)
-            row = unframe_row(self.schema, framed)
+        schema = self.schema
+
+        def transform(index: int, framed: bytes) -> bytes:
+            nonlocal updated
+            row = unframe_row(schema, framed)
             if row is not None and predicate(row):
-                new_row = self.schema.validate_row(assign(row))
-                self._seal_and_write(index, frame_row(self.schema, new_row))
                 updated += 1
-            else:
-                self._seal_and_write(index, framed)
+                return frame_row_validated(schema, assign(row))
+            return framed
+
+        self.exchange_framed(0, self.capacity, transform)
         return updated
 
     def delete(self, predicate: Callable[[Row], bool]) -> int:
         """Oblivious delete: one pass; matches overwritten with dummies."""
         deleted = 0
-        dummy = frame_dummy(self.schema)
-        for index in range(self.capacity):
-            framed = self._read_framed(index)
-            row = unframe_row(self.schema, framed)
+        schema = self.schema
+        dummy = frame_dummy(schema)
+
+        def transform(index: int, framed: bytes) -> bytes:
+            nonlocal deleted
+            row = unframe_row(schema, framed)
             if row is not None and predicate(row):
-                self._seal_and_write(index, dummy)
                 deleted += 1
-            else:
-                self._seal_and_write(index, framed)
+                return dummy
+            return framed
+
+        self.exchange_framed(0, self.capacity, transform)
         self._used -= deleted
         return deleted
 
@@ -188,16 +329,35 @@ class FlatStorage:
     def scan(self) -> Iterator[tuple[int, Row | None]]:
         """Read every block in order, yielding (index, row-or-None).
 
-        The fixed head-to-tail read pattern is oblivious by construction;
-        this is the primitive the planner's statistics pass and the scan
-        sides of the oblivious operators are built from.
+        Lazy, one block per step — partial consumption records exactly the
+        blocks actually read.  Full passes should prefer :meth:`scan_framed`
+        (or :meth:`rows`), which batch the whole read pass.
         """
         for index in range(self.capacity):
             yield index, self.read_row(index)
 
+    def scan_framed(self) -> Iterator[tuple[int, bytes]]:
+        """Batched full scan, yielding (index, framed bytes).
+
+        Reads the region in :data:`_CHUNK_BLOCKS` range calls (trace:
+        R 0 .. R capacity-1, exactly the per-block scan order), holding one
+        chunk of decrypted frames at a time.
+        """
+        capacity = self.capacity
+        for chunk_start in range(0, capacity, _CHUNK_BLOCKS):
+            count = min(_CHUNK_BLOCKS, capacity - chunk_start)
+            frames = self.read_range_framed(chunk_start, count)
+            yield from enumerate(frames, chunk_start)
+
     def rows(self) -> list[Row]:
         """All in-use rows, via one full oblivious scan."""
-        return [row for _, row in self.scan() if row is not None]
+        schema = self.schema
+        result = []
+        for _, framed in self.scan_framed():
+            row = unframe_row(schema, framed)
+            if row is not None:
+                result.append(row)
+        return result
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -206,8 +366,10 @@ class FlatStorage:
         """Copy into a new (possibly larger) flat table, block by block.
 
         This is how ObliDB grows a table past its initial maximum capacity;
-        the access pattern is a uniform read of the source and sequential
-        writes to the target.
+        the access pattern is a uniform read of the source interleaved with
+        sequential writes to the target.  Framed bytes are copied directly —
+        no decode/validate/re-encode round trip — with the same per-block
+        access pattern as before.
         """
         new_capacity = capacity if capacity is not None else self.capacity
         if new_capacity < self.capacity:
@@ -216,7 +378,7 @@ class FlatStorage:
             self._enclave, self.schema, new_capacity, name=name, ledger=self._ledger
         )
         for index in range(self.capacity):
-            target.write_row(index, self.read_row(index))
+            target.write_framed(index, self.read_framed(index))
         target._used = self._used
         target._next_fast_insert = self._next_fast_insert
         return target

@@ -7,7 +7,10 @@ identical to writing a real row because both produce a fresh ciphertext of
 the same length.
 
 The framed form of a row is ``flag byte || encoded row``, always exactly
-``schema.row_size + 1`` bytes.
+``schema.row_size + 1`` bytes.  Dummy frames are constant per row size, so
+they are interned in a small cache instead of re-built per write;
+:func:`frame_row_validated` fuses validation and encoding for the write path
+(one UTF-8 encode per STR value).
 """
 
 from __future__ import annotations
@@ -17,6 +20,8 @@ from .schema import Row, Schema
 FLAG_SIZE = 1
 _IN_USE = b"\x01"
 _DUMMY = b"\x00"
+
+_DUMMY_FRAMES: dict[int, bytes] = {}
 
 
 def framed_size(schema: Schema) -> int:
@@ -29,24 +34,32 @@ def frame_row(schema: Schema, row: Row) -> bytes:
     return _IN_USE + schema.encode_row(row)
 
 
+def frame_row_validated(schema: Schema, row: Row) -> bytes:
+    """Frame a real row, validating and encoding it in a single pass."""
+    return _IN_USE + schema.validate_and_encode_row(row)
+
+
 def frame_dummy(schema: Schema) -> bytes:
     """Frame a dummy row: unused flag followed by zero padding.
 
     The padding is constant rather than random; confidentiality comes from
     the encryption layer, which randomises every ciphertext.
     """
-    return _DUMMY + b"\x00" * schema.row_size
+    frame = _DUMMY_FRAMES.get(schema.row_size)
+    if frame is None:
+        frame = _DUMMY_FRAMES[schema.row_size] = _DUMMY + b"\x00" * schema.row_size
+    return frame
 
 
 def unframe_row(schema: Schema, data: bytes) -> Row | None:
     """Decode a framed row; ``None`` for a dummy."""
     if not data:
         return None
-    if data[0:1] == _DUMMY:
+    if data[0] == 0:
         return None
-    return schema.decode_row(data[FLAG_SIZE:])
+    return schema.decode_row(data, FLAG_SIZE)
 
 
 def is_dummy(data: bytes) -> bool:
     """True when the framed bytes carry a dummy row."""
-    return not data or data[0:1] == _DUMMY
+    return not data or data[0] == 0

@@ -15,6 +15,12 @@ Supported column types:
 INT and STR columns may serve as index keys; their ``sort_key`` encodings are
 order-preserving byte strings so the B+ tree can compare sealed keys after
 decryption without type dispatch.
+
+The whole-row codec is precompiled: each :class:`Schema` builds one
+``struct.Struct`` format string covering every column, so ``encode_row`` /
+``decode_row`` are a single ``pack``/``unpack`` call rather than a per-column
+Python loop.  ``validate_and_encode_row`` fuses validation with encoding so
+STR values are UTF-8 encoded exactly once on the write path.
 """
 
 from __future__ import annotations
@@ -126,6 +132,20 @@ class Schema:
             raise SchemaError(f"duplicate column names in {names}")
         self._index = {column.name: i for i, column in enumerate(self.columns)}
         self.row_size = sum(column.byte_width for column in self.columns)
+        # Precompiled whole-row codec: one struct format covering all columns
+        # ("<" disables padding, so the struct size equals row_size exactly).
+        parts = []
+        str_indices = []
+        for i, column in enumerate(self.columns):
+            if column.type is ColumnType.INT:
+                parts.append("q")
+            elif column.type is ColumnType.FLOAT:
+                parts.append("d")
+            else:
+                parts.append(f"{column.size}s")
+                str_indices.append(i)
+        self._struct = struct.Struct("<" + "".join(parts))
+        self._str_indices: tuple[int, ...] = tuple(str_indices)
 
     def __len__(self) -> int:
         return len(self.columns)
@@ -162,25 +182,58 @@ class Schema:
             column.validate(value)
         return tuple(row)
 
+    def validate_and_encode_row(self, row: Sequence[Value]) -> bytes:
+        """Validate and encode in one pass (STR values are encoded once).
+
+        Equivalent to ``encode_row(validate_row(row))`` but avoids the double
+        UTF-8 encode of STR columns (once for the length check, once for the
+        payload); raises :class:`SchemaError` on any mismatch.
+        """
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self.columns)} columns"
+            )
+        values: list[object] = list(row)
+        for i, (column, value) in enumerate(zip(self.columns, row)):
+            if column.type is ColumnType.STR:
+                if not isinstance(value, str):
+                    raise SchemaError(
+                        f"column {column.name!r} expects str, got {value!r}"
+                    )
+                encoded = value.encode()
+                if len(encoded) > column.size:
+                    raise SchemaError(
+                        f"value {value!r} exceeds {column.size} bytes in column "
+                        f"{column.name!r}"
+                    )
+                values[i] = encoded
+            else:
+                column.validate(value)
+        return self._struct.pack(*values)
+
     def encode_row(self, row: Sequence[Value]) -> bytes:
         """Encode a validated row into exactly ``row_size`` bytes."""
-        return b"".join(
-            column.encode(value) for column, value in zip(self.columns, row)
-        )
+        if self._str_indices:
+            values: list[object] = list(row)
+            for i in self._str_indices:
+                values[i] = values[i].encode()  # type: ignore[union-attr]
+            return self._struct.pack(*values)
+        return self._struct.pack(*row)
 
-    def decode_row(self, data: bytes) -> Row:
-        """Inverse of :meth:`encode_row`."""
-        if len(data) < self.row_size:
+    def decode_row(self, data: bytes, offset: int = 0) -> Row:
+        """Inverse of :meth:`encode_row`; decodes ``data[offset:]``."""
+        if len(data) - offset < self.row_size:
             raise SchemaError(
-                f"row payload of {len(data)} bytes, schema needs {self.row_size}"
+                f"row payload of {len(data) - offset} bytes, "
+                f"schema needs {self.row_size}"
             )
-        values: list[Value] = []
-        offset = 0
-        for column in self.columns:
-            width = column.byte_width
-            values.append(column.decode(data[offset : offset + width]))
-            offset += width
-        return tuple(values)
+        unpacked = self._struct.unpack_from(data, offset)
+        if self._str_indices:
+            values = list(unpacked)
+            for i in self._str_indices:
+                values[i] = values[i].rstrip(b"\x00").decode()
+            return tuple(values)
+        return unpacked
 
     def project(self, names: Sequence[str]) -> "Schema":
         """A new schema containing only ``names``, in the given order."""

@@ -1,0 +1,157 @@
+"""Round-trip and batch-API tests for the vectorized cipher layer.
+
+The keystream rewrite (one-shot generation, integer-wide XOR, precomputed
+keyed hash states) and the ``seal_many``/``open_many`` batch APIs must be
+behaviourally identical to the scalar per-byte definitions: every length
+round-trips, associated data still binds, and any tampered component still
+raises :class:`IntegrityError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import AuthenticatedCipher, IntegrityError, NullCipher
+from repro.enclave.crypto import SealedBlock, _keystream
+
+#: Lengths crossing every keystream-chunk boundary: empty, single byte, just
+#: below/at/above one 64-byte BLAKE2b chunk, multi-chunk, and a large
+#: non-multiple-of-64 tail.
+LENGTHS = [0, 1, 2, 26, 63, 64, 65, 127, 128, 129, 1000]
+
+
+def patterned(length: int) -> bytes:
+    return bytes(i * 37 % 256 for i in range(length))
+
+
+class TestKeystream:
+    def test_prefix_property_within_each_regime(self) -> None:
+        """The keystream is prefix-consistent per nonce within a regime
+        (single keyed-BLAKE2b block up to 64 bytes, SHAKE-256 XOF beyond)."""
+        key, nonce = b"k" * 32, b"n" * 12
+        small = _keystream(key, nonce, 64)
+        for length in [l for l in LENGTHS if 0 < l <= 64]:
+            assert _keystream(key, nonce, length) == small[:length]
+        large = _keystream(key, nonce, 1000)
+        for length in [l for l in LENGTHS if l > 64]:
+            assert _keystream(key, nonce, length) == large[:length]
+
+    def test_zero_length(self) -> None:
+        assert _keystream(b"k" * 32, b"n" * 12, 0) == b""
+
+    def test_distinct_nonces_distinct_streams(self) -> None:
+        key = b"k" * 32
+        assert _keystream(key, b"a" * 12, 64) != _keystream(key, b"b" * 12, 64)
+        assert _keystream(key, b"a" * 12, 200) != _keystream(key, b"b" * 12, 200)
+
+
+@pytest.mark.parametrize("cipher_factory", [
+    lambda: AuthenticatedCipher(b"k" * 32),
+    NullCipher,
+], ids=["authenticated", "null"])
+class TestRoundTrip:
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_roundtrip_every_length(self, cipher_factory, length: int) -> None:
+        cipher = cipher_factory()
+        plaintext = patterned(length)
+        sealed = cipher.seal(plaintext, b"aad")
+        assert cipher.open(sealed, b"aad") == plaintext
+
+    def test_roundtrip_empty_aad(self, cipher_factory) -> None:
+        cipher = cipher_factory()
+        assert cipher.open(cipher.seal(b"payload")) == b"payload"
+
+    def test_wrong_aad_rejected(self, cipher_factory) -> None:
+        cipher = cipher_factory()
+        sealed = cipher.seal(b"payload", b"row:1")
+        with pytest.raises(IntegrityError):
+            cipher.open(sealed, b"row:2")
+
+    @pytest.mark.parametrize("length", [1, 26, 64, 129])
+    def test_tampered_ciphertext_rejected(self, cipher_factory, length: int) -> None:
+        cipher = cipher_factory()
+        sealed = cipher.seal(patterned(length), b"aad")
+        corrupted = SealedBlock(
+            nonce=sealed.nonce,
+            ciphertext=bytes([sealed.ciphertext[0] ^ 1]) + sealed.ciphertext[1:],
+            mac=sealed.mac,
+        )
+        with pytest.raises(IntegrityError):
+            cipher.open(corrupted, b"aad")
+
+    def test_tampered_mac_rejected(self, cipher_factory) -> None:
+        cipher = cipher_factory()
+        sealed = cipher.seal(b"payload", b"aad")
+        corrupted = SealedBlock(
+            nonce=sealed.nonce,
+            ciphertext=sealed.ciphertext,
+            mac=bytes([sealed.mac[0] ^ 1]) + sealed.mac[1:],
+        )
+        with pytest.raises(IntegrityError):
+            cipher.open(corrupted, b"aad")
+
+    def test_batch_roundtrip(self, cipher_factory) -> None:
+        cipher = cipher_factory()
+        plaintexts = [patterned(length) for length in LENGTHS]
+        aads = [f"slot:{i}".encode() for i in range(len(plaintexts))]
+        sealed = cipher.seal_many(plaintexts, aads)
+        assert cipher.open_many(sealed, aads) == plaintexts
+
+    def test_batch_binds_aad_per_block(self, cipher_factory) -> None:
+        cipher = cipher_factory()
+        sealed = cipher.seal_many([b"a", b"b"], [b"aad0", b"aad1"])
+        with pytest.raises(IntegrityError):
+            cipher.open_many(sealed, [b"aad1", b"aad0"])  # swapped
+
+    def test_batch_and_scalar_interoperate(self, cipher_factory) -> None:
+        """Blocks sealed scalar open batched and vice versa."""
+        cipher = cipher_factory()
+        scalar = cipher.seal(b"payload", b"aad")
+        assert cipher.open_many([scalar], [b"aad"]) == [b"payload"]
+        [batched] = cipher.seal_many([b"payload"], [b"aad"])
+        assert cipher.open(batched, b"aad") == b"payload"
+
+    def test_batch_length_mismatch_rejected(self, cipher_factory) -> None:
+        cipher = cipher_factory()
+        with pytest.raises(ValueError):
+            cipher.seal_many([b"a", b"b"], [b"aad"])
+        sealed = cipher.seal_many([b"a"], [b"aad"])
+        with pytest.raises(ValueError):
+            cipher.open_many(sealed, [])
+
+    def test_empty_batch(self, cipher_factory) -> None:
+        cipher = cipher_factory()
+        assert cipher.seal_many([], []) == []
+        assert cipher.open_many([], []) == []
+
+
+class TestAuthenticatedProperties:
+    def test_tampered_nonce_rejected(self) -> None:
+        cipher = AuthenticatedCipher(b"k" * 32)
+        sealed = cipher.seal(b"payload", b"aad")
+        corrupted = SealedBlock(
+            nonce=bytes([sealed.nonce[0] ^ 1]) + sealed.nonce[1:],
+            ciphertext=sealed.ciphertext,
+            mac=sealed.mac,
+        )
+        with pytest.raises(IntegrityError):
+            cipher.open(corrupted, b"aad")
+
+    def test_batch_ciphertexts_randomised(self) -> None:
+        """Equal plaintexts in one batch must still produce fresh nonces and
+        distinct ciphertexts (dummy-write indistinguishability)."""
+        cipher = AuthenticatedCipher(b"k" * 32)
+        a, b = cipher.seal_many([b"same", b"same"], [b"aad", b"aad"])
+        assert a.nonce != b.nonce
+        assert a.ciphertext != b.ciphertext
+
+    def test_multichunk_xor_is_consistent(self) -> None:
+        """Vectorized XOR must equal the definitional per-byte XOR."""
+        cipher = AuthenticatedCipher(b"k" * 32)
+        plaintext = patterned(129)
+        sealed = cipher.seal(plaintext, b"")
+        stream = _keystream(
+            cipher._enc_key, sealed.nonce, len(plaintext)
+        )
+        expected = bytes(p ^ s for p, s in zip(plaintext, stream))
+        assert sealed.ciphertext == expected

@@ -1,0 +1,367 @@
+"""Trace-equivalence tests for the batched sealed-block data path.
+
+The range/batch APIs (``read_range_framed``, ``write_range_framed``,
+``exchange_framed``, ``exchange_pairs_framed`` and everything built on them:
+scans, insert/update/delete passes, the bitonic sorters) exist purely to
+amortize simulator overhead.  The obliviousness argument of the paper rests
+on the *observable access sequence*, so batching must be invisible to the
+adversary: same regions, same indices, same order, same read/write
+interleaving as the per-block loops.
+
+Every test here replays an operation once through the batched production
+code and once through a hand-rolled per-block reference loop (using only the
+single-block primitives ``read_framed``/``write_framed``/``read_row``/
+``write_row``, each of which records exactly one trace event), then asserts
+the two enclaves' traces are identical event for event.  These are the
+regression guard for the paper's security property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave import Enclave
+from repro.operators.sort import bitonic_sort, external_oblivious_sort
+from repro.storage import FlatStorage, Schema
+from repro.storage.rows import frame_row_validated, is_dummy, unframe_row
+from repro.storage.schema import int_column, str_column
+
+
+SCHEMA = Schema([int_column("k"), str_column("v", 8)])
+
+
+def fresh_pair(capacity: int, rows: list[tuple]) -> tuple[FlatStorage, FlatStorage]:
+    """Two identically-populated tables in two fresh enclaves.
+
+    Fresh enclaves share region-name counters (both tables are ``flat#1``),
+    so identical operations must yield byte-identical traces.
+    """
+    tables = []
+    for _ in range(2):
+        enclave = Enclave(cipher="authenticated", keep_trace_events=True)
+        table = FlatStorage(enclave, SCHEMA, capacity)
+        for row in rows:
+            table.fast_insert(row)
+        tables.append(table)
+    return tables[0], tables[1]
+
+
+def assert_traces_match(a: FlatStorage, b: FlatStorage) -> None:
+    trace_a, trace_b = a.enclave.trace, b.enclave.trace
+    assert len(trace_a) == len(trace_b)
+    assert [(e.op, e.region, e.index) for e in trace_a.events] == [
+        (e.op, e.region, e.index) for e in trace_b.events
+    ]
+    assert trace_a.matches(trace_b)
+
+
+ROWS = [(i * 13 % 7, f"r{i}") for i in range(5)]
+
+
+class TestScanEquivalence:
+    def test_batched_scan_matches_per_block_reads(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        got = [unframe_row(SCHEMA, framed) for _, framed in batched.scan_framed()]
+        want = [reference.read_row(i) for i in range(reference.capacity)]
+        assert got == want
+        assert_traces_match(batched, reference)
+
+    def test_rows_matches_per_block_scan(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        assert batched.rows() == [
+            row for _, row in reference.scan() if row is not None
+        ]
+        assert_traces_match(batched, reference)
+
+    def test_range_read_is_n_single_reads(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        frames = batched.read_range_framed(2, 4)
+        want = [reference.read_framed(i) for i in range(2, 6)]
+        assert [is_dummy(f) for f in frames] == [is_dummy(f) for f in want]
+        assert_traces_match(batched, reference)
+
+    def test_range_write_is_n_single_writes(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        frames = [frame_row_validated(SCHEMA, (9, "x"))] * 3
+        batched.write_range_framed(1, frames)
+        for i, framed in enumerate(frames, 1):
+            reference.write_framed(i, framed)
+        assert_traces_match(batched, reference)
+
+
+class TestPassEquivalence:
+    def test_insert_pass(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        batched.insert((42, "new"))
+        # Reference: the seed's per-block read/write pass.
+        framed_new = frame_row_validated(SCHEMA, (42, "new"))
+        inserted = False
+        for index in range(reference.capacity):
+            framed = reference.read_framed(index)
+            if not inserted and is_dummy(framed):
+                reference.write_framed(index, framed_new)
+                inserted = True
+            else:
+                reference.write_framed(index, framed)
+        assert inserted
+        assert_traces_match(batched, reference)
+        assert sorted(batched.rows()) == sorted(reference.rows())
+
+    def test_update_pass(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        predicate = lambda row: row[0] % 2 == 0  # noqa: E731
+        assign = lambda row: (row[0], "upd")  # noqa: E731
+        batched.update(predicate, assign)
+        for index in range(reference.capacity):
+            framed = reference.read_framed(index)
+            row = unframe_row(SCHEMA, framed)
+            if row is not None and predicate(row):
+                reference.write_framed(index, frame_row_validated(SCHEMA, assign(row)))
+            else:
+                reference.write_framed(index, framed)
+        assert_traces_match(batched, reference)
+        assert sorted(batched.rows()) == sorted(reference.rows())
+
+    def test_update_trace_is_data_independent(self) -> None:
+        """Zero matches and all matches must leave identical traces."""
+        none_match, all_match = fresh_pair(8, ROWS)
+        none_match.update(lambda row: False, lambda row: row)
+        all_match.update(lambda row: True, lambda row: (row[0], "y"))
+        assert_traces_match(none_match, all_match)
+
+    def test_delete_pass(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        predicate = lambda row: row[0] < 3  # noqa: E731
+        batched.delete(predicate)
+        for index in range(reference.capacity):
+            framed = reference.read_framed(index)
+            row = unframe_row(SCHEMA, framed)
+            if row is not None and predicate(row):
+                reference.write_row(index, None)
+            else:
+                reference.write_framed(index, framed)
+        assert_traces_match(batched, reference)
+        assert sorted(batched.rows()) == sorted(reference.rows())
+
+    def test_copy_to_keeps_interleaved_pattern(self) -> None:
+        batched, reference = fresh_pair(4, ROWS[:3])
+        batched.copy_to(capacity=8)
+        # Reference: allocate the target (its init writes one dummy pass),
+        # then the per-block interleaved read-source/write-target loop.
+        target = FlatStorage(
+            reference.enclave, SCHEMA, 8, ledger=reference._ledger
+        )
+        for index in range(reference.capacity):
+            target.write_framed(index, reference.read_framed(index))
+        assert_traces_match(batched, reference)
+
+
+def reference_bitonic_sort(table: FlatStorage, key, enclave_rows: int = 1) -> None:
+    """The seed's per-block bitonic sort: one trace event per access."""
+
+    def lifted(row):
+        return (1,) if row is None else (0,) + key(row)
+
+    n = table.capacity
+    enclave = table.enclave
+
+    def load_sort_store(lo: int, length: int, ascending: bool) -> None:
+        rows = [table.read_row(lo + i) for i in range(length)]
+        rows.sort(key=lifted, reverse=not ascending)
+        enclave.cost.record_comparisons(length * max(1, length.bit_length()))
+        for i, row in enumerate(rows):
+            table.write_row(lo + i, row)
+
+    def compare_exchange(i: int, j: int, ascending: bool) -> None:
+        a = table.read_row(i)
+        b = table.read_row(j)
+        enclave.cost.record_comparisons(1)
+        if (lifted(a) > lifted(b)) == ascending:
+            a, b = b, a
+        table.write_row(i, a)
+        table.write_row(j, b)
+
+    def merge(lo: int, length: int, ascending: bool) -> None:
+        if length <= 1:
+            return
+        if length <= enclave_rows:
+            load_sort_store(lo, length, ascending)
+            return
+        half = length // 2
+        for i in range(lo, lo + half):
+            compare_exchange(i, i + half, ascending)
+        merge(lo, half, ascending)
+        merge(lo + half, half, ascending)
+
+    def sort(lo: int, length: int, ascending: bool) -> None:
+        if length <= 1:
+            return
+        if length <= enclave_rows:
+            load_sort_store(lo, length, ascending)
+            return
+        half = length // 2
+        sort(lo, half, True)
+        sort(lo + half, half, False)
+        merge(lo, length, ascending)
+
+    sort(0, n, True)
+
+
+class TestSortEquivalence:
+    KEY = staticmethod(lambda row: (row[0], row[1]))
+
+    def test_bitonic_network_trace_and_result(self) -> None:
+        rows = [(i * 7 % 11, f"r{i}") for i in range(11)]
+        batched, reference = fresh_pair(16, rows)
+        bitonic_sort(batched, self.KEY)
+        reference_bitonic_sort(reference, self.KEY)
+        assert_traces_match(batched, reference)
+        # Cost model must agree too (comparisons, block transfers).
+        assert batched.enclave.cost.snapshot() == reference.enclave.cost.snapshot()
+        got = batched.rows()
+        assert got == reference.rows()
+        assert [row[0] for row in got] == sorted(row[0] for row in got)
+
+    def test_bitonic_cutover_trace_and_result(self) -> None:
+        rows = [(i * 5 % 9, f"r{i}") for i in range(9)]
+        batched, reference = fresh_pair(16, rows)
+        bitonic_sort(batched, self.KEY, enclave_rows=4)
+        reference_bitonic_sort(reference, self.KEY, enclave_rows=4)
+        assert_traces_match(batched, reference)
+        assert batched.enclave.cost.snapshot() == reference.enclave.cost.snapshot()
+        assert batched.rows() == reference.rows()
+
+    def test_bitonic_trace_is_data_independent(self) -> None:
+        """Two different datasets of equal size: identical sort traces."""
+        a, _ = fresh_pair(16, [(i, "a") for i in range(12)])
+        b, _ = fresh_pair(16, [(100 - i, "b") for i in range(12)])
+        bitonic_sort(a, self.KEY)
+        bitonic_sort(b, self.KEY)
+        assert a.enclave.trace.matches(b.enclave.trace)
+
+    def test_external_sort_merge_split_trace(self) -> None:
+        """Merge-split runs read run/read run/write run/write run, exactly
+        as the per-block loops did; result stays sorted."""
+        rows = [(i * 3 % 13, f"r{i}") for i in range(13)]
+        batched, reference = fresh_pair(16, rows)
+        external_oblivious_sort(batched, self.KEY, chunk_rows=4)
+
+        # Reference: per-block implementation of the same chunked algorithm.
+        def lifted(row):
+            return (1,) if row is None else (0,) + self.KEY(row)
+
+        chunk_rows = 4
+        n = reference.capacity
+        num_chunks = n // chunk_rows
+        with reference.enclave.oblivious_buffer(
+            2 * chunk_rows * (reference.schema.row_size + 1)
+        ):
+            for chunk in range(num_chunks):
+                lo = chunk * chunk_rows
+                rows_ = [reference.read_row(lo + i) for i in range(chunk_rows)]
+                rows_.sort(key=lifted)
+                reference.enclave.cost.record_comparisons(
+                    chunk_rows * max(1, chunk_rows.bit_length())
+                )
+                for i, row in enumerate(rows_):
+                    reference.write_row(lo + i, row)
+
+            def merge_split(left: int, right: int, ascending: bool) -> None:
+                lo_left = left * chunk_rows
+                lo_right = right * chunk_rows
+                rows_ = [reference.read_row(lo_left + i) for i in range(chunk_rows)]
+                rows_ += [reference.read_row(lo_right + i) for i in range(chunk_rows)]
+                rows_.sort(key=lifted, reverse=not ascending)
+                reference.enclave.cost.record_comparisons(
+                    2 * chunk_rows * max(1, (2 * chunk_rows).bit_length())
+                )
+                for i in range(chunk_rows):
+                    reference.write_row(lo_left + i, rows_[i])
+                for i in range(chunk_rows):
+                    reference.write_row(lo_right + i, rows_[chunk_rows + i])
+
+            k = 2
+            while k <= num_chunks:
+                j = k // 2
+                while j >= 1:
+                    for i in range(num_chunks):
+                        partner = i ^ j
+                        if partner > i:
+                            merge_split(i, partner, (i & k) == 0)
+                    j //= 2
+                k *= 2
+
+        assert_traces_match(batched, reference)
+        assert batched.rows() == reference.rows()
+
+
+class TestChunkedPassEquivalence:
+    """Full-table passes split into bounded chunks must stay trace-identical.
+
+    ``_CHUNK_BLOCKS`` is shrunk below the table size so every pass crosses
+    chunk boundaries (production value is 1024, far above these tables).
+    """
+
+    @pytest.fixture(autouse=True)
+    def small_chunks(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        import repro.storage.flat as flat
+
+        monkeypatch.setattr(flat, "_CHUNK_BLOCKS", 3)
+
+    def test_chunked_scan_matches_per_block_reads(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        got = [unframe_row(SCHEMA, framed) for _, framed in batched.scan_framed()]
+        want = [reference.read_row(i) for i in range(reference.capacity)]
+        assert got == want
+        assert_traces_match(batched, reference)
+
+    def test_chunked_update_pass(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        predicate = lambda row: row[0] % 2 == 0  # noqa: E731
+        assign = lambda row: (row[0], "upd")  # noqa: E731
+        batched.update(predicate, assign)
+        for index in range(reference.capacity):
+            framed = reference.read_framed(index)
+            row = unframe_row(SCHEMA, framed)
+            if row is not None and predicate(row):
+                reference.write_framed(index, frame_row_validated(SCHEMA, assign(row)))
+            else:
+                reference.write_framed(index, framed)
+        assert_traces_match(batched, reference)
+        assert sorted(batched.rows()) == sorted(reference.rows())
+
+    def test_chunked_range_write(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        frames = [frame_row_validated(SCHEMA, (i, "x")) for i in range(7)]
+        batched.write_range_framed(0, frames)
+        for i, framed in enumerate(frames):
+            reference.write_framed(i, framed)
+        assert_traces_match(batched, reference)
+        assert batched.rows() == reference.rows()
+
+
+class TestBatchSemantics:
+    def test_exchange_pass_rejects_wrong_block_count(self) -> None:
+        from repro.enclave.errors import StorageError
+
+        table, _ = fresh_pair(4, ROWS[:2])
+        with pytest.raises(StorageError):
+            table.enclave.untrusted.exchange_range(
+                table.region_name, 0, 4, lambda blocks: blocks[:-1]
+            )
+
+    def test_range_read_out_of_bounds(self) -> None:
+        from repro.enclave.errors import StorageError
+
+        table, _ = fresh_pair(4, ROWS[:2])
+        with pytest.raises(StorageError):
+            table.read_range_framed(2, 4)
+
+    def test_batched_ciphertexts_are_fresh(self) -> None:
+        """A batched dummy pass must re-randomise every ciphertext."""
+        table, _ = fresh_pair(4, ROWS[:2])
+        before = [table.enclave.untrusted.peek(table.region_name, i) for i in range(4)]
+        table.exchange_framed(0, 4, lambda index, framed: framed)
+        after = [table.enclave.untrusted.peek(table.region_name, i) for i in range(4)]
+        for old, new in zip(before, after):
+            assert old.nonce != new.nonce or old.ciphertext != new.ciphertext
