@@ -6,6 +6,8 @@ performance arguments depend on:
 
 * every access to untrusted memory is observable (``trace``),
 * data at rest outside the enclave is encrypted and MACed (``crypto``),
+* every stored block is bound to its identity and revision so shuffles and
+  rollbacks are detected (``integrity``),
 * the enclave has a limited oblivious-memory budget (``enclave``),
 * costs are counted per block transfer / ORAM access (``counters``).
 """
@@ -28,6 +30,7 @@ from .errors import (
     SQLSyntaxError,
     StorageError,
 )
+from .integrity import RevisionLedger
 from .memory import Region, UntrustedMemory
 from .trace import AccessEvent, AccessTrace
 
@@ -54,6 +57,7 @@ __all__ = [
     "QueryError",
     "Quote",
     "Region",
+    "RevisionLedger",
     "RollbackError",
     "SQLSyntaxError",
     "SchemaError",

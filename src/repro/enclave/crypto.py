@@ -21,9 +21,14 @@ is produced in one pre-sized pass, the XOR runs integer-wide via
 state for both keystream and MAC is precomputed once per cipher and ``copy``-ed
 per block (skipping BLAKE2b's key-block compression on every call).  The
 ``seal_many``/``open_many`` batch API additionally shares nonce generation and
-attribute lookups across a run of blocks.  None of this changes observable
-behaviour: every length round-trips and every tampered component still fails
-verification, as the round-trip property tests assert.
+attribute lookups across a run of blocks, taking one *per-block* associated
+data value per plaintext/ciphertext: the blocks of one batch are typically
+bound to different slots (and revisions) of a region — a flat-table chunk, a
+Path ORAM root→leaf path, a Ring ORAM slot set — so a whole path is sealed
+or opened in one keystream pass without weakening the identity binding.
+None of this changes observable behaviour: every length round-trips and
+every tampered component still fails verification, as the round-trip
+property tests assert.
 
 ``NullCipher`` implements the same interface without byte-level work; it is
 used by large benchmarks where only access counts matter.  It still binds

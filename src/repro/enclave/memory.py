@@ -8,7 +8,9 @@ model, because this interface is exactly what a malicious OS observes.
 
 The store offers no content-addressed operations: the enclave must touch
 individual (region, index) slots, mirroring how an SGX application pages data
-in and out through OS upcalls.  The *range* primitives below are purely a
+in and out through OS upcalls.  The *range* primitives below (contiguous
+runs) and the *gather/scatter* primitives ``read_at``/``write_at``
+(arbitrary index sequences, e.g. heap-ordered ORAM tree paths) are purely a
 simulator optimisation: they perform N slot accesses with one Python call,
 recording exactly the same N per-slot events in the trace and cost model as
 N individual ``read``/``write`` calls would — the adversary-visible sequence
@@ -152,6 +154,59 @@ class UntrustedMemory:
         self._trace.record_range("W", region_name, start, count)
         self._cost.record_write(count)
         region._slots[start : start + count] = list(blocks)
+
+    # ------------------------------------------------------------------
+    # Gather/scatter primitives: N accesses at arbitrary indices, one call
+    # ------------------------------------------------------------------
+    def _check_indices(self, region: Region, indices: Sequence[int], what: str) -> None:
+        capacity = region.capacity
+        for index in indices:
+            if not 0 <= index < capacity:
+                raise StorageError(
+                    f"{what} out of bounds: {region.name}[{index}] "
+                    f"(capacity {capacity})"
+                )
+
+    def read_at(
+        self, region_name: str, indices: Sequence[int]
+    ) -> list[SealedBlock | None]:
+        """Read the slots named by ``indices``, in the given order.
+
+        The gather primitive for non-contiguous slot sets (ORAM tree paths
+        are heap-ordered: a root→leaf path reads indices like ``0, 2, 5``).
+        Observable as ``len(indices)`` individual reads in exactly that
+        order — bit-identical to the per-slot ``read`` loop.
+        """
+        region = self.region(region_name)
+        self._check_indices(region, indices, "gather read")
+        self._trace.record_at("R", region_name, indices)
+        self._cost.record_read(len(indices))
+        slots = region._slots
+        return [slots[index] for index in indices]
+
+    def write_at(
+        self,
+        region_name: str,
+        indices: Sequence[int],
+        blocks: Sequence[SealedBlock | None],
+    ) -> None:
+        """Write ``blocks`` to the slots named by ``indices``, in order.
+
+        The scatter primitive paired with :meth:`read_at`; ORAM path
+        write-back scatters leaf→root, i.e. the reversed read order.
+        Observable as ``len(indices)`` individual writes in that order.
+        """
+        region = self.region(region_name)
+        if len(blocks) != len(indices):
+            raise StorageError(
+                f"scatter write of {len(blocks)} blocks to {len(indices)} slots"
+            )
+        self._check_indices(region, indices, "scatter write")
+        self._trace.record_at("W", region_name, indices)
+        self._cost.record_write(len(indices))
+        slots = region._slots
+        for index, block in zip(indices, blocks):
+            slots[index] = block
 
     def exchange_range(
         self,

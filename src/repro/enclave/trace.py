@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 #: Upper bound on memoized batch patterns before the memo is reset.
 _PATTERN_CACHE_MAX = 512
@@ -104,6 +104,25 @@ class AccessTrace:
             self._events.extend(
                 AccessEvent(op, region, i) for i in range(start, start + count)
             )
+
+    def record_at(self, op: str, region: str, indices: Sequence[int]) -> None:
+        """Record one access per index, in the given (arbitrary) order.
+
+        The gather/scatter analogue of :meth:`record_range` for
+        non-contiguous slot sets — ORAM tree paths are heap-ordered, so a
+        root→leaf read touches indices like ``0, 2, 5, 12``.  Digest-identical
+        to ``record(op, region, i)`` for each ``i`` in ``indices``.  No
+        pattern memoization: paths are short (tree depth) and their index
+        sets are drawn from a large space, so caching would only churn the
+        memo that the long contiguous patterns rely on.
+        """
+        if not indices:
+            return
+        prefix = f"{op}|{region}|"
+        self._hash.update("".join(f"{prefix}{i};" for i in indices).encode())
+        self._length += len(indices)
+        if self._keep_events:
+            self._events.extend(AccessEvent(op, region, i) for i in indices)
 
     def record_rw_range(self, region: str, start: int, count: int) -> None:
         """Record ``count`` interleaved (read, write) pairs over a range.

@@ -20,7 +20,7 @@ from enum import Enum
 
 from ..enclave.errors import ObliviousMemoryError, QueryError
 from ..storage.flat import FlatStorage
-from ..storage.rows import frame_dummy, unframe_row
+from ..storage.rows import frame_dummy, unframe_row, unframe_rows
 from ..storage.schema import Column, ColumnType, Row, Schema, Value, float_column
 from .predicate import Predicate, TruePredicate
 from .sort import bitonic_sort, external_oblivious_sort, padded_scratch
@@ -117,14 +117,15 @@ def aggregate(
     ]
     accumulators = [_Accumulator(spec) for spec in specs]
     schema = table.schema
-    # One batched uniform read pass (R 0 .. R N-1, the per-block scan order);
-    # accumulators never leave the enclave.
-    for _, framed in table.scan_framed():
-        row = unframe_row(schema, framed)
-        if row is None or not matches(row):
-            continue
-        for accumulator, column in zip(accumulators, columns):
-            accumulator.add(row[column] if column is not None else None)
+    # One batched uniform read pass (R 0 .. R N-1, the per-block scan order),
+    # each chunk decoded in one precompiled codec pass; accumulators never
+    # leave the enclave.
+    for _, frames in table.scan_framed_chunks():
+        for row in unframe_rows(schema, frames):
+            if row is None or not matches(row):
+                continue
+            for accumulator, column in zip(accumulators, columns):
+                accumulator.add(row[column] if column is not None else None)
     return tuple(accumulator.result() for accumulator in accumulators)
 
 
@@ -174,19 +175,22 @@ def group_by_aggregate(
     )
     reserved = 0
     try:
-        for index in range(table.capacity):
-            row = table.read_row(index)
-            if row is None or not matches(row):
-                continue
-            key = row[group_index]
-            accumulators = groups.get(key)
-            if accumulators is None:
-                enclave.oblivious.allocate(per_group_bytes)
-                reserved += per_group_bytes
-                accumulators = [_Accumulator(spec) for spec in specs]
-                groups[key] = accumulators
-            for accumulator, column in zip(accumulators, columns):
-                accumulator.add(row[column] if column is not None else None)
+        # Hash build: one batched uniform read pass (R 0 .. R N-1, exactly
+        # the per-block loop's order), each chunk decoded in one precompiled
+        # codec pass; the group table lives in oblivious memory.
+        for _, frames in table.scan_framed_chunks():
+            for row in unframe_rows(schema, frames):
+                if row is None or not matches(row):
+                    continue
+                key = row[group_index]
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    enclave.oblivious.allocate(per_group_bytes)
+                    reserved += per_group_bytes
+                    accumulators = [_Accumulator(spec) for spec in specs]
+                    groups[key] = accumulators
+                for accumulator, column in zip(accumulators, columns):
+                    accumulator.add(row[column] if column is not None else None)
     except ObliviousMemoryError:
         enclave.oblivious.release(reserved)
         return _sorted_group_aggregate(table, group_column, specs, predicate)

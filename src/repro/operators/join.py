@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from ..enclave.errors import QueryError
 from ..storage.flat import FlatStorage
-from ..storage.rows import framed_size, unframe_row
+from ..storage.rows import framed_size, unframe_rows
 from ..storage.schema import Column, Row, Schema, Value, int_column
 from .sort import bitonic_sort, external_oblivious_sort, padded_scratch
 
@@ -89,9 +89,11 @@ def hash_join(
             stop = min(start + chunk_rows, table1.capacity)
             hash_table: dict[Value, Row] = {}
             # Chunk build: one batched range read of T1 (same contiguous
-            # R start .. R stop-1 pattern as the per-block loop).
-            for framed in table1.read_range_framed(start, stop - start):
-                row = unframe_row(table1.schema, framed)
+            # R start .. R stop-1 pattern as the per-block loop) decoded in
+            # a single precompiled codec pass.
+            for row in unframe_rows(
+                table1.schema, table1.read_range_framed(start, stop - start)
+            ):
                 if row is not None:
                     hash_table[row[key1]] = row
             for index in range(table2.capacity):

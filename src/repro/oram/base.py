@@ -14,6 +14,54 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 
+#: Blocks sealed per batched init call: large enough to amortize per-call
+#: overhead, small enough to bound enclave-side residency while a region is
+#: initialised (mirrors flat storage's chunking discipline).
+INIT_CHUNK_BLOCKS = 1024
+
+
+def greedy_eviction_placements(
+    stash: dict[int, tuple[int, bytes]],
+    leaf: int,
+    leaves: int,
+    num_buckets: int,
+    levels: int,
+    per_level: int,
+) -> tuple[list[list[tuple[int, tuple[int, bytes]]]], dict[int, tuple[int, bytes]]]:
+    """Plan one greedy path eviction in a single pass over the stash.
+
+    A stash block assigned to leaf ``l`` may live in bucket ``path[d]`` iff
+    ``d`` is at most the deepest depth the root→``l`` path shares with the
+    access path — computed per block via 1-based heap arithmetic (the XOR of
+    two leaf nodes' heap indices has bit length equal to the levels below
+    their deepest common ancestor).  Each level then takes the first
+    ``per_level`` eligible blocks in stash order, deepest level first with
+    overflow cascading toward the root: exactly the placements of the
+    per-level O(stash×levels) rescan, which both Path ORAM and Ring ORAM
+    evictions used before batching (and which the reference implementations
+    in the trace-equivalence tests still use).
+
+    Returns (placements indexed by depth, each a list of stash items in
+    stash order; the remaining stash as a dict preserving stash order).
+    """
+    leaf_base = num_buckets - leaves + 1  # 1-based heap index of leaf 0
+    access_node = leaf_base + leaf
+    top = levels - 1
+    by_depth: list[list] = [[] for _ in range(levels)]
+    for order, item in enumerate(stash.items()):
+        depth = top - ((leaf_base + item[1][0]) ^ access_node).bit_length()
+        by_depth[depth].append((order, item))
+    placements: list[list[tuple[int, tuple[int, bytes]]]] = [[] for _ in range(levels)]
+    carry: list = []
+    for depth in range(top, -1, -1):
+        pool = by_depth[depth]
+        if carry:
+            pool = sorted(carry + pool)
+        placements[depth] = [item for _, item in pool[:per_level]]
+        carry = pool[per_level:]
+    return placements, dict(item for _, item in carry)
+
+
 class ORAM(ABC):
     """Oblivious block store: fixed capacity of fixed-size blocks."""
 
@@ -46,6 +94,17 @@ class ORAM(ABC):
     @abstractmethod
     def free(self) -> None:
         """Release untrusted regions and oblivious-memory reservations."""
+
+    def dummy_accesses(self, count: int) -> None:
+        """Perform ``count`` dummy accesses (a padding burst).
+
+        Each one is a full :meth:`dummy_access` — batching here amortizes
+        only the caller's per-access bookkeeping (the B+ tree pads in bursts
+        computed once per operation); the observable per-access pattern is
+        unchanged.
+        """
+        for _ in range(count):
+            self.dummy_access()
 
     @property
     def accesses_per_operation(self) -> int:

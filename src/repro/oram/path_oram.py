@@ -19,6 +19,26 @@ of each access is one uniformly random path — independent of which logical
 block was touched.  ``dummy_access`` performs steps 2–4 for a random leaf
 without touching any block, which is what lets the B+ tree pad its
 operations to worst-case counts.
+
+Batched path pipeline
+---------------------
+Paths are heap-ordered and non-contiguous, so the whole access rides on the
+gather/scatter primitives: one ``untrusted.read_at`` over the root→leaf
+indices, one ``open_many`` with the path's per-bucket associated data, the
+stash merge, a single-pass greedy eviction (stash blocks are bucketed by
+their deepest eligible path depth instead of rescanning the stash once per
+level), one ``seal_many``, and one ``write_at`` in leaf→root order.  The
+adversary-visible access sequence is bit-identical to the per-bucket loop
+(``R root..leaf`` then ``W leaf..root``); only interpreter overhead is
+amortized — enforced by the ORAM cases in
+``tests/storage/test_datapath_equivalence.py``.
+
+Every sealed bucket is bound to its tree position *and* a per-bucket
+revision number through a :class:`~repro.enclave.integrity.RevisionLedger`,
+so a malicious OS can neither transplant buckets between positions nor
+replay an old (validly MACed) bucket image — the same rollback protection
+flat storage has.  The ledger's ``open_at``/``stage_at``/``commit_at``
+fetch a whole path's associated data in one call each.
 """
 
 from __future__ import annotations
@@ -28,7 +48,8 @@ import struct
 
 from ..enclave.enclave import Enclave
 from ..enclave.errors import ORAMError
-from .base import ORAM
+from ..enclave.integrity import RevisionLedger
+from .base import INIT_CHUNK_BLOCKS, ORAM, greedy_eviction_placements
 
 #: Bytes of oblivious memory per position-map entry (paper, Figure 3 caption).
 POSITION_MAP_BYTES_PER_BLOCK = 8
@@ -40,6 +61,8 @@ DEFAULT_BUCKET_SIZE = 4
 DEFAULT_STASH_LIMIT = 256
 
 _HEADER = struct.Struct("<qqI")  # block_id, leaf, payload length
+
+_EMPTY_HEADER = _HEADER.pack(-1, -1, 0)
 
 
 def _pack_bucket(
@@ -54,9 +77,8 @@ def _pack_bucket(
     for block_id, leaf, payload in entries:
         parts.append(_HEADER.pack(block_id, leaf, len(payload)))
         parts.append(payload.ljust(block_size, b"\x00"))
-    for _ in range(bucket_size - len(entries)):
-        parts.append(_HEADER.pack(-1, -1, 0))
-        parts.append(b"\x00" * block_size)
+    empty = _EMPTY_HEADER + b"\x00" * block_size
+    parts.extend([empty] * (bucket_size - len(entries)))
     return b"".join(parts)
 
 
@@ -128,9 +150,13 @@ class PathORAM(ORAM):
         self._leaves = leaves
         self._levels = leaves.bit_length()  # root level 0 .. leaf level L
         self._num_buckets = 2 * leaves - 1
+        self._empty_slot = _EMPTY_HEADER + b"\x00" * block_size
 
         self._region = region_name or enclave.fresh_region_name("oram")
         enclave.untrusted.allocate_region(self._region, self._num_buckets)
+        # Bucket AADs bind tree position AND a per-bucket revision number,
+        # so stale bucket images cannot be replayed (rollback protection).
+        self._ledger = RevisionLedger()
 
         # Client state, charged to oblivious memory.
         self._posmap_bytes = (
@@ -145,18 +171,24 @@ class PathORAM(ORAM):
         self._freed = False
 
         # Initialise every bucket so reads before first write are well formed.
-        empty = _pack_bucket([], bucket_size, block_size)
-        for index in range(self._num_buckets):
-            sealed = enclave.seal(empty, self._bucket_aad(index))
-            enclave.untrusted.write(self._region, index, sealed)
+        self._initialise_buckets(self._pack([]))
+
+    def _initialise_buckets(self, empty: bytes) -> None:
+        """Seal one empty bucket per tree node, batched in bounded chunks:
+        one ``seal_many`` keystream pass and one contiguous ``write_range``
+        per chunk (trace: W 0..num_buckets-1, exactly the per-bucket init
+        loop's sequence)."""
+        enclave = self._enclave
+        for start in range(0, self._num_buckets, INIT_CHUNK_BLOCKS):
+            count = min(INIT_CHUNK_BLOCKS, self._num_buckets - start)
+            revisions, aads = self._ledger.stage_range(self._region, start, count)
+            sealed = enclave.seal_many([empty] * count, aads)
+            enclave.untrusted.write_range(self._region, start, sealed)
+            self._ledger.commit_range(self._region, start, revisions)
 
     # ------------------------------------------------------------------
     # Geometry helpers (heap-ordered complete binary tree)
     # ------------------------------------------------------------------
-    def _bucket_aad(self, index: int) -> bytes:
-        """Associated data binding a sealed bucket to its tree position."""
-        return f"{self._region}:{index}".encode()
-
     def _path_indices(self, leaf: int) -> list[int]:
         """Bucket indices from root to the given leaf."""
         index = self._num_buckets - self._leaves + leaf  # leaf bucket index
@@ -215,10 +247,16 @@ class PathORAM(ORAM):
         ``mutate``, if given, maps the current payload (or ``None``) to the
         new payload within the same access — a read-modify-write in one
         observable operation, used by the recursive position map.
+
+        The whole path is handled in one batched pipeline: gather →
+        ``open_many`` → stash merge → single-pass greedy eviction →
+        ``seal_many`` → scatter.  Trace: ``R root..leaf, W leaf..root``,
+        identical to the per-bucket loop.
         """
         if self._freed:
             raise ORAMError("ORAM has been freed")
-        self._enclave.cost.record_oram_access()
+        enclave = self._enclave
+        enclave.cost.record_oram_access()
 
         if block_id is not None:
             self.check_block_id(block_id)
@@ -226,58 +264,64 @@ class PathORAM(ORAM):
         else:
             leaf = self._rng.randrange(self._leaves)
 
+        region = self._region
         path = self._path_indices(leaf)
 
-        # Read the whole path into the stash.
-        for index in path:
-            sealed = self._enclave.untrusted.read(self._region, index)
-            if sealed is None:
-                raise ORAMError(f"missing bucket {index} in {self._region}")
-            plaintext = self._enclave.open(sealed, self._bucket_aad(index))
+        # Read the whole path into the stash: one gather, one keystream pass.
+        sealed = enclave.untrusted.read_at(region, path)
+        for index, block in zip(path, sealed):
+            if block is None:
+                raise ORAMError(f"missing bucket {index} in {region}")
+        plaintexts = enclave.open_many(sealed, self._ledger.open_at(region, path))
+        stash = self._stash
+        bucket_size = self._bucket_size
+        block_size = self._block_size
+        for plaintext in plaintexts:
             for bid, bleaf, payload in _unpack_bucket(
-                plaintext, self._bucket_size, self._block_size
+                plaintext, bucket_size, block_size
             ):
-                self._stash[bid] = (bleaf, payload)
+                stash[bid] = (bleaf, payload)
 
         result: bytes | None = None
         if block_id is not None:
             # Remap to a fresh leaf; serve the read from the stash.
             new_leaf = self._rng.randrange(self._leaves)
-            if block_id in self._stash:
-                _, payload = self._stash[block_id]
+            if block_id in stash:
+                _, payload = stash[block_id]
                 result = payload
-                self._stash[block_id] = (new_leaf, payload)
+                stash[block_id] = (new_leaf, payload)
             if mutate is not None:
                 new_data = mutate(result)
             if new_data is not None:
-                if len(new_data) > self._block_size:
+                if len(new_data) > block_size:
                     raise ValueError(
                         f"payload of {len(new_data)} B exceeds block size "
-                        f"{self._block_size} B"
+                        f"{block_size} B"
                     )
-                self._stash[block_id] = (new_leaf, new_data)
+                stash[block_id] = (new_leaf, new_data)
             self._position[block_id] = new_leaf
         else:
             # Dummy: burn one leaf draw so real and dummy accesses consume
             # randomness identically.
             self._rng.randrange(self._leaves)
 
-        # Write the path back, evicting stash blocks as deep as possible: a
-        # block assigned to leaf l may live in any bucket on the root→l path,
-        # so it fits bucket `index` at `depth` iff that bucket is l's ancestor.
-        for depth in range(len(path) - 1, -1, -1):
-            index = path[depth]
-            placed: list[tuple[int, int, bytes]] = []
-            for bid in list(self._stash):
-                if len(placed) >= self._bucket_size:
-                    break
-                bleaf, payload = self._stash[bid]
-                if self._ancestor_at_depth(bleaf, depth) == index:
-                    placed.append((bid, bleaf, payload))
-                    del self._stash[bid]
-            plaintext = _pack_bucket(placed, self._bucket_size, self._block_size)
-            sealed = self._enclave.seal(plaintext, self._bucket_aad(index))
-            self._enclave.untrusted.write(self._region, index, sealed)
+        # Greedy eviction, vectorized: one pass over the stash instead of
+        # the per-level rescan (see greedy_eviction_placements).
+        placements, self._stash = greedy_eviction_placements(
+            stash, leaf, self._leaves, self._num_buckets, self._levels, bucket_size
+        )
+        write_plaintexts = [
+            self._pack([(bid, entry[0], entry[1]) for bid, entry in placed])
+            for placed in reversed(placements)
+        ]
+
+        # Write the path back leaf→root: one keystream pass, one scatter.
+        write_indices = path[::-1]
+        revisions, aads = self._ledger.stage_at(region, write_indices)
+        enclave.untrusted.write_at(
+            region, write_indices, enclave.seal_many(write_plaintexts, aads)
+        )
+        self._ledger.commit_at(region, write_indices, revisions)
 
         if len(self._stash) > self._stash_limit:
             raise ORAMError(
@@ -285,6 +329,16 @@ class PathORAM(ORAM):
                 f"{self._stash_limit}"
             )
         return result
+
+    def _pack(self, entries: list[tuple[int, int, bytes]]) -> bytes:
+        """:func:`_pack_bucket` with the empty-slot tail precomputed."""
+        parts: list[bytes] = []
+        block_size = self._block_size
+        for block_id, leaf, payload in entries:
+            parts.append(_HEADER.pack(block_id, leaf, len(payload)))
+            parts.append(payload.ljust(block_size, b"\x00"))
+        parts.extend([self._empty_slot] * (self._bucket_size - len(entries)))
+        return b"".join(parts)
 
     def read(self, block_id: int) -> bytes | None:
         """Oblivious read of a logical block."""
@@ -306,10 +360,43 @@ class PathORAM(ORAM):
         """An access to a random path, indistinguishable from read/write."""
         self._access(None, None)
 
+    # ------------------------------------------------------------------
+    # Bulk bucket reads (linear-scan fallback)
+    # ------------------------------------------------------------------
+    def scan_buckets(
+        self, start: int, count: int
+    ) -> list[list[tuple[int, int, bytes]]]:
+        """Open buckets ``[start, start+count)`` to their unpacked entries.
+
+        The B+ tree's flat-style linear scan reads the raw tree in index
+        order; this batches that read (trace: ``R start..start+count-1``,
+        exactly the per-bucket loop) and opens all buckets in one keystream
+        pass with their current-revision associated data.
+        """
+        enclave = self._enclave
+        sealed = enclave.untrusted.read_range(self._region, start, count)
+        for offset, block in enumerate(sealed):
+            if block is None:
+                raise ORAMError(f"missing bucket {start + offset} in {self._region}")
+        plaintexts = enclave.open_many(
+            sealed, self._ledger.open_range(self._region, start, count)
+        )
+        bucket_size = self._bucket_size
+        block_size = self._block_size
+        return [
+            _unpack_bucket(plaintext, bucket_size, block_size)
+            for plaintext in plaintexts
+        ]
+
+    @property
+    def num_buckets(self) -> int:
+        return self._num_buckets
+
     def free(self) -> None:
         """Release the untrusted region and oblivious-memory reservations."""
         if self._freed:
             return
         self._enclave.untrusted.free_region(self._region)
+        self._ledger.forget_region(self._region)
         self._enclave.oblivious.release(self._posmap_bytes + self._stash_bytes)
         self._freed = True

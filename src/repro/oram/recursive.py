@@ -8,6 +8,12 @@ by that factor.  The paper notes one level of recursion suffices in practice
 (a 10 MB map supports ~1.1 M records directly and ~1.2 T with one level) at
 roughly 2× performance overhead — each data access now needs a map access
 first.  We implement exactly that single level.
+
+Both the data ORAM and the map ORAM are plain :class:`PathORAM` instances,
+so every logical operation here rides the batched path pipeline twice: the
+map update is a single read-modify-write ORAM access (one gather + one
+``open_many`` + one ``seal_many`` + one scatter), and the data access is
+another.  Nothing in this module touches buckets individually.
 """
 
 from __future__ import annotations

@@ -20,16 +20,37 @@ one slot per bucket; evictions and reshuffles occur on a data-independent
 schedule (access counter / per-bucket touch counts, both public).  Client
 metadata (per-bucket permutations and valid bits) is charged to oblivious
 memory alongside the position map.
+
+Batched slot pipeline
+---------------------
+Slot choices depend only on enclave-side metadata, so every multi-slot
+operation is planned first and then executed through the gather/scatter
+primitives: the online read gathers its one-slot-per-bucket set with one
+``untrusted.read_at`` and opens it in one ``open_many`` keystream pass; an
+eviction gathers all Z restock reads of the whole path at once, plans the
+leaf→root rewrite (greedy placement via a single pass that buckets stash
+blocks by deepest eligible depth), and scatters it with one ``seal_many`` +
+``write_at``; early reshuffles batch their restock gather and their
+contiguous bucket rewrite the same way.  Each batched call records the
+per-slot loop's exact adversary-visible sequence — enforced by the Ring
+ORAM cases in ``tests/storage/test_datapath_equivalence.py``.
+
+Every sealed slot is bound to its (region, slot index) *and* a per-slot
+revision number via a :class:`~repro.enclave.integrity.RevisionLedger`, so
+stale slot images cannot be replayed (same rollback protection as flat
+storage and Path ORAM).
 """
 
 from __future__ import annotations
 
 import random
 import struct
+from typing import Sequence
 
 from ..enclave.enclave import Enclave
 from ..enclave.errors import ORAMError
-from .base import ORAM
+from ..enclave.integrity import RevisionLedger
+from .base import INIT_CHUNK_BLOCKS, ORAM, greedy_eviction_placements
 from .path_oram import POSITION_MAP_BYTES_PER_BLOCK
 
 #: Real slots per bucket.
@@ -93,11 +114,14 @@ class RingORAM(ORAM):
         self._leaves = leaves
         self._levels = leaves.bit_length()
         self._num_buckets = 2 * leaves - 1
+        self._dummy_plaintext = _SLOT_HEADER.pack(-1, -1, 0) + b"\x00" * block_size
 
         self._region = enclave.fresh_region_name("oram-ring")
         enclave.untrusted.allocate_region(
             self._region, self._num_buckets * self._slots_per_bucket
         )
+        # Slot AADs bind (region, slot index) AND a per-slot revision.
+        self._ledger = RevisionLedger()
 
         self._client_bytes = (
             POSITION_MAP_BYTES_PER_BLOCK * capacity
@@ -115,39 +139,66 @@ class RingORAM(ORAM):
         self._eviction_counter = 0  # reverse-bit-order leaf scheduler
         self._freed = False
 
-        # Initialise every slot with a sealed dummy.
-        for bucket in range(self._num_buckets):
-            for slot in range(self._slots_per_bucket):
-                self._write_slot(bucket, slot, -1, -1, b"")
+        self._initialise_slots()
+
+    def _initialise_slots(self) -> None:
+        """Seal one dummy per slot, batched in bounded chunks: one
+        ``seal_many`` keystream pass and one contiguous ``write_range`` per
+        chunk (trace: W 0..num_slots-1, exactly the per-slot init loop's
+        sequence)."""
+        enclave = self._enclave
+        total = self._num_buckets * self._slots_per_bucket
+        for start in range(0, total, INIT_CHUNK_BLOCKS):
+            count = min(INIT_CHUNK_BLOCKS, total - start)
+            revisions, aads = self._ledger.stage_range(self._region, start, count)
+            sealed = enclave.seal_many([self._dummy_plaintext] * count, aads)
+            enclave.untrusted.write_range(self._region, start, sealed)
+            self._ledger.commit_range(self._region, start, revisions)
 
     # ------------------------------------------------------------------
-    # Slot-level IO
+    # Slot-level IO (batched: plan slot sets first, then gather/scatter)
     # ------------------------------------------------------------------
     def _slot_index(self, bucket: int, slot: int) -> int:
         return bucket * self._slots_per_bucket + slot
 
-    def _slot_aad(self, bucket: int, slot: int) -> bytes:
-        return f"{self._region}:{bucket}:{slot}".encode()
-
-    def _write_slot(
-        self, bucket: int, slot: int, block_id: int, leaf: int, payload: bytes
-    ) -> None:
-        plaintext = _SLOT_HEADER.pack(block_id, leaf, len(payload)) + payload.ljust(
+    def _slot_plaintext(self, block_id: int, leaf: int, payload: bytes) -> bytes:
+        return _SLOT_HEADER.pack(block_id, leaf, len(payload)) + payload.ljust(
             self._block_size, b"\x00"
         )
-        sealed = self._enclave.seal(plaintext, self._slot_aad(bucket, slot))
-        self._enclave.untrusted.write(self._region, self._slot_index(bucket, slot), sealed)
 
-    def _read_slot(self, bucket: int, slot: int) -> tuple[int, int, bytes]:
-        sealed = self._enclave.untrusted.read(
-            self._region, self._slot_index(bucket, slot)
+    def _read_slots(
+        self, slot_indices: Sequence[int]
+    ) -> list[tuple[int, int, bytes]]:
+        """Gather + open a set of slots: one ``read_at``, one ``open_many``.
+
+        Trace: one read per slot in the given order — identical to the
+        per-slot read loop.
+        """
+        enclave = self._enclave
+        sealed = enclave.untrusted.read_at(self._region, slot_indices)
+        for index, block in zip(slot_indices, sealed):
+            if block is None:
+                raise ORAMError(f"missing slot {index} in {self._region}")
+        plaintexts = enclave.open_many(
+            sealed, self._ledger.open_at(self._region, slot_indices)
         )
-        if sealed is None:
-            raise ORAMError(f"missing slot {bucket}:{slot}")
-        plaintext = self._enclave.open(sealed, self._slot_aad(bucket, slot))
-        block_id, leaf, length = _SLOT_HEADER.unpack_from(plaintext, 0)
-        payload = plaintext[_SLOT_HEADER.size : _SLOT_HEADER.size + length]
-        return block_id, leaf, payload
+        header = _SLOT_HEADER
+        header_size = header.size
+        out = []
+        for plaintext in plaintexts:
+            block_id, leaf, length = header.unpack_from(plaintext, 0)
+            out.append((block_id, leaf, plaintext[header_size : header_size + length]))
+        return out
+
+    def _write_slots(
+        self, slot_indices: Sequence[int], plaintexts: Sequence[bytes]
+    ) -> None:
+        """Seal + scatter a set of slots: one ``seal_many``, one ``write_at``."""
+        revisions, aads = self._ledger.stage_at(self._region, slot_indices)
+        self._enclave.untrusted.write_at(
+            self._region, slot_indices, self._enclave.seal_many(plaintexts, aads)
+        )
+        self._ledger.commit_at(self._region, slot_indices, revisions)
 
     # ------------------------------------------------------------------
     # Geometry
@@ -205,7 +256,11 @@ class RingORAM(ORAM):
 
         # Read ONE slot per bucket on the path: the target if it lives
         # there, a fresh dummy otherwise (indistinguishable to the OS).
-        for bucket_index in self._path_buckets(leaf):
+        # Slot choice is pure client metadata, so the whole set is planned
+        # first and fetched with one gather + one keystream pass.
+        path = self._path_buckets(leaf)
+        targets: list[int] = []
+        for bucket_index in path:
             meta = self._meta[bucket_index]
             target_slot = -1
             if block_id is not None:
@@ -215,7 +270,12 @@ class RingORAM(ORAM):
                         break
             if target_slot < 0:
                 target_slot = self._pick_dummy_slot(meta)
-            _, _, payload = self._read_slot(bucket_index, target_slot)
+            targets.append(target_slot)
+        entries = self._read_slots(
+            [self._slot_index(b, s) for b, s in zip(path, targets)]
+        )
+        for bucket_index, target_slot, (_, _, payload) in zip(path, targets, entries):
+            meta = self._meta[bucket_index]
             if block_id is not None and meta.slots[target_slot] == block_id:
                 result = payload
                 # Invalidate: the block now lives in the stash.
@@ -237,7 +297,7 @@ class RingORAM(ORAM):
             self._rng.randrange(self._leaves)  # burn a draw, like real ops
 
         # Early reshuffle: buckets that have exhausted their dummies.
-        for bucket_index in self._path_buckets(leaf):
+        for bucket_index in path:
             if self._meta[bucket_index].reads_since_shuffle >= self._s:
                 self._reshuffle_bucket(bucket_index)
 
@@ -273,9 +333,9 @@ class RingORAM(ORAM):
         reversed_bits = int(format(counter, f"0{bits}b")[::-1], 2)
         return reversed_bits
 
-    def _restock_reads(self, bucket_index: int) -> None:
-        """Pull the bucket's surviving real blocks into the stash with
-        exactly Z slot reads (real slots first, padded with dummy reads).
+    def _restock_plan(self, bucket_index: int) -> tuple[list[int], list[int]]:
+        """The bucket's restock read set: exactly Z slots (real first, padded
+        with dummy reads), plus which of them are real.
 
         Reading a fixed Z slots — never the occupancy-dependent count — is
         what keeps eviction and reshuffle traffic data-independent, and is
@@ -292,45 +352,93 @@ class RingORAM(ORAM):
             for slot, occupant in enumerate(meta.slots)
             if occupant < 0
         ]
-        to_read = (real_slots + pad_slots)[: self._z]
-        for slot in to_read:
-            block_id, bleaf, payload = self._read_slot(bucket_index, slot)
+        return (real_slots + pad_slots)[: self._z], real_slots
+
+    def _restock_merge(
+        self,
+        to_read: list[int],
+        real_slots: list[int],
+        entries: list[tuple[int, int, bytes]],
+    ) -> None:
+        """Pull a restock gather's surviving real blocks into the stash."""
+        stash = self._stash
+        for slot, (block_id, bleaf, payload) in zip(to_read, entries):
             if slot in real_slots and block_id >= 0:
-                self._stash.setdefault(block_id, (bleaf, payload))
+                stash.setdefault(block_id, (bleaf, payload))
 
     def _reshuffle_bucket(self, bucket_index: int) -> None:
-        """Restock the stash from the bucket, then rewrite it fresh."""
-        self._restock_reads(bucket_index)
+        """Restock the stash from the bucket, then rewrite it fresh.
+
+        One gather for the Z restock reads, then one seal+write pass over
+        the bucket's contiguous slots (trace: the per-slot loop's
+        ``W slot0..slotZ+S-1`` order).
+        """
+        to_read, real_slots = self._restock_plan(bucket_index)
+        self._restock_merge(
+            to_read,
+            real_slots,
+            self._read_slots([self._slot_index(bucket_index, s) for s in to_read]),
+        )
         self._meta[bucket_index] = _BucketMeta(self._z, self._s)
-        for slot in range(self._slots_per_bucket):
-            self._write_slot(bucket_index, slot, -1, -1, b"")
+        enclave = self._enclave
+        base = self._slot_index(bucket_index, 0)
+        revisions, aads = self._ledger.stage_range(
+            self._region, base, self._slots_per_bucket
+        )
+        sealed = enclave.seal_many(
+            [self._dummy_plaintext] * self._slots_per_bucket, aads
+        )
+        enclave.untrusted.write_range(self._region, base, sealed)
+        self._ledger.commit_range(self._region, base, revisions)
 
     def _evict_path(self, leaf: int) -> None:
-        """Z reads per bucket + full rewrite of one path."""
+        """Z reads per bucket + full rewrite of one path.
+
+        The whole path's restock set is gathered with one ``read_at`` (per
+        bucket, root→leaf, each bucket's Z planned slots in order — the
+        per-slot loop's sequence), then the leaf→root rewrite is planned in
+        the enclave and scattered with one ``seal_many`` + ``write_at``.
+        """
         path = self._path_buckets(leaf)
-        for bucket_index in path:
-            self._restock_reads(bucket_index)
+        plans = [self._restock_plan(bucket_index) for bucket_index in path]
+        slot_indices: list[int] = []
+        for bucket_index, (to_read, _) in zip(path, plans):
+            slot_indices.extend(self._slot_index(bucket_index, s) for s in to_read)
+        entries = self._read_slots(slot_indices)
+        offset = 0
+        for (to_read, real_slots) in plans:
+            self._restock_merge(
+                to_read, real_slots, entries[offset : offset + len(to_read)]
+            )
+            offset += len(to_read)
+
         # Rewrite from the leaf up, placing stash blocks as deep as possible.
-        for depth in range(len(path) - 1, -1, -1):
+        # Greedy placement is planned in one pass over the stash (shared with
+        # Path ORAM's eviction, see greedy_eviction_placements), then each
+        # level's blocks land at the head of a fresh secret permutation.
+        placements, self._stash = greedy_eviction_placements(
+            self._stash, leaf, self._leaves, self._num_buckets, self._levels, self._z
+        )
+        write_indices: list[int] = []
+        write_plaintexts: list[bytes] = []
+        for depth in range(self._levels - 1, -1, -1):
             bucket_index = path[depth]
+            placed = placements[depth]
             fresh = _BucketMeta(self._z, self._s)
-            placed = 0
             slot_order = list(range(self._slots_per_bucket))
             self._rng.shuffle(slot_order)  # the secret permutation
-            for block_id in list(self._stash):
-                if placed >= self._z:
-                    break
-                bleaf, payload = self._stash[block_id]
-                if self._ancestor_at_depth(bleaf, depth) == bucket_index:
-                    slot = slot_order[placed]
-                    fresh.slots[slot] = block_id
-                    self._write_slot(bucket_index, slot, block_id, bleaf, payload)
-                    placed += 1
-                    del self._stash[block_id]
+            for (block_id, (bleaf, payload)), slot in zip(placed, slot_order):
+                fresh.slots[slot] = block_id
+                write_indices.append(self._slot_index(bucket_index, slot))
+                write_plaintexts.append(
+                    self._slot_plaintext(block_id, bleaf, payload)
+                )
             # Fill remaining slots with dummies.
-            for slot in slot_order[placed:]:
-                self._write_slot(bucket_index, slot, -1, -1, b"")
+            for slot in slot_order[len(placed) :]:
+                write_indices.append(self._slot_index(bucket_index, slot))
+                write_plaintexts.append(self._dummy_plaintext)
             self._meta[bucket_index] = fresh
+        self._write_slots(write_indices, write_plaintexts)
 
     # ------------------------------------------------------------------
     # Public interface
@@ -348,5 +456,6 @@ class RingORAM(ORAM):
         if self._freed:
             return
         self._enclave.untrusted.free_region(self._region)
+        self._ledger.forget_region(self._region)
         self._enclave.oblivious.release(self._client_bytes)
         self._freed = True

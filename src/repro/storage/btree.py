@@ -39,7 +39,7 @@ from ..enclave.enclave import Enclave
 from ..enclave.errors import ORAMError, StorageError
 from ..oram.allocator import BlockAllocator
 from ..oram.base import ORAM
-from ..oram.path_oram import PathORAM, _unpack_bucket
+from ..oram.path_oram import PathORAM
 from .rows import frame_row, framed_size, unframe_row
 from .schema import Row, Schema
 
@@ -274,8 +274,12 @@ class ObliviousBPlusTree:
                 f"operation exceeded its padding target ({actual} > "
                 f"{scaled_target}); obliviousness bound violated"
             )
-        while self._enclave.cost.oram_accesses - start_accesses < scaled_target:
-            self._oram.dummy_access()
+        # One burst: each dummy access spends exactly ``factor`` counted
+        # accesses, so the deficit fixes the burst size up front instead of
+        # re-reading the cost counter between dummies.
+        deficit = scaled_target - actual
+        if deficit > 0:
+            self._oram.dummy_accesses((deficit + factor - 1) // factor)
 
     # ------------------------------------------------------------------
     # Public properties
@@ -745,6 +749,9 @@ class ObliviousBPlusTree:
     # ------------------------------------------------------------------
     # Linear scan fallback (Section 3.2)
     # ------------------------------------------------------------------
+    #: Buckets opened per batched linear-scan call (bounds enclave residency).
+    _SCAN_CHUNK_BUCKETS = 256
+
     def linear_scan(self) -> Iterator[Row]:
         """Scan the raw ORAM region as if it were a flat table.
 
@@ -752,35 +759,30 @@ class ObliviousBPlusTree:
         hence oblivious — treating node blocks, free blocks, and ORAM
         dummies alike as dummy rows.  The paper reports < 2.5× overhead
         versus true flat storage; the overhead here is the ORAM's ~4× space
-        times bucket occupancy.
+        times bucket occupancy.  Buckets are gathered and opened in batched
+        chunks (trace: ``R 0..num_buckets-1``, the per-bucket loop's order).
         """
         if not isinstance(self._oram, PathORAM):
             raise StorageError("linear scan requires a PathORAM-backed index")
         oram = self._oram
+        record_tag = bytes([_TAG_RECORD])
         # Stash blocks live in enclave memory: no untrusted access needed.
         for block_id, (_, payload) in oram._stash.items():
-            if self._allocator.is_allocated(block_id) and payload[:1] == bytes(
-                [_TAG_RECORD]
-            ):
+            if self._allocator.is_allocated(block_id) and payload[:1] == record_tag:
                 row = unframe_row(self.schema, payload[1:])
                 if row is not None:
                     yield row
-        region = oram.region_name
-        for index in range(oram._num_buckets):
-            sealed = self._enclave.untrusted.read(region, index)
-            if sealed is None:
-                continue
-            plaintext = self._enclave.open(sealed, oram._bucket_aad(index))
-            for block_id, _, payload in _unpack_bucket(
-                plaintext, oram._bucket_size, oram._block_size
-            ):
-                if not self._allocator.is_allocated(block_id):
-                    continue
-                if payload[:1] != bytes([_TAG_RECORD]):
-                    continue
-                row = unframe_row(self.schema, payload[1:])
-                if row is not None:
-                    yield row
+        for start in range(0, oram.num_buckets, self._SCAN_CHUNK_BUCKETS):
+            count = min(self._SCAN_CHUNK_BUCKETS, oram.num_buckets - start)
+            for entries in oram.scan_buckets(start, count):
+                for block_id, _, payload in entries:
+                    if not self._allocator.is_allocated(block_id):
+                        continue
+                    if payload[:1] != record_tag:
+                        continue
+                    row = unframe_row(self.schema, payload[1:])
+                    if row is not None:
+                        yield row
 
     def items(self) -> Iterator[Row]:
         """All rows in key order, by walking the leaf level.

@@ -40,7 +40,7 @@ from typing import Callable, Iterator
 from ..enclave.enclave import Enclave
 from ..enclave.errors import CapacityError, StorageError
 from .integrity import RevisionLedger
-from .rows import frame_dummy, frame_row_validated, is_dummy, unframe_row
+from .rows import frame_dummy, frame_row_validated, is_dummy, unframe_row, unframe_rows
 from .schema import Row, Schema
 
 #: Blocks handled per batched call (~0.5 MB of frames at the paper's 512 B
@@ -336,27 +336,36 @@ class FlatStorage:
         for index in range(self.capacity):
             yield index, self.read_row(index)
 
-    def scan_framed(self) -> Iterator[tuple[int, bytes]]:
-        """Batched full scan, yielding (index, framed bytes).
+    def scan_framed_chunks(self) -> Iterator[tuple[int, list[bytes]]]:
+        """Batched full scan, yielding (start index, chunk of frames).
 
         Reads the region in :data:`_CHUNK_BLOCKS` range calls (trace:
         R 0 .. R capacity-1, exactly the per-block scan order), holding one
-        chunk of decrypted frames at a time.
+        chunk of decrypted frames at a time.  Chunk granularity lets
+        consumers (scans, hash builds, aggregations) decode each chunk with
+        one :func:`~repro.storage.rows.unframe_rows` codec pass.
         """
         capacity = self.capacity
         for chunk_start in range(0, capacity, _CHUNK_BLOCKS):
             count = min(_CHUNK_BLOCKS, capacity - chunk_start)
-            frames = self.read_range_framed(chunk_start, count)
+            yield chunk_start, self.read_range_framed(chunk_start, count)
+
+    def scan_framed(self) -> Iterator[tuple[int, bytes]]:
+        """Batched full scan, yielding (index, framed bytes) one at a time."""
+        for chunk_start, frames in self.scan_framed_chunks():
             yield from enumerate(frames, chunk_start)
 
     def rows(self) -> list[Row]:
-        """All in-use rows, via one full oblivious scan."""
+        """All in-use rows, via one full oblivious scan.
+
+        Each chunk of frames is decoded with one precompiled codec pass.
+        """
         schema = self.schema
         result = []
-        for _, framed in self.scan_framed():
-            row = unframe_row(schema, framed)
-            if row is not None:
-                result.append(row)
+        for _, frames in self.scan_framed_chunks():
+            result.extend(
+                row for row in unframe_rows(schema, frames) if row is not None
+            )
         return result
 
     # ------------------------------------------------------------------

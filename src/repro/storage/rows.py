@@ -15,6 +15,8 @@ they are interned in a small cache instead of re-built per write;
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from .schema import Row, Schema
 
 FLAG_SIZE = 1
@@ -58,6 +60,17 @@ def unframe_row(schema: Schema, data: bytes) -> Row | None:
     if data[0] == 0:
         return None
     return schema.decode_row(data, FLAG_SIZE)
+
+
+def unframe_rows(schema: Schema, frames: Sequence[bytes]) -> list[Row | None]:
+    """Decode a run of framed rows in one precompiled codec pass.
+
+    The batch analogue of :func:`unframe_row`: concatenates the frames and
+    hands them to ``Schema.decode_framed_rows`` (one ``iter_unpack`` walk),
+    which is what lets scan and hash-build passes stop decoding one row at
+    a time.  Dummies come back as ``None``.
+    """
+    return schema.decode_framed_rows(b"".join(frames))
 
 
 def is_dummy(data: bytes) -> bool:

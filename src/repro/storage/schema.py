@@ -145,6 +145,9 @@ class Schema:
                 parts.append(f"{column.size}s")
                 str_indices.append(i)
         self._struct = struct.Struct("<" + "".join(parts))
+        # Whole-frame codec: in-use flag byte + row payload, so a run of
+        # framed rows decodes with one C-level ``iter_unpack`` pass.
+        self._framed_struct = struct.Struct("<B" + "".join(parts))
         self._str_indices: tuple[int, ...] = tuple(str_indices)
 
     def __len__(self) -> int:
@@ -234,6 +237,38 @@ class Schema:
                 values[i] = values[i].rstrip(b"\x00").decode()
             return tuple(values)
         return unpacked
+
+    def decode_framed_rows(self, buffer: bytes) -> list[Row | None]:
+        """Decode a run of concatenated *framed* rows in one codec pass.
+
+        ``buffer`` is N frames back to back, each ``1 + row_size`` bytes
+        (in-use flag byte followed by the encoded row, the layout of
+        :mod:`repro.storage.rows`).  One precompiled ``iter_unpack`` walks
+        the whole buffer instead of a per-row ``unpack`` call; dummies
+        (flag 0) come back as ``None``.  This is the batch analogue of
+        ``unframe_row`` for scan and hash-build passes.
+        """
+        if len(buffer) % (1 + self.row_size):
+            raise SchemaError(
+                f"framed buffer of {len(buffer)} bytes is not a multiple of "
+                f"{1 + self.row_size}"
+            )
+        str_indices = self._str_indices
+        rows: list[Row | None] = []
+        append = rows.append
+        if str_indices:
+            for unpacked in self._framed_struct.iter_unpack(buffer):
+                if not unpacked[0]:
+                    append(None)
+                    continue
+                values = list(unpacked[1:])
+                for i in str_indices:
+                    values[i] = values[i].rstrip(b"\x00").decode()
+                append(tuple(values))
+        else:
+            for unpacked in self._framed_struct.iter_unpack(buffer):
+                append(unpacked[1:] if unpacked[0] else None)
+        return rows
 
     def project(self, names: Sequence[str]) -> "Schema":
         """A new schema containing only ``names``, in the given order."""

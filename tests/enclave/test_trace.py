@@ -71,3 +71,37 @@ class TestAccessTrace:
             trace.record("R", "a", 0)
         trace.record("W", "b", 0)
         assert trace.region_histogram() == {"a": 3, "b": 1}
+
+
+class TestGatherRecording:
+    def test_record_at_is_digest_identical_to_loop(self) -> None:
+        indices = [0, 2, 5, 12, 3, 3]
+        batched, reference = AccessTrace(), AccessTrace()
+        batched.record_at("R", "oram#1", indices)
+        for i in indices:
+            reference.record("R", "oram#1", i)
+        assert batched.matches(reference)
+        assert [(e.op, e.index) for e in batched.events] == [
+            ("R", i) for i in indices
+        ]
+
+    def test_record_at_preserves_arbitrary_order(self) -> None:
+        """Leaf→root scatter order must not hash like root→leaf gather."""
+        a, b = AccessTrace(), AccessTrace()
+        a.record_at("W", "t", [4, 1, 0])
+        b.record_at("W", "t", [0, 1, 4])
+        assert not a.matches(b)
+
+    def test_record_at_empty_is_noop(self) -> None:
+        trace = AccessTrace()
+        trace.record_at("R", "t", [])
+        assert len(trace) == 0
+        assert trace.matches(AccessTrace())
+
+    def test_record_at_digest_only_mode(self) -> None:
+        trace = AccessTrace(keep_events=False)
+        trace.record_at("W", "t", [3, 1])
+        reference = AccessTrace()
+        reference.record("W", "t", 3)
+        reference.record("W", "t", 1)
+        assert trace.matches(reference)

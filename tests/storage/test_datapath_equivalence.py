@@ -14,14 +14,28 @@ single-block primitives ``read_framed``/``write_framed``/``read_row``/
 ``write_row``, each of which records exactly one trace event), then asserts
 the two enclaves' traces are identical event for event.  These are the
 regression guard for the paper's security property.
+
+The ORAM sections extend the guard to the batched path pipeline: reference
+Path/Ring ORAM subclasses re-implement the seed's per-bucket (per-slot)
+loops — scalar reads/writes, scalar seal/open, the O(stash×levels) greedy
+eviction rescan — and every access kind (real read, real write, dummy,
+read-modify-write, scheduled eviction, early reshuffle) must emit an
+adversary-visible sequence bit-identical to the batched gather/scatter
+production code, while returning the same payloads and leaving the same
+client state.
 """
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from repro.enclave import Enclave
 from repro.operators.sort import bitonic_sort, external_oblivious_sort
+from repro.oram.path_oram import PathORAM, _pack_bucket, _unpack_bucket
+from repro.oram.recursive import RecursivePathORAM
+from repro.oram.ring_oram import _SLOT_HEADER, RingORAM, _BucketMeta
 from repro.storage import FlatStorage, Schema
 from repro.storage.rows import frame_row_validated, is_dummy, unframe_row
 from repro.storage.schema import int_column, str_column
@@ -365,3 +379,397 @@ class TestBatchSemantics:
         after = [table.enclave.untrusted.peek(table.region_name, i) for i in range(4)]
         for old, new in zip(before, after):
             assert old.nonce != new.nonce or old.ciphertext != new.ciphertext
+
+
+# ---------------------------------------------------------------------------
+# Gather/scatter primitives
+# ---------------------------------------------------------------------------
+
+
+class TestGatherScatterEquivalence:
+    """``read_at``/``write_at`` must record the per-slot loop's exact trace."""
+
+    INDICES = [0, 2, 5, 12, 3, 3]  # non-contiguous, unordered, repeated
+
+    def _pair(self) -> tuple[Enclave, Enclave]:
+        enclaves = []
+        for _ in range(2):
+            enclave = Enclave(cipher="authenticated", keep_trace_events=True)
+            enclave.untrusted.allocate_region("r", 16)
+            for i in range(16):
+                enclave.untrusted.write("r", i, enclave.seal(bytes([i])))
+            enclaves.append(enclave)
+        return enclaves[0], enclaves[1]
+
+    def test_read_at_is_n_single_reads(self) -> None:
+        batched, reference = self._pair()
+        got = batched.untrusted.read_at("r", self.INDICES)
+        want = [reference.untrusted.read("r", i) for i in self.INDICES]
+        assert [b.ciphertext for b in got] == [
+            batched.untrusted.peek("r", i).ciphertext for i in self.INDICES
+        ]
+        assert len(got) == len(want)
+        assert batched.trace.matches(reference.trace)
+        assert [(e.op, e.region, e.index) for e in batched.trace.events] == [
+            (e.op, e.region, e.index) for e in reference.trace.events
+        ]
+
+    def test_write_at_is_n_single_writes(self) -> None:
+        batched, reference = self._pair()
+        blocks = [batched.seal(bytes([i])) for i in range(len(self.INDICES))]
+        batched.untrusted.write_at("r", self.INDICES, blocks)
+        for i, block in zip(self.INDICES, blocks):
+            reference.untrusted.write("r", i, block)
+        assert batched.trace.matches(reference.trace)
+        # Repeated index: last write wins, like the loop.
+        assert batched.untrusted.peek("r", 3) is blocks[-1]
+
+    def test_out_of_bounds_and_length_mismatch(self) -> None:
+        from repro.enclave.errors import StorageError
+
+        enclave, _ = self._pair()
+        with pytest.raises(StorageError):
+            enclave.untrusted.read_at("r", [0, 16])
+        with pytest.raises(StorageError):
+            enclave.untrusted.write_at("r", [0, 1], [None])
+
+    def test_cost_model_counts_per_slot(self) -> None:
+        batched, reference = self._pair()
+        batched.untrusted.read_at("r", self.INDICES)
+        batched.untrusted.write_at(
+            "r", self.INDICES, [None] * len(self.INDICES)
+        )
+        for i in self.INDICES:
+            reference.untrusted.read("r", i)
+        for i in self.INDICES:
+            reference.untrusted.write("r", i, None)
+        assert batched.cost.snapshot() == reference.cost.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# ORAM path pipelines
+# ---------------------------------------------------------------------------
+
+
+class ReferencePathORAM(PathORAM):
+    """The seed's per-bucket Path ORAM: one scalar read/open/seal/write per
+    bucket and the O(stash×levels) greedy-eviction rescan.  Constructed with
+    the same rng seed as the batched production class, it must stay in
+    lockstep: identical traces, payloads, positions, and stash."""
+
+    def _initialise_buckets(self, empty: bytes) -> None:
+        enclave, ledger, region = self._enclave, self._ledger, self._region
+        for index in range(self._num_buckets):
+            revision = ledger.next_revision(region, index)
+            aad = ledger.associated_data(region, index, revision)
+            enclave.untrusted.write(region, index, enclave.seal(empty, aad))
+            ledger.commit(region, index, revision)
+
+    def _access(self, block_id, new_data, mutate=None):
+        from repro.enclave.errors import ORAMError
+
+        if self._freed:
+            raise ORAMError("ORAM has been freed")
+        self._enclave.cost.record_oram_access()
+        if block_id is not None:
+            self.check_block_id(block_id)
+            leaf = self._position[block_id]
+        else:
+            leaf = self._rng.randrange(self._leaves)
+        path = self._path_indices(leaf)
+        enclave, ledger, region = self._enclave, self._ledger, self._region
+
+        # Read the whole path into the stash, one bucket at a time.
+        for index in path:
+            sealed = enclave.untrusted.read(region, index)
+            aad = ledger.associated_data(region, index, ledger.current(region, index))
+            plaintext = enclave.open(sealed, aad)
+            for bid, bleaf, payload in _unpack_bucket(
+                plaintext, self._bucket_size, self._block_size
+            ):
+                self._stash[bid] = (bleaf, payload)
+
+        result = None
+        if block_id is not None:
+            new_leaf = self._rng.randrange(self._leaves)
+            if block_id in self._stash:
+                _, payload = self._stash[block_id]
+                result = payload
+                self._stash[block_id] = (new_leaf, payload)
+            if mutate is not None:
+                new_data = mutate(result)
+            if new_data is not None:
+                self._stash[block_id] = (new_leaf, new_data)
+            self._position[block_id] = new_leaf
+        else:
+            self._rng.randrange(self._leaves)
+
+        # Write back leaf→root with the per-level stash rescan.
+        for depth in range(len(path) - 1, -1, -1):
+            index = path[depth]
+            placed = []
+            for bid in list(self._stash):
+                if len(placed) >= self._bucket_size:
+                    break
+                bleaf, payload = self._stash[bid]
+                if self._ancestor_at_depth(bleaf, depth) == index:
+                    placed.append((bid, bleaf, payload))
+                    del self._stash[bid]
+            plaintext = _pack_bucket(placed, self._bucket_size, self._block_size)
+            revision = ledger.next_revision(region, index)
+            aad = ledger.associated_data(region, index, revision)
+            enclave.untrusted.write(region, index, enclave.seal(plaintext, aad))
+            ledger.commit(region, index, revision)
+        return result
+
+
+class ReferenceRingORAM(RingORAM):
+    """The seed's per-slot Ring ORAM: scalar slot IO everywhere, per-level
+    stash rescans in the eviction, per-slot init and reshuffle rewrites."""
+
+    def _initialise_slots(self) -> None:
+        for index in range(self._num_buckets * self._slots_per_bucket):
+            self._write_slot_scalar(index, self._dummy_plaintext)
+
+    def _write_slot_scalar(self, slot_index: int, plaintext: bytes) -> None:
+        enclave, ledger, region = self._enclave, self._ledger, self._region
+        revision = ledger.next_revision(region, slot_index)
+        aad = ledger.associated_data(region, slot_index, revision)
+        enclave.untrusted.write(region, slot_index, enclave.seal(plaintext, aad))
+        ledger.commit(region, slot_index, revision)
+
+    def _read_slot_scalar(self, slot_index: int):
+        enclave, ledger, region = self._enclave, self._ledger, self._region
+        sealed = enclave.untrusted.read(region, slot_index)
+        aad = ledger.associated_data(region, slot_index, ledger.current(region, slot_index))
+        plaintext = enclave.open(sealed, aad)
+        block_id, leaf, length = _SLOT_HEADER.unpack_from(plaintext, 0)
+        return block_id, leaf, plaintext[_SLOT_HEADER.size : _SLOT_HEADER.size + length]
+
+    # Route the batched helpers through the scalar loop: the production
+    # planning logic (slot choice, restock plans) is shared, but every
+    # observable access and every seal/open happens one slot at a time.
+    def _read_slots(self, slot_indices):
+        return [self._read_slot_scalar(index) for index in slot_indices]
+
+    def _write_slots(self, slot_indices, plaintexts) -> None:
+        for index, plaintext in zip(slot_indices, plaintexts):
+            self._write_slot_scalar(index, plaintext)
+
+    def _reshuffle_bucket(self, bucket_index: int) -> None:
+        to_read, real_slots = self._restock_plan(bucket_index)
+        self._restock_merge(
+            to_read,
+            real_slots,
+            [
+                self._read_slot_scalar(self._slot_index(bucket_index, slot))
+                for slot in to_read
+            ],
+        )
+        self._meta[bucket_index] = _BucketMeta(self._z, self._s)
+        for slot in range(self._slots_per_bucket):
+            self._write_slot_scalar(
+                self._slot_index(bucket_index, slot), self._dummy_plaintext
+            )
+
+    def _evict_path(self, leaf: int) -> None:
+        path = self._path_buckets(leaf)
+        for bucket_index in path:
+            to_read, real_slots = self._restock_plan(bucket_index)
+            self._restock_merge(
+                to_read,
+                real_slots,
+                [
+                    self._read_slot_scalar(self._slot_index(bucket_index, slot))
+                    for slot in to_read
+                ],
+            )
+        for depth in range(len(path) - 1, -1, -1):
+            bucket_index = path[depth]
+            fresh = _BucketMeta(self._z, self._s)
+            placed = 0
+            slot_order = list(range(self._slots_per_bucket))
+            self._rng.shuffle(slot_order)
+            for block_id in list(self._stash):
+                if placed >= self._z:
+                    break
+                bleaf, payload = self._stash[block_id]
+                if self._ancestor_at_depth(bleaf, depth) == bucket_index:
+                    slot = slot_order[placed]
+                    fresh.slots[slot] = block_id
+                    self._write_slot_scalar(
+                        self._slot_index(bucket_index, slot),
+                        self._slot_plaintext(block_id, bleaf, payload),
+                    )
+                    placed += 1
+                    del self._stash[block_id]
+            for slot in slot_order[placed:]:
+                self._write_slot_scalar(
+                    self._slot_index(bucket_index, slot), self._dummy_plaintext
+                )
+            self._meta[bucket_index] = fresh
+
+
+def assert_enclaves_match(a: Enclave, b: Enclave) -> None:
+    assert len(a.trace) == len(b.trace)
+    assert [(e.op, e.region, e.index) for e in a.trace.events] == [
+        (e.op, e.region, e.index) for e in b.trace.events
+    ]
+    assert a.trace.matches(b.trace)
+    assert a.cost.snapshot() == b.cost.snapshot()
+
+
+class TestPathORAMEquivalence:
+    """Batched path pipeline vs. the seed's per-bucket loop."""
+
+    CAPACITY = 24
+
+    def _pair(self, seed: int = 7) -> tuple[PathORAM, PathORAM, Enclave, Enclave]:
+        enclave_a = Enclave(cipher="authenticated", keep_trace_events=True)
+        enclave_b = Enclave(cipher="authenticated", keep_trace_events=True)
+        batched = PathORAM(
+            enclave_a, self.CAPACITY, block_size=16, rng=random.Random(seed)
+        )
+        reference = ReferencePathORAM(
+            enclave_b, self.CAPACITY, block_size=16, rng=random.Random(seed)
+        )
+        return batched, reference, enclave_a, enclave_b
+
+    def test_init_trace_matches_per_bucket_loop(self) -> None:
+        _, _, enclave_a, enclave_b = self._pair()
+        assert_enclaves_match(enclave_a, enclave_b)
+
+    def test_real_dummy_and_rmw_accesses(self) -> None:
+        batched, reference, enclave_a, enclave_b = self._pair()
+        rng = random.Random(99)
+        mutate = lambda payload: (payload or b"") + b"+"  # noqa: E731
+        for step in range(400):
+            block = rng.randrange(self.CAPACITY)
+            kind = step % 4
+            if kind == 0:
+                payload = bytes([rng.randrange(256) for _ in range(8)])
+                batched.write(block, payload)
+                reference.write(block, payload)
+            elif kind == 1:
+                assert batched.read(block) == reference.read(block)
+            elif kind == 2:
+                batched.dummy_access()
+                reference.dummy_access()
+            else:
+                batched.update(block, mutate)
+                reference.update(block, mutate)
+        assert_enclaves_match(enclave_a, enclave_b)
+        # Client state must stay in lockstep too: the vectorized eviction
+        # makes exactly the per-level rescan's placements.
+        assert batched._position == reference._position
+        assert batched._stash == reference._stash
+        for index in range(batched.num_buckets):
+            got = enclave_a.open(
+                enclave_a.untrusted.peek(batched.region_name, index),
+                batched._ledger.open_at(batched.region_name, [index])[0],
+            )
+            want = enclave_b.open(
+                enclave_b.untrusted.peek(reference.region_name, index),
+                reference._ledger.open_at(reference.region_name, [index])[0],
+            )
+            assert got == want
+
+    def test_padding_burst_matches_loop(self) -> None:
+        batched, reference, enclave_a, enclave_b = self._pair(seed=3)
+        batched.dummy_accesses(7)
+        for _ in range(7):
+            reference.dummy_access()
+        assert_enclaves_match(enclave_a, enclave_b)
+
+    def test_recursive_map_rides_batched_access(
+        self, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        """The recursive position map is routed through the same batched
+        access: production vs. per-bucket references for both levels."""
+        import repro.oram.recursive as recursive
+
+        enclave_a = Enclave(cipher="authenticated", keep_trace_events=True)
+        batched = RecursivePathORAM(
+            enclave_a, 16, block_size=12, rng=random.Random(5)
+        )
+        enclave_b = Enclave(cipher="authenticated", keep_trace_events=True)
+        monkeypatch.setattr(recursive, "PathORAM", ReferencePathORAM)
+        reference = RecursivePathORAM(
+            enclave_b, 16, block_size=12, rng=random.Random(5)
+        )
+        rng = random.Random(11)
+        for step in range(60):
+            block = rng.randrange(16)
+            if step % 3 == 0:
+                payload = bytes([rng.randrange(256) for _ in range(6)])
+                batched.write(block, payload)
+                reference.write(block, payload)
+            elif step % 3 == 1:
+                assert batched.read(block) == reference.read(block)
+            else:
+                batched.dummy_access()
+                reference.dummy_access()
+        assert_enclaves_match(enclave_a, enclave_b)
+
+
+class TestRingORAMEquivalence:
+    """Batched slot pipeline vs. the seed's per-slot loops, covering online
+    reads, scheduled evictions, and early reshuffles."""
+
+    CAPACITY = 24
+
+    def _pair(
+        self, seed: int = 7, **kwargs
+    ) -> tuple[RingORAM, RingORAM, Enclave, Enclave]:
+        enclave_a = Enclave(cipher="authenticated", keep_trace_events=True)
+        enclave_b = Enclave(cipher="authenticated", keep_trace_events=True)
+        batched = RingORAM(
+            enclave_a, self.CAPACITY, block_size=16, rng=random.Random(seed), **kwargs
+        )
+        reference = ReferenceRingORAM(
+            enclave_b, self.CAPACITY, block_size=16, rng=random.Random(seed), **kwargs
+        )
+        return batched, reference, enclave_a, enclave_b
+
+    def test_init_trace_matches_per_slot_loop(self) -> None:
+        _, _, enclave_a, enclave_b = self._pair()
+        assert_enclaves_match(enclave_a, enclave_b)
+
+    def test_reads_writes_dummies_with_evictions(self) -> None:
+        batched, reference, enclave_a, enclave_b = self._pair()
+        rng = random.Random(13)
+        for step in range(300):
+            block = rng.randrange(self.CAPACITY)
+            kind = step % 3
+            if kind == 0:
+                payload = bytes([rng.randrange(256) for _ in range(8)])
+                batched.write(block, payload)
+                reference.write(block, payload)
+            elif kind == 1:
+                assert batched.read(block) == reference.read(block)
+            else:
+                batched.dummy_access()
+                reference.dummy_access()
+        assert_enclaves_match(enclave_a, enclave_b)
+        assert batched._position == reference._position
+        assert batched._stash == reference._stash
+        for meta_a, meta_b in zip(batched._meta, reference._meta):
+            assert meta_a.slots == meta_b.slots
+            assert meta_a.valid == meta_b.valid
+            assert meta_a.reads_since_shuffle == meta_b.reads_since_shuffle
+
+    def test_early_reshuffles_match(self) -> None:
+        """A tiny dummy budget (s=2) forces early reshuffles constantly."""
+        batched, reference, enclave_a, enclave_b = self._pair(
+            seed=21, s=2, eviction_rate=7
+        )
+        rng = random.Random(17)
+        for _ in range(150):
+            block = rng.randrange(self.CAPACITY)
+            if rng.random() < 0.5:
+                payload = bytes([rng.randrange(256) for _ in range(4)])
+                batched.write(block, payload)
+                reference.write(block, payload)
+            else:
+                assert batched.read(block) == reference.read(block)
+        assert_enclaves_match(enclave_a, enclave_b)

@@ -109,3 +109,45 @@ class TestRevisionLedger:
         assert ledger.associated_data("u", 0, 1) != base  # region
         assert ledger.associated_data("t", 1, 1) != base  # index
         assert ledger.associated_data("t", 0, 2) != base  # revision
+
+
+class TestLedgerGatherScatter:
+    """The ``*_at`` batch APIs must agree with the scalar calls they fuse."""
+
+    INDICES = [0, 2, 5, 12, 3]  # heap-ordered path: non-contiguous, unordered
+
+    def test_open_at_matches_scalar_aads(self) -> None:
+        ledger = RevisionLedger()
+        ledger.commit("t", 2, 4)
+        ledger.commit("t", 12, 1)
+        assert ledger.open_at("t", self.INDICES) == [
+            ledger.associated_data("t", i, ledger.current("t", i))
+            for i in self.INDICES
+        ]
+
+    def test_stage_at_matches_scalar_and_commits_nothing(self) -> None:
+        ledger = RevisionLedger()
+        ledger.commit("t", 5, 7)
+        revisions, aads = ledger.stage_at("t", self.INDICES)
+        assert revisions == [ledger.next_revision("t", i) for i in self.INDICES]
+        assert aads == [
+            ledger.associated_data("t", i, r)
+            for i, r in zip(self.INDICES, revisions)
+        ]
+        # Nothing committed yet: staging again yields the same revisions.
+        assert ledger.stage_at("t", self.INDICES)[0] == revisions
+
+    def test_commit_at_round_trip(self) -> None:
+        ledger = RevisionLedger()
+        revisions, _ = ledger.stage_at("t", self.INDICES)
+        ledger.commit_at("t", self.INDICES, revisions)
+        for index, revision in zip(self.INDICES, revisions):
+            assert ledger.current("t", index) == revision
+
+    def test_at_and_range_agree_on_contiguous_runs(self) -> None:
+        ledger = RevisionLedger()
+        ledger.commit("t", 1, 9)
+        assert ledger.open_at("t", range(4)) == ledger.open_range("t", 0, 4)
+        assert ledger.stage_at("t", range(4)) == tuple(
+            ledger.stage_range("t", 0, 4)
+        )
