@@ -196,6 +196,69 @@ class RevisionLedger:
         for index, revision in zip(indices, revisions):
             store[index] = revision
 
+    # ------------------------------------------------------------------
+    # Step operations over (region, index) pairs spanning several regions
+    # (the cross-region interleaved exchange: R source / W target passes)
+    # ------------------------------------------------------------------
+    def open_steps(self, steps: Sequence[tuple[str, int]]) -> list[bytes]:
+        """Fused fetch for a cross-region gather: current AADs per step.
+
+        The multi-region analogue of :meth:`open_at` — one batch can mix
+        slots of several regions (an interleaved exchange reads one table
+        while writing another, and nothing stops a schedule from reading
+        two).  AADs come back in step order.
+        """
+        pack = _AAD.pack
+        prefixes: dict[str, bytes] = {}
+        getters: dict = {}
+        aads = []
+        for region, index in steps:
+            prefix = prefixes.get(region)
+            if prefix is None:
+                prefix = prefixes[region] = self._prefix(region)
+                getters[region] = self._region(region).get
+            aads.append(prefix + pack(index, getters[region](index, 0)))
+        return aads
+
+    def stage_steps(
+        self, steps: Sequence[tuple[str, int]]
+    ) -> tuple[list[int], list[bytes]]:
+        """Fused fetch for a cross-region scatter: next revisions and AADs.
+
+        Nothing is committed; call :meth:`commit_steps` with the returned
+        revisions once the blocks are stored.  Steps must be unique — the
+        same (region, index) staged twice in one batch would bind two
+        distinct ciphertexts to one revision, reopening the replay hole
+        (see :meth:`stage_at`).
+        """
+        if len(set(steps)) != len(steps):
+            raise ValueError("stage_steps (region, index) pairs must be unique")
+        pack = _AAD.pack
+        prefixes: dict[str, bytes] = {}
+        getters: dict = {}
+        revisions = []
+        aads = []
+        for region, index in steps:
+            prefix = prefixes.get(region)
+            if prefix is None:
+                prefix = prefixes[region] = self._prefix(region)
+                getters[region] = self._region(region).get
+            revision = getters[region](index, 0) + 1
+            revisions.append(revision)
+            aads.append(prefix + pack(index, revision))
+        return revisions, aads
+
+    def commit_steps(
+        self, steps: Sequence[tuple[str, int]], revisions: Sequence[int]
+    ) -> None:
+        """Commit staged revisions for cross-region (region, index) steps."""
+        stores: dict[str, dict[int, int]] = {}
+        for (region, index), revision in zip(steps, revisions):
+            store = stores.get(region)
+            if store is None:
+                store = stores[region] = self._region(region)
+            store[index] = revision
+
     def _prefix(self, region: str) -> bytes:
         prefix = self._aad_prefix.get(region)
         if prefix is None:

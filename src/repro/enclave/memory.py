@@ -8,13 +8,20 @@ model, because this interface is exactly what a malicious OS observes.
 
 The store offers no content-addressed operations: the enclave must touch
 individual (region, index) slots, mirroring how an SGX application pages data
-in and out through OS upcalls.  The *range* primitives below (contiguous
-runs) and the *gather/scatter* primitives ``read_at``/``write_at``
-(arbitrary index sequences, e.g. heap-ordered ORAM tree paths) are purely a
-simulator optimisation: they perform N slot accesses with one Python call,
-recording exactly the same N per-slot events in the trace and cost model as
-N individual ``read``/``write`` calls would — the adversary-visible sequence
-is bit-identical, only the interpreter overhead is amortized.
+in and out through OS upcalls.  The batched primitives below — *range*
+(contiguous runs), *gather/scatter* ``read_at``/``write_at`` (arbitrary
+index sequences, e.g. heap-ordered ORAM tree paths), the *exchange*
+family (read-modify-write and compare-exchange passes), and the
+*cross-region interleaved exchange* (client-planned schedules mixing two
+regions' reads and writes) — are purely a simulator optimisation: they
+perform N slot accesses with one Python call, recording exactly the same N
+per-slot events in the trace and cost model as N individual
+``read``/``write`` calls would.  The adversary-visible sequence is
+bit-identical, only the interpreter overhead is amortized; every
+primitive's docstring states its exact trace contract (region, indices,
+order, read/write interleaving), and
+``tests/storage/test_datapath_equivalence.py`` enforces them (see
+``docs/data-path.md``).
 """
 
 from __future__ import annotations
@@ -131,9 +138,11 @@ class UntrustedMemory:
     def read_range(
         self, region_name: str, start: int, count: int
     ) -> list[SealedBlock | None]:
-        """Read ``count`` adjacent slots, in ascending index order.
+        """Read ``count`` adjacent slots of one region, ascending.
 
-        Observable as ``count`` individual reads (``R start .. R start+count-1``).
+        Trace contract: ``count`` individual reads of ``region_name``, at
+        indices ``start .. start+count-1`` in that order, no interleaved
+        writes — bit-identical to the per-slot ``read`` loop.
         """
         region = self.region(region_name)
         self._check_range(region, start, count, "range read")
@@ -144,9 +153,12 @@ class UntrustedMemory:
     def write_range(
         self, region_name: str, start: int, blocks: Sequence[SealedBlock | None]
     ) -> None:
-        """Write ``blocks`` to adjacent slots, in ascending index order.
+        """Write ``blocks`` to adjacent slots of one region, ascending.
 
-        Observable as ``len(blocks)`` individual writes.
+        Trace contract: ``len(blocks)`` individual writes of
+        ``region_name``, at indices ``start .. start+len(blocks)-1`` in
+        that order, no interleaved reads — bit-identical to the per-slot
+        ``write`` loop.
         """
         region = self.region(region_name)
         count = len(blocks)
@@ -268,6 +280,73 @@ class UntrustedMemory:
         self._cost.record_write(2 * half)
         region._slots[start:mid] = list(new_lows)
         region._slots[mid : mid + half] = list(new_highs)
+
+    # ------------------------------------------------------------------
+    # Cross-region interleaved exchange: a client-planned schedule of
+    # (region, index, read|write) steps executed as one round-trip
+    # ------------------------------------------------------------------
+    def exchange_interleaved(
+        self,
+        schedule: Sequence[tuple[str, str, int]],
+        compute: Callable[[list[SealedBlock | None]], Sequence[SealedBlock | None]],
+    ) -> None:
+        """Execute a schedule of ``(op, region, index)`` steps in one call.
+
+        ``op`` is ``'R'`` or ``'W'``.  The read steps are gathered (in
+        schedule order) and passed to ``compute``, which returns one
+        replacement block per write step (in schedule order); the
+        replacements are then scattered.
+
+        Trace contract: observable as ``len(schedule)`` individual accesses —
+        the exact ops, regions, indices, and interleaving of the schedule, in
+        schedule order — bit-identical to the per-row loop that alternates
+        ``read``/``write`` calls.  This is the primitive that lets operator
+        passes interleaving two regions (hash-join probe: R T2 / W output;
+        sort-merge union and merge: R source / W scratch) batch their crypto
+        and bookkeeping without the adversary seeing any difference.
+
+        Gathering reads up front is only sound when no read depends on an
+        earlier write of the same schedule, so a schedule that reads a slot
+        it has already written is rejected.  If ``compute`` raises, no access
+        is recorded and no slot is modified (the per-row loop would have
+        recorded a prefix; batches fail atomically, like
+        :meth:`exchange_range`).
+        """
+        reads: list[tuple[Region, int]] = []
+        writes: list[tuple[Region, int]] = []
+        written: set[tuple[str, int]] = set()
+        for op, region_name, index in schedule:
+            region = self.region(region_name)
+            if not 0 <= index < region.capacity:
+                raise StorageError(
+                    f"interleaved exchange out of bounds: {region_name}[{index}] "
+                    f"(capacity {region.capacity})"
+                )
+            if op == "R":
+                if (region_name, index) in written:
+                    raise StorageError(
+                        f"interleaved exchange reads {region_name}[{index}] "
+                        "after writing it; gather-then-scatter would return "
+                        "the stale block"
+                    )
+                reads.append((region, index))
+            elif op == "W":
+                written.add((region_name, index))
+                writes.append((region, index))
+            else:
+                raise StorageError(f"unknown interleaved exchange op {op!r}")
+        gathered = [region._slots[index] for region, index in reads]
+        replacements = list(compute(gathered))
+        if len(replacements) != len(writes):
+            raise StorageError(
+                f"interleaved exchange computed {len(replacements)} blocks "
+                f"for {len(writes)} write steps"
+            )
+        self._trace.record_interleaved(schedule)
+        self._cost.record_read(len(reads))
+        self._cost.record_write(len(writes))
+        for (region, index), block in zip(writes, replacements):
+            region._slots[index] = block
 
     def peek(self, region_name: str, index: int) -> SealedBlock | None:
         """Adversary-side inspection: NOT traced, NOT counted.

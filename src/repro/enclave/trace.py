@@ -124,6 +124,29 @@ class AccessTrace:
         if self._keep_events:
             self._events.extend(AccessEvent(op, region, i) for i in indices)
 
+    def record_interleaved(self, steps: Sequence[tuple[str, str, int]]) -> None:
+        """Record a client-planned schedule of ``(op, region, index)`` steps.
+
+        The cross-region analogue of :meth:`record_at`: operator passes that
+        interleave reads and writes across *two* regions (a hash-join probe
+        reads T2 and writes the output table; a sort-merge union reads a
+        source table and writes the scratch) record their whole schedule with
+        one call.  Digest-identical to ``record(op, region, i)`` per step, in
+        the given order — the op, the region, and the index of every step are
+        preserved exactly, so the adversary-visible sequence is bit-identical
+        to the per-row loop.  No pattern memoization: schedules pair indices
+        from two regions and shift per chunk, so their key space is too large
+        to cache usefully.
+        """
+        if not steps:
+            return
+        self._hash.update(
+            "".join(f"{op}|{region}|{index};" for op, region, index in steps).encode()
+        )
+        self._length += len(steps)
+        if self._keep_events:
+            self._events.extend(AccessEvent(op, region, index) for op, region, index in steps)
+
     def record_rw_range(self, region: str, start: int, count: int) -> None:
         """Record ``count`` interleaved (read, write) pairs over a range.
 

@@ -20,7 +20,7 @@ from enum import Enum
 
 from ..enclave.errors import ObliviousMemoryError, QueryError
 from ..storage.flat import FlatStorage
-from ..storage.rows import frame_dummy, unframe_row, unframe_rows
+from ..storage.rows import frame_dummy, unframe_rows
 from ..storage.schema import Column, ColumnType, Row, Schema, Value, float_column
 from .predicate import Predicate, TruePredicate
 from .sort import bitonic_sort, external_oblivious_sort, padded_scratch
@@ -232,15 +232,21 @@ def _sorted_group_aggregate(
 
     scratch = FlatStorage(enclave, schema, padded_scratch(max(1, table.capacity)))
     dummy = frame_dummy(schema)
-    position = 0
-    # Same interleaved R-source/W-scratch pattern as the per-block loop, but
-    # keepers' framed bytes are copied through without a codec round trip.
-    for index in range(table.capacity):
-        framed = table.read_framed(index)
-        row = unframe_row(schema, framed)
-        keep = row is not None and matches(row)
-        scratch.write_framed(position, framed if keep else dummy)
-        position += 1
+
+    # Filter-copy front: one interleaved-exchange pass — R table[i],
+    # W scratch[i] per row, the per-block loop's exact two-region trace.
+    # Keepers' framed bytes are copied through without a codec round trip;
+    # non-keepers become dummies (same frame either way, so nothing leaks).
+    def filter_copy(offset: int, frames: list[bytes]) -> list[bytes]:
+        out = []
+        for framed, row in zip(frames, unframe_rows(schema, frames)):
+            keep = row is not None and matches(row)
+            out.append(framed if keep else dummy)
+        return out
+
+    table.interleave_to(
+        scratch, [(index, index) for index in range(table.capacity)], filter_copy
+    )
     sort_column = schema.column(group_column)
 
     def sort_key(row: Row) -> tuple:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from ..enclave.errors import QueryError
 from ..storage.flat import FlatStorage
-from ..storage.rows import framed_size, unframe_rows
+from ..storage.rows import frame_dummy, frame_row_validated, framed_size, unframe_rows
 from ..storage.schema import Column, Row, Schema, Value, int_column
 from .sort import bitonic_sort, external_oblivious_sort, padded_scratch
 
@@ -81,7 +81,8 @@ def hash_join(
     num_chunks = (table1.capacity + chunk_rows - 1) // chunk_rows
 
     output = FlatStorage(enclave, out_schema, num_chunks * table2.capacity)
-    out_position = 0
+    dummy = frame_dummy(out_schema)
+    schema2 = table2.schema
     matched = 0
     with enclave.oblivious_buffer(min(chunk_rows, table1.capacity) * row_bytes):
         for chunk in range(num_chunks):
@@ -96,15 +97,32 @@ def hash_join(
             ):
                 if row is not None:
                     hash_table[row[key1]] = row
-            for index in range(table2.capacity):
-                row2 = table2.read_row(index)
-                row1 = hash_table.get(row2[key2]) if row2 is not None else None
-                if row1 is not None and row2 is not None:
-                    output.write_row(out_position, row1 + row2)
-                    matched += 1
-                else:
-                    output.write_row(out_position, None)
-                out_position += 1
+
+            # Chunk probe: stream T2 against the enclave hash table through
+            # the interleaved exchange — R T2[i], W output[base+i] per probe,
+            # the per-row loop's exact two-region trace, with the crypto and
+            # bookkeeping batched.  One output frame per probe regardless of
+            # match (real joined row or dummy), so the pattern stays a pure
+            # function of the input sizes.
+            base = chunk * table2.capacity
+
+            def probe(offset: int, frames: list[bytes]) -> list[bytes]:
+                nonlocal matched
+                out = []
+                for row2 in unframe_rows(schema2, frames):
+                    row1 = hash_table.get(row2[key2]) if row2 is not None else None
+                    if row1 is not None:
+                        out.append(frame_row_validated(out_schema, row1 + row2))
+                        matched += 1
+                    else:
+                        out.append(dummy)
+                return out
+
+            table2.interleave_to(
+                output,
+                [(index, base + index) for index in range(table2.capacity)],
+                probe,
+            )
     output._used = matched
     return output
 
@@ -136,15 +154,30 @@ def _union_scratch(
     right_neutral = tuple(_neutral_value(c) for c in out_schema.columns[left_width:])
     left_neutral = tuple(_neutral_value(c) for c in out_schema.columns[:left_width])
 
-    position = 0
-    for index in range(table1.capacity):
-        row = table1.read_row(index)
-        scratch.write_row(position, (0,) + row + right_neutral if row is not None else None)
-        position += 1
-    for index in range(table2.capacity):
-        row = table2.read_row(index)
-        scratch.write_row(position, (1,) + left_neutral + row if row is not None else None)
-        position += 1
+    # Two interleaved-exchange passes — R T1[i], W scratch[i] then
+    # R T2[i], W scratch[T1.capacity + i] — exactly the per-row copy loops'
+    # trace, with batched decode of each source chunk and one-shot crypto.
+    dummy = frame_dummy(scratch_schema)
+
+    def copy_side(table: FlatStorage, tag_row, base: int) -> None:
+        schema = table.schema
+
+        def tagged(offset: int, frames: list[bytes]) -> list[bytes]:
+            return [
+                dummy
+                if row is None
+                else frame_row_validated(scratch_schema, tag_row(row))
+                for row in unframe_rows(schema, frames)
+            ]
+
+        table.interleave_to(
+            scratch,
+            [(index, base + index) for index in range(table.capacity)],
+            tagged,
+        )
+
+    copy_side(table1, lambda row: (0,) + row + right_neutral, 0)
+    copy_side(table2, lambda row: (1,) + left_neutral + row, table1.capacity)
     key1_index = 1 + table1.schema.column_index(column1)
     key2_index = 1 + left_width + table2.schema.column_index(column2)
     return scratch, out_schema, key1_index, key2_index
@@ -160,27 +193,42 @@ def _merge_scan(
     """Linear merge over the sorted union: one output write per scanned row.
 
     Keeps the last-seen primary row in the enclave; a foreign row whose key
-    matches it emits the joined row, anything else emits a dummy.
+    matches it emits the joined row, anything else emits a dummy.  Runs as
+    one interleaved-exchange pass — R scratch[i], W output[i] per row, the
+    per-row loop's trace — with the last-seen primary carried across chunks
+    inside the enclave.
     """
     enclave = scratch.enclave
     output = FlatStorage(enclave, out_schema, scratch.capacity)
+    scratch_schema = scratch.schema
+    dummy = frame_dummy(out_schema)
     current_primary: Row | None = None
     matched = 0
-    for index in range(scratch.capacity):
-        row = scratch.read_row(index)
-        emit: Row | None = None
-        if row is not None:
-            tag = row[0]
-            if tag == 0:
-                current_primary = row[1 : 1 + left_width]
-            else:
-                if (
-                    current_primary is not None
-                    and row[key2_index] == current_primary[key1_index - 1]
-                ):
-                    emit = current_primary + row[1 + left_width :]
-                    matched += 1
-        output.write_row(index, emit)
+
+    def merge(offset: int, frames: list[bytes]) -> list[bytes]:
+        nonlocal current_primary, matched
+        out = []
+        for row in unframe_rows(scratch_schema, frames):
+            emit: Row | None = None
+            if row is not None:
+                tag = row[0]
+                if tag == 0:
+                    current_primary = row[1 : 1 + left_width]
+                else:
+                    if (
+                        current_primary is not None
+                        and row[key2_index] == current_primary[key1_index - 1]
+                    ):
+                        emit = current_primary + row[1 + left_width :]
+                        matched += 1
+            out.append(
+                dummy if emit is None else frame_row_validated(out_schema, emit)
+            )
+        return out
+
+    scratch.interleave_to(
+        output, [(index, index) for index in range(scratch.capacity)], merge
+    )
     output._used = matched
     return output
 

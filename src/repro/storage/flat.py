@@ -18,12 +18,16 @@ Data-path batching
 All uniform passes run through range primitives (``read_range_framed``,
 ``write_range_framed``, ``exchange_framed``, ``exchange_pairs_framed``) that
 amortize per-block Python overhead — one trace append, one ledger fetch and
-commit, one batched seal/open — across a contiguous run of blocks.  The
-invariant, enforced by the trace-equivalence tests, is that every batched
-pass records *exactly* the same adversary-visible access sequence (same
-region, same indices, same order, same read/write interleaving) as the
-equivalent per-block loop: batching amortizes simulator overhead, it never
-merges or reorders observable accesses.
+commit, one batched seal/open — across a contiguous run of blocks; passes
+that pair this table with another (join probes, union copies, merge scans,
+``copy_to``) run through :meth:`FlatStorage.interleave_to`, the
+cross-region interleaved exchange.  The invariant, enforced by the
+trace-equivalence tests, is that every batched pass records *exactly* the
+same adversary-visible access sequence (same region, same indices, same
+order, same read/write interleaving) as the equivalent per-block loop:
+batching amortizes simulator overhead, it never merges or reorders
+observable accesses.  Every public batched primitive states its trace
+contract in its docstring; ``docs/data-path.md`` has the architecture.
 
 Full-table passes are internally chunked at :data:`_CHUNK_BLOCKS` so the
 enclave side holds a bounded number of decrypted frames at a time, keeping
@@ -35,7 +39,7 @@ at distance ``half`` inherently needs both ends of every pair in hand.)
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from ..enclave.enclave import Enclave
 from ..enclave.errors import CapacityError, StorageError
@@ -147,7 +151,12 @@ class FlatStorage:
     # Each records the identical per-block access sequence in the trace.
     # ------------------------------------------------------------------
     def read_range_framed(self, start: int, count: int) -> list[bytes]:
-        """Open blocks ``[start, start+count)``; trace: R start..start+count-1."""
+        """Open blocks ``[start, start+count)`` of this table's region.
+
+        Trace contract: ``R start .. R start+count-1`` on this region, in
+        ascending order, no interleaved writes — identical to a
+        :meth:`read_framed` loop.
+        """
         sealed = self._enclave.untrusted.read_range(self._region, start, count)
         for offset, block in enumerate(sealed):
             if block is None:
@@ -156,7 +165,13 @@ class FlatStorage:
         return self._enclave.open_many(sealed, aads)
 
     def write_range_framed(self, start: int, frames: list[bytes]) -> None:
-        """Seal ``frames`` into ``[start, start+len))``; trace: W start..."""
+        """Seal ``frames`` into ``[start, start+len(frames))``.
+
+        Trace contract: ``W start .. W start+len(frames)-1`` on this
+        region, in ascending order, no interleaved reads — identical to a
+        :meth:`write_framed` loop.  Internally chunked; each chunk fails
+        atomically.
+        """
         for offset in range(0, len(frames), _CHUNK_BLOCKS):
             chunk = frames[offset : offset + _CHUNK_BLOCKS]
             chunk_start = start + offset
@@ -248,6 +263,74 @@ class FlatStorage:
             return resealed[:half], resealed[half:]
 
         enclave.untrusted.exchange_pairs(region, start, half, compute)
+
+    def interleave_to(
+        self,
+        target: "FlatStorage",
+        pairs: Sequence[tuple[int, int]],
+        transform: Callable[[int, list[bytes]], list[bytes]],
+    ) -> None:
+        """Cross-region interleaved copy: (R self, W target) per pair.
+
+        Executes ``pairs`` of ``(source_index, target_index)`` as chunked
+        :meth:`~repro.enclave.memory.UntrustedMemory.exchange_interleaved`
+        round-trips: gather the source blocks, open them in one batch,
+        ``transform(offset, frames) -> frames`` (``offset`` is the chunk's
+        position within ``pairs``; one output frame per input frame, which
+        may carry state across chunks — merge scans do), seal in one batch,
+        scatter to the target.
+
+        Trace contract: observable as, for each pair in order,
+        ``R self[src], W target[dst]`` — region, indices, order, and R/W
+        interleaving bit-identical to the per-row loop
+        ``target.write_framed(dst, f(self.read_framed(src)))``.  This is the
+        primitive the two-region operator passes (hash-join probe, sort-merge
+        union and merge, aggregate filter-copy, :meth:`copy_to`) ride on.
+
+        Both tables must share one enclave (one adversary, one trace);
+        ledgers may differ — reads are opened against this table's ledger,
+        writes staged and committed against the target's.  Chunks of
+        :data:`_CHUNK_BLOCKS` pairs fail atomically, like the other batched
+        passes.
+        """
+        enclave = self._enclave
+        if target._enclave is not enclave:
+            raise StorageError("interleave_to requires tables in one enclave")
+        src_region, dst_region = self._region, target._region
+        src_ledger, dst_ledger = self._ledger, target._ledger
+        for offset in range(0, len(pairs), _CHUNK_BLOCKS):
+            chunk = pairs[offset : offset + _CHUNK_BLOCKS]
+            read_steps = [(src_region, src) for src, _ in chunk]
+            write_steps = [(dst_region, dst) for _, dst in chunk]
+            schedule = [
+                step
+                for (src, dst) in chunk
+                for step in (("R", src_region, src), ("W", dst_region, dst))
+            ]
+
+            staged: list[int] = []
+
+            def compute(sealed: list, offset: int = offset) -> list:
+                for (src, _), block in zip(chunk, sealed):
+                    if block is None:
+                        raise StorageError(f"missing block {src_region}[{src}]")
+                aads = src_ledger.open_steps(read_steps)
+                frames = enclave.open_many(sealed, aads)
+                new_frames = transform(offset, frames)
+                if len(new_frames) != len(chunk):
+                    raise StorageError(
+                        f"interleaved transform produced {len(new_frames)} "
+                        f"frames for {len(chunk)} pairs"
+                    )
+                revisions, next_aads = dst_ledger.stage_steps(write_steps)
+                resealed = enclave.seal_many(new_frames, next_aads)
+                staged[:] = revisions
+                return resealed
+
+            enclave.untrusted.exchange_interleaved(schedule, compute)
+            # Commit only after the blocks are stored: a failure anywhere in
+            # the round-trip leaves ledger and slots consistent (atomic chunk).
+            dst_ledger.commit_steps(write_steps, staged)
 
     # ------------------------------------------------------------------
     # Oblivious table operations (Section 3.1): one uniform pass each
@@ -351,7 +434,11 @@ class FlatStorage:
             yield chunk_start, self.read_range_framed(chunk_start, count)
 
     def scan_framed(self) -> Iterator[tuple[int, bytes]]:
-        """Batched full scan, yielding (index, framed bytes) one at a time."""
+        """Batched full scan, yielding (index, framed bytes) one at a time.
+
+        Trace contract: same as :meth:`scan_framed_chunks` —
+        ``R 0 .. R capacity-1`` on this region, the per-block scan order.
+        """
         for chunk_start, frames in self.scan_framed_chunks():
             yield from enumerate(frames, chunk_start)
 
@@ -372,13 +459,14 @@ class FlatStorage:
     # Lifecycle
     # ------------------------------------------------------------------
     def copy_to(self, name: str | None = None, capacity: int | None = None) -> "FlatStorage":
-        """Copy into a new (possibly larger) flat table, block by block.
+        """Copy into a new (possibly larger) flat table via interleaved exchange.
 
-        This is how ObliDB grows a table past its initial maximum capacity;
-        the access pattern is a uniform read of the source interleaved with
-        sequential writes to the target.  Framed bytes are copied directly —
-        no decode/validate/re-encode round trip — with the same per-block
-        access pattern as before.
+        This is how ObliDB grows a table past its initial maximum capacity.
+        Trace contract: after the target's own init pass (``W`` over all
+        target slots), one :meth:`interleave_to` pass — ``R source[i],
+        W target[i]`` for every source index in ascending order, exactly the
+        per-block read-source/write-target loop.  Framed bytes are copied
+        through without a decode/validate/re-encode round trip.
         """
         new_capacity = capacity if capacity is not None else self.capacity
         if new_capacity < self.capacity:
@@ -386,8 +474,11 @@ class FlatStorage:
         target = FlatStorage(
             self._enclave, self.schema, new_capacity, name=name, ledger=self._ledger
         )
-        for index in range(self.capacity):
-            target.write_framed(index, self.read_framed(index))
+        self.interleave_to(
+            target,
+            [(index, index) for index in range(self.capacity)],
+            lambda offset, frames: frames,
+        )
         target._used = self._used
         target._next_fast_insert = self._next_fast_insert
         return target

@@ -1,10 +1,17 @@
-"""Compatibility shim: the revision ledger moved to the enclave layer.
+"""DEPRECATED compatibility shim: the revision ledger moved to the enclave
+layer in PR 2.
 
 The ledger is enclave-private client state used by *every* structure living
 in untrusted memory — flat tables and ORAM trees alike — so it lives with
-the rest of the enclave's trusted state in
-:mod:`repro.enclave.integrity`.  This module re-exports it so existing
-imports (``repro.storage.integrity``) keep working.
+the rest of the enclave's trusted state in :mod:`repro.enclave.integrity`.
+Import :class:`RevisionLedger` from there in new code::
+
+    from repro.enclave.integrity import RevisionLedger
+
+This module only re-exports it so existing imports
+(``repro.storage.integrity``) keep working; it will be removed once no
+in-tree or downstream code imports it.  ``tests/storage/test_integrity.py``
+pins the re-export.
 """
 
 from __future__ import annotations

@@ -712,6 +712,489 @@ class TestPathORAMEquivalence:
         assert_enclaves_match(enclave_a, enclave_b)
 
 
+# ---------------------------------------------------------------------------
+# Cross-region interleaved exchange
+# ---------------------------------------------------------------------------
+
+
+class TestInterleavedExchangeEquivalence:
+    """``exchange_interleaved`` must record the per-step loop's exact trace."""
+
+    def _pair(self) -> tuple[Enclave, Enclave]:
+        enclaves = []
+        for _ in range(2):
+            enclave = Enclave(cipher="authenticated", keep_trace_events=True)
+            for name, capacity in (("a", 8), ("b", 8)):
+                enclave.untrusted.allocate_region(name, capacity)
+                for i in range(capacity):
+                    enclave.untrusted.write(name, i, enclave.seal(bytes([i])))
+            enclaves.append(enclave)
+        return enclaves[0], enclaves[1]
+
+    SCHEDULE = [
+        ("R", "a", 0),
+        ("W", "b", 3),
+        ("R", "a", 5),
+        ("R", "b", 1),
+        ("W", "a", 2),
+        ("W", "b", 0),
+    ]
+
+    def test_mixed_schedule_matches_per_step_loop(self) -> None:
+        batched, reference = self._pair()
+        replacements = [batched.seal(bytes([100 + i])) for i in range(3)]
+        batched.untrusted.exchange_interleaved(
+            self.SCHEDULE, lambda blocks: list(replacements)
+        )
+        # Reference: the per-step loop over scalar read/write.
+        ref_blocks = [reference.seal(bytes([100 + i])) for i in range(3)]
+        writes = iter(ref_blocks)
+        for op, region, index in self.SCHEDULE:
+            if op == "R":
+                reference.untrusted.read(region, index)
+            else:
+                reference.untrusted.write(region, index, next(writes))
+        assert_enclaves_match(batched, reference)
+        # Scatter landed in schedule order across both regions.
+        assert batched.untrusted.peek("b", 3) is replacements[0]
+        assert batched.untrusted.peek("a", 2) is replacements[1]
+        assert batched.untrusted.peek("b", 0) is replacements[2]
+
+    def test_failed_compute_records_nothing(self) -> None:
+        enclave, _ = self._pair()
+        before_len = len(enclave.trace)
+        before = [enclave.untrusted.peek("b", i) for i in range(8)]
+        with pytest.raises(RuntimeError):
+            enclave.untrusted.exchange_interleaved(
+                self.SCHEDULE, lambda blocks: (_ for _ in ()).throw(RuntimeError())
+            )
+        assert len(enclave.trace) == before_len
+        assert [enclave.untrusted.peek("b", i) for i in range(8)] == before
+
+    def test_schedule_validation(self) -> None:
+        from repro.enclave.errors import StorageError
+
+        enclave, _ = self._pair()
+        # Wrong replacement count.
+        with pytest.raises(StorageError):
+            enclave.untrusted.exchange_interleaved(
+                self.SCHEDULE, lambda blocks: []
+            )
+        # Read of a slot the schedule already wrote: the gathered block
+        # would be stale, so the primitive must refuse.
+        with pytest.raises(StorageError):
+            enclave.untrusted.exchange_interleaved(
+                [("W", "a", 1), ("R", "a", 1)], lambda blocks: [None]
+            )
+        # Out of bounds and unknown op.
+        with pytest.raises(StorageError):
+            enclave.untrusted.exchange_interleaved(
+                [("R", "a", 8)], lambda blocks: []
+            )
+        with pytest.raises(StorageError):
+            enclave.untrusted.exchange_interleaved(
+                [("X", "a", 0)], lambda blocks: []
+            )
+
+    def test_interleave_to_requires_shared_enclave(self) -> None:
+        from repro.enclave.errors import StorageError
+
+        table_a, _ = fresh_pair(4, ROWS[:2])
+        table_b, _ = fresh_pair(4, ROWS[:2])
+        with pytest.raises(StorageError):
+            table_a.interleave_to(table_b, [(0, 0)], lambda offset, frames: frames)
+
+
+# ---------------------------------------------------------------------------
+# Operator paths riding the interleaved exchange
+# ---------------------------------------------------------------------------
+
+from repro.operators.aggregate import (  # noqa: E402
+    AggregateFunction,
+    AggregateSpec,
+    _Accumulator,
+    _group_output_schema,
+    _sorted_group_aggregate,
+)
+from repro.operators.join import (  # noqa: E402
+    _largest_dividing_chunk,
+    _neutral_value,
+    hash_join,
+    joined_schema,
+    opaque_join,
+    zero_om_join,
+)
+from repro.operators.predicate import Comparison, TruePredicate  # noqa: E402
+from repro.operators.sort import padded_scratch  # noqa: E402
+from repro.storage.rows import frame_dummy, framed_size  # noqa: E402
+from repro.storage.schema import Row, int_column as _int  # noqa: E402
+
+
+T2_SCHEMA = Schema([int_column("fk"), str_column("w", 8)])
+T1_ROWS = [(i, f"p{i}") for i in range(5)]  # primary side: unique keys
+T2_ROWS = [(i % 4, f"f{i}") for i in range(7)]  # foreign side: repeats + misses
+
+
+def fresh_join_tables(enclave: Enclave) -> tuple[FlatStorage, FlatStorage]:
+    table1 = FlatStorage(enclave, SCHEMA, 8)
+    for row in T1_ROWS:
+        table1.fast_insert(row)
+    table2 = FlatStorage(enclave, T2_SCHEMA, 8)
+    for row in T2_ROWS:
+        table2.fast_insert(row)
+    return table1, table2
+
+
+def reference_hash_join(
+    table1: FlatStorage,
+    table2: FlatStorage,
+    column1: str,
+    column2: str,
+    oblivious_memory_bytes: int,
+) -> FlatStorage:
+    """The seed's hash join: per-row build reads, per-row probe R/W loop."""
+    enclave = table1.enclave
+    key1 = table1.schema.column_index(column1)
+    key2 = table2.schema.column_index(column2)
+    out_schema = joined_schema(table1.schema, table2.schema)
+    row_bytes = framed_size(table1.schema) + 16
+    chunk_rows = max(1, oblivious_memory_bytes // row_bytes)
+    num_chunks = (table1.capacity + chunk_rows - 1) // chunk_rows
+    output = FlatStorage(enclave, out_schema, num_chunks * table2.capacity)
+    out_position = 0
+    matched = 0
+    with enclave.oblivious_buffer(min(chunk_rows, table1.capacity) * row_bytes):
+        for chunk in range(num_chunks):
+            start = chunk * chunk_rows
+            stop = min(start + chunk_rows, table1.capacity)
+            hash_table: dict = {}
+            for index in range(start, stop):
+                row = table1.read_row(index)
+                if row is not None:
+                    hash_table[row[key1]] = row
+            for index in range(table2.capacity):
+                row2 = table2.read_row(index)
+                row1 = hash_table.get(row2[key2]) if row2 is not None else None
+                if row1 is not None:
+                    output.write_row(out_position, row1 + row2)
+                    matched += 1
+                else:
+                    output.write_row(out_position, None)
+                out_position += 1
+    output._used = matched
+    return output
+
+
+def reference_union_scratch(
+    table1: FlatStorage, table2: FlatStorage, column1: str, column2: str
+) -> tuple[FlatStorage, Schema, int, int]:
+    """The seed's per-row copy of both tables into the tagged scratch."""
+    out_schema = joined_schema(table1.schema, table2.schema)
+    scratch_schema = Schema([_int("_tag")] + list(out_schema.columns))
+    capacity = padded_scratch(table1.capacity + table2.capacity)
+    scratch = FlatStorage(table1.enclave, scratch_schema, capacity)
+    left_width = len(table1.schema)
+    right_neutral = tuple(_neutral_value(c) for c in out_schema.columns[left_width:])
+    left_neutral = tuple(_neutral_value(c) for c in out_schema.columns[:left_width])
+    position = 0
+    for index in range(table1.capacity):
+        row = table1.read_row(index)
+        scratch.write_row(
+            position, (0,) + row + right_neutral if row is not None else None
+        )
+        position += 1
+    for index in range(table2.capacity):
+        row = table2.read_row(index)
+        scratch.write_row(
+            position, (1,) + left_neutral + row if row is not None else None
+        )
+        position += 1
+    key1_index = 1 + table1.schema.column_index(column1)
+    key2_index = 1 + left_width + table2.schema.column_index(column2)
+    return scratch, out_schema, key1_index, key2_index
+
+
+def reference_merge_scan(
+    scratch: FlatStorage,
+    out_schema: Schema,
+    key1_index: int,
+    key2_index: int,
+    left_width: int,
+) -> FlatStorage:
+    """The seed's per-row merge: R scratch[i], W output[i] per row."""
+    output = FlatStorage(scratch.enclave, out_schema, scratch.capacity)
+    current_primary: Row | None = None
+    matched = 0
+    for index in range(scratch.capacity):
+        row = scratch.read_row(index)
+        emit: Row | None = None
+        if row is not None:
+            if row[0] == 0:
+                current_primary = row[1 : 1 + left_width]
+            elif (
+                current_primary is not None
+                and row[key2_index] == current_primary[key1_index - 1]
+            ):
+                emit = current_primary + row[1 + left_width :]
+                matched += 1
+        output.write_row(index, emit)
+    output._used = matched
+    return output
+
+
+def reference_sort_merge_join(
+    table1: FlatStorage,
+    table2: FlatStorage,
+    column1: str,
+    column2: str,
+    oblivious_memory_bytes: int | None,
+    enclave_rows: int = 1,
+) -> FlatStorage:
+    """Per-row union + per-row merge around the production (already
+    trace-equivalence-tested) sorters: Opaque style when
+    ``oblivious_memory_bytes`` is given, 0-OM bitonic otherwise."""
+    scratch, out_schema, key1_index, key2_index = reference_union_scratch(
+        table1, table2, column1, column2
+    )
+    left_width = len(table1.schema)
+    key_column1 = scratch.schema.columns[key1_index]
+
+    def sort_key(row: Row) -> tuple:
+        key = row[key1_index] if row[0] == 0 else row[key2_index]
+        return (key_column1.sort_key(key), row[0])
+
+    if oblivious_memory_bytes is not None:
+        row_bytes = framed_size(scratch.schema)
+        chunk_rows = max(1, oblivious_memory_bytes // (2 * row_bytes))
+        chunk_rows = _largest_dividing_chunk(scratch.capacity, chunk_rows)
+        external_oblivious_sort(scratch, sort_key, chunk_rows)
+    else:
+        bitonic_sort(scratch, sort_key, enclave_rows=enclave_rows)
+    output = reference_merge_scan(
+        scratch, out_schema, key1_index, key2_index, left_width
+    )
+    scratch.free()
+    return output
+
+
+class TestJoinPathEquivalence:
+    """Batched probe/union/merge vs the seed's per-row two-region loops."""
+
+    OM_SINGLE = 1 << 20  # build side fits: one chunk, one probe pass
+    OM_MULTI = 80  # ~2 rows per chunk: multi-pass probe
+
+    def _enclaves(self) -> tuple[Enclave, Enclave]:
+        return (
+            Enclave(cipher="authenticated", keep_trace_events=True),
+            Enclave(cipher="authenticated", keep_trace_events=True),
+        )
+
+    @pytest.mark.parametrize("om_bytes", [OM_SINGLE, OM_MULTI])
+    def test_hash_join_probe(self, om_bytes: int) -> None:
+        enclave_a, enclave_b = self._enclaves()
+        t1a, t2a = fresh_join_tables(enclave_a)
+        t1b, t2b = fresh_join_tables(enclave_b)
+        batched = hash_join(t1a, t2a, "k", "fk", om_bytes)
+        reference = reference_hash_join(t1b, t2b, "k", "fk", om_bytes)
+        assert_enclaves_match(enclave_a, enclave_b)
+        assert sorted(batched.rows()) == sorted(reference.rows())
+        assert batched._used == reference._used
+
+    def test_hash_join_trace_is_data_independent(self) -> None:
+        """All-match and no-match probes must leave identical traces."""
+        enclave_a, enclave_b = self._enclaves()
+        t1a, t2a = fresh_join_tables(enclave_a)
+        t1b = FlatStorage(enclave_b, SCHEMA, 8)
+        for i, (_, v) in enumerate(T1_ROWS):
+            t1b.fast_insert((100 + i, v))  # keys that never match
+        t2b = FlatStorage(enclave_b, T2_SCHEMA, 8)
+        for row in T2_ROWS:
+            t2b.fast_insert(row)
+        hash_join(t1a, t2a, "k", "fk", self.OM_SINGLE)
+        hash_join(t1b, t2b, "k", "fk", self.OM_SINGLE)
+        assert enclave_a.trace.matches(enclave_b.trace)
+
+    def test_opaque_join_union_and_merge(self) -> None:
+        enclave_a, enclave_b = self._enclaves()
+        t1a, t2a = fresh_join_tables(enclave_a)
+        t1b, t2b = fresh_join_tables(enclave_b)
+        batched = opaque_join(t1a, t2a, "k", "fk", 1 << 16)
+        reference = reference_sort_merge_join(t1b, t2b, "k", "fk", 1 << 16)
+        assert_enclaves_match(enclave_a, enclave_b)
+        assert batched.rows() == reference.rows()
+        assert batched._used == reference._used
+
+    def test_zero_om_join_union_and_merge(self) -> None:
+        enclave_a, enclave_b = self._enclaves()
+        t1a, t2a = fresh_join_tables(enclave_a)
+        t1b, t2b = fresh_join_tables(enclave_b)
+        batched = zero_om_join(t1a, t2a, "k", "fk", enclave_rows=4)
+        reference = reference_sort_merge_join(
+            t1b, t2b, "k", "fk", None, enclave_rows=4
+        )
+        assert_enclaves_match(enclave_a, enclave_b)
+        assert batched.rows() == reference.rows()
+
+    def test_chunked_join_paths(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        """Tiny chunks force every pass across chunk boundaries; the merge
+        scan's last-seen-primary state must carry between chunks."""
+        import repro.storage.flat as flat
+
+        monkeypatch.setattr(flat, "_CHUNK_BLOCKS", 3)
+        enclave_a, enclave_b = self._enclaves()
+        t1a, t2a = fresh_join_tables(enclave_a)
+        t1b, t2b = fresh_join_tables(enclave_b)
+        batched = opaque_join(t1a, t2a, "k", "fk", 1 << 16)
+        reference = reference_sort_merge_join(t1b, t2b, "k", "fk", 1 << 16)
+        assert_enclaves_match(enclave_a, enclave_b)
+        assert batched.rows() == reference.rows()
+
+        enclave_c, enclave_d = self._enclaves()
+        t1c, t2c = fresh_join_tables(enclave_c)
+        t1d, t2d = fresh_join_tables(enclave_d)
+        batched = hash_join(t1c, t2c, "k", "fk", self.OM_SINGLE)
+        reference = reference_hash_join(t1d, t2d, "k", "fk", self.OM_SINGLE)
+        assert_enclaves_match(enclave_c, enclave_d)
+        assert sorted(batched.rows()) == sorted(reference.rows())
+
+
+def reference_sorted_group_aggregate(
+    table: FlatStorage, group_column: str, specs, predicate
+) -> FlatStorage:
+    """The seed's sort-based grouped aggregation: per-row filter-copy front
+    (R table[i], W scratch[i] per row) around the production sorter and the
+    unchanged merge-emit loop."""
+    enclave = table.enclave
+    schema = table.schema
+    matches = (predicate or TruePredicate()).compile(schema)
+    group_index = schema.column_index(group_column)
+    columns = [
+        schema.column_index(spec.column) if spec.column is not None else None
+        for spec in specs
+    ]
+    scratch = FlatStorage(enclave, schema, padded_scratch(max(1, table.capacity)))
+    dummy = frame_dummy(schema)
+    for index in range(table.capacity):
+        framed = table.read_framed(index)
+        row = unframe_row(schema, framed)
+        keep = row is not None and matches(row)
+        scratch.write_framed(index, framed if keep else dummy)
+    sort_column = schema.column(group_column)
+
+    def sort_key(row: Row) -> tuple:
+        return (sort_column.sort_key(row[group_index]),)
+
+    row_bytes = schema.row_size + 1
+    chunk_rows = enclave.oblivious.free_bytes // (2 * row_bytes)
+    if chunk_rows >= 2 and scratch.capacity >= 2:
+        chunk = 1
+        while chunk * 2 <= chunk_rows and chunk * 2 <= scratch.capacity:
+            chunk *= 2
+        external_oblivious_sort(scratch, sort_key, chunk)
+    else:
+        bitonic_sort(scratch, sort_key)
+
+    out_schema = _group_output_schema(schema, group_column, specs)
+    output = FlatStorage(enclave, out_schema, scratch.capacity + 1)
+    open_key = None
+    accumulators: list[_Accumulator] = []
+    emitted = 0
+
+    def completed_row() -> tuple:
+        return (open_key,) + tuple(
+            float(accumulator.result()) for accumulator in accumulators
+        )
+
+    for index in range(scratch.capacity):
+        row = scratch.read_row(index)
+        group_ended = open_key is not None and (
+            row is None or row[group_index] != open_key
+        )
+        if group_ended:
+            output.write_row(index, completed_row())
+            emitted += 1
+            open_key = None
+        else:
+            output.write_row(index, None)
+        if row is not None:
+            if open_key is None:
+                open_key = row[group_index]
+                accumulators = [_Accumulator(spec) for spec in specs]
+            for accumulator, column in zip(accumulators, columns):
+                accumulator.add(row[column] if column is not None else None)
+    if open_key is not None:
+        output.write_row(scratch.capacity, completed_row())
+        emitted += 1
+    else:
+        output.write_row(scratch.capacity, None)
+    output._used = emitted
+    scratch.free()
+    return output
+
+
+class TestAggregateFilterCopyEquivalence:
+    """Batched filter-copy front of the sorted GROUP BY fallback vs the
+    seed's per-row R-table/W-scratch loop."""
+
+    SPECS = [
+        AggregateSpec(AggregateFunction.COUNT),
+        AggregateSpec(AggregateFunction.SUM, "k"),
+    ]
+
+    def _tables(self) -> tuple[FlatStorage, FlatStorage]:
+        batched, reference = fresh_pair(8, ROWS)
+        return batched, reference
+
+    @pytest.mark.parametrize(
+        "predicate", [None, Comparison("k", ">=", 2)], ids=["unfiltered", "filtered"]
+    )
+    def test_filter_copy_front(self, predicate) -> None:
+        batched, reference = self._tables()
+        got = _sorted_group_aggregate(batched, "k", self.SPECS, predicate)
+        want = reference_sorted_group_aggregate(
+            reference, "k", self.SPECS, predicate
+        )
+        assert_traces_match(batched, reference)
+        assert sorted(got.rows()) == sorted(want.rows())
+
+    def test_filter_copy_trace_is_data_independent(self) -> None:
+        none_match, all_match = self._tables()
+        _sorted_group_aggregate(
+            none_match, "k", self.SPECS, Comparison("k", ">", 10**6)
+        )
+        _sorted_group_aggregate(
+            all_match, "k", self.SPECS, Comparison("k", ">=", 0)
+        )
+        assert none_match.enclave.trace.matches(all_match.enclave.trace)
+
+    def test_chunked_filter_copy(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        import repro.storage.flat as flat
+
+        monkeypatch.setattr(flat, "_CHUNK_BLOCKS", 3)
+        batched, reference = self._tables()
+        got = _sorted_group_aggregate(batched, "k", self.SPECS, None)
+        want = reference_sorted_group_aggregate(reference, "k", self.SPECS, None)
+        assert_traces_match(batched, reference)
+        assert sorted(got.rows()) == sorted(want.rows())
+
+
+class TestCopyToEquivalence:
+    """Batched ``copy_to`` vs the per-row loop, across chunk boundaries."""
+
+    def test_chunked_copy_to(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        import repro.storage.flat as flat
+
+        monkeypatch.setattr(flat, "_CHUNK_BLOCKS", 3)
+        batched, reference = fresh_pair(8, ROWS)
+        copied = batched.copy_to(capacity=16)
+        target = FlatStorage(reference.enclave, SCHEMA, 16, ledger=reference._ledger)
+        for index in range(reference.capacity):
+            target.write_framed(index, reference.read_framed(index))
+        assert_traces_match(batched, reference)
+        assert copied.rows() == target.rows()
+        assert copied.used_rows == reference.used_rows
+
+
 class TestRingORAMEquivalence:
     """Batched slot pipeline vs. the seed's per-slot loops, covering online
     reads, scheduled evictions, and early reshuffles."""

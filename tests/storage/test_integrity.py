@@ -151,3 +151,55 @@ class TestLedgerGatherScatter:
         assert ledger.stage_at("t", range(4)) == tuple(
             ledger.stage_range("t", 0, 4)
         )
+
+
+class TestStepOperations:
+    """Cross-region (region, index) step batches used by the interleaved
+    exchange must agree with the scalar and single-region batch APIs."""
+
+    STEPS = [("a", 0), ("b", 3), ("a", 5), ("b", 1)]
+
+    def test_open_steps_matches_scalar(self) -> None:
+        ledger = RevisionLedger()
+        ledger.commit("a", 5, 4)
+        ledger.commit("b", 3, 2)
+        assert ledger.open_steps(self.STEPS) == [
+            ledger.associated_data(region, index, ledger.current(region, index))
+            for region, index in self.STEPS
+        ]
+
+    def test_stage_and_commit_steps_round_trip(self) -> None:
+        ledger = RevisionLedger()
+        ledger.commit("b", 1, 6)
+        revisions, aads = ledger.stage_steps(self.STEPS)
+        assert revisions == [
+            ledger.next_revision(region, index) for region, index in self.STEPS
+        ]
+        assert aads == [
+            ledger.associated_data(region, index, revision)
+            for (region, index), revision in zip(self.STEPS, revisions)
+        ]
+        # Nothing committed by staging.
+        assert ledger.stage_steps(self.STEPS)[0] == revisions
+        ledger.commit_steps(self.STEPS, revisions)
+        for (region, index), revision in zip(self.STEPS, revisions):
+            assert ledger.current(region, index) == revision
+
+    def test_stage_steps_rejects_duplicates(self) -> None:
+        ledger = RevisionLedger()
+        with pytest.raises(ValueError):
+            ledger.stage_steps([("a", 0), ("b", 0), ("a", 0)])
+
+
+class TestCompatibilityShim:
+    """``repro.storage.integrity`` is a deprecated re-export of
+    ``repro.enclave.integrity``; the shim must keep working until every
+    importer has moved."""
+
+    def test_reexport_is_the_enclave_class(self) -> None:
+        import repro.enclave.integrity as canonical
+        import repro.storage.integrity as shim
+
+        assert shim.RevisionLedger is canonical.RevisionLedger
+        assert shim.__all__ == ["RevisionLedger"]
+        assert "DEPRECATED" in (shim.__doc__ or "")
