@@ -17,11 +17,18 @@ module and in EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Iterable
 
 from repro.enclave import Enclave
 from repro.storage import FlatStorage, Schema, StorageMethod, Table
+
+#: Smoke mode (``BENCH_SMOKE=1``): the ``test_perf_*`` modules shrink their
+#: workloads ~8x and skip updating the ``BENCH_*.json`` trajectory files.
+#: CI runs them this way on every push so the perf harnesses cannot silently
+#: rot; real measurements use the default full sizes.
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
 
 def fresh_enclave(oblivious_memory_bytes: int = 1 << 26) -> Enclave:

@@ -29,7 +29,7 @@ from repro.operators.join import hash_join, opaque_join
 from repro.storage import FlatStorage, Schema
 from repro.storage.schema import float_column, int_column, str_column
 
-from conftest import print_table
+from conftest import BENCH_SMOKE, print_table
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_join.json"
 
@@ -55,9 +55,11 @@ T2_SCHEMA = Schema(
         float_column("amount"),
     ]
 )
-REPEATS = 3
+REPEATS = 1 if BENCH_SMOKE else 3
 
-N = 1024  # rows per side: the 1k×1k acceptance workload
+# BENCH_SMOKE=1 (the CI bench-smoke job) shrinks the sides ~8x and skips
+# the JSON update.
+N = 128 if BENCH_SMOKE else 1024  # rows per side: the 1k×1k acceptance workload
 #: Sized so the hash build and one sort chunk fit: a single probe pass and a
 #: single quicksorted chunk, the configuration Figure 8's right edge uses.
 OM_BYTES = 1 << 23
@@ -174,6 +176,9 @@ class TestJoinMicrobench:
             table_rows,
         )
 
+        if BENCH_SMOKE:
+            assert headline < 10.0
+            return
         payload: dict = {
             "benchmark": "join_datapath",
             "cipher": "authenticated",

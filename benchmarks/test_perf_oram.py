@@ -29,7 +29,7 @@ from repro.oram import PathORAM, RingORAM
 from repro.storage.btree import ObliviousBPlusTree
 from repro.storage.schema import Schema, float_column, int_column, str_column
 
-from conftest import print_table
+from conftest import BENCH_SMOKE, print_table
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_oram.json"
 
@@ -45,12 +45,17 @@ SCHEMA = Schema(
         float_column("score"),
     ]
 )
-REPEATS = 3
+REPEATS = 1 if BENCH_SMOKE else 3
 
-TREE_CAPACITY = 128
-TREE_ROWS = 96
-LOOKUPS = 32
-RANGE_SPAN = 24
+# BENCH_SMOKE=1 (the CI bench-smoke job) shrinks the workload ~4-8x and
+# skips the JSON update.
+ORAM_BLOCKS = 64 if BENCH_SMOKE else 256
+PROBES = 40 if BENCH_SMOKE else 200
+TREE_CAPACITY = 32 if BENCH_SMOKE else 128
+TREE_ROWS = 24 if BENCH_SMOKE else 96
+LOOKUPS = 8 if BENCH_SMOKE else 32
+RANGE_SPAN = 8 if BENCH_SMOKE else 24
+RANGE_LO = 6 if BENCH_SMOKE else 20
 
 #: Seed-commit (a7808bc) numbers for the same workloads on the same
 #: machine, recorded so the JSON carries the trajectory even when the seed
@@ -122,17 +127,17 @@ class TestORAMMicrobench:
         table_rows: list[list] = []
 
         # --- raw ORAM access rates (512 B blocks) ---------------------
-        probes = 200
+        probes = PROBES
         for label, factory in (
-            ("path", lambda e: PathORAM(e, 256, 512, rng=random.Random(1))),
-            ("ring", lambda e: RingORAM(e, 256, 512, rng=random.Random(1))),
+            ("path", lambda e: PathORAM(e, ORAM_BLOCKS, 512, rng=random.Random(1))),
+            ("ring", lambda e: RingORAM(e, ORAM_BLOCKS, 512, rng=random.Random(1))),
         ):
             oram = factory(_enclave())
             payload = b"p" * 256
-            for block in range(0, 256, 4):
+            for block in range(0, ORAM_BLOCKS, 4):
                 oram.write(block, payload)
             rng = random.Random(5)
-            blocks = [rng.randrange(256) for _ in range(probes)]
+            blocks = [rng.randrange(ORAM_BLOCKS) for _ in range(probes)]
 
             def read_pass(oram=oram, blocks=blocks) -> None:
                 for block in blocks:
@@ -194,7 +199,9 @@ class TestORAMMicrobench:
         )
 
         # --- B+ tree range scan ---------------------------------------
-        scan_s = _best_of(lambda: path_tree.range_scan(20, 20 + RANGE_SPAN - 1))
+        scan_s = _best_of(
+            lambda: path_tree.range_scan(RANGE_LO, RANGE_LO + RANGE_SPAN - 1)
+        )
         results["btree_range_scan_rows_per_s"] = RANGE_SPAN / scan_s
         table_rows.append(
             [
@@ -210,6 +217,9 @@ class TestORAMMicrobench:
             table_rows,
         )
 
+        if BENCH_SMOKE:
+            assert headline < 10.0
+            return
         payload: dict = {
             "benchmark": "oram_pipeline",
             "cipher": "authenticated",

@@ -29,6 +29,7 @@ from .errors import (
     SchemaError,
     SQLSyntaxError,
     StorageError,
+    WALReplayError,
 )
 from .integrity import RevisionLedger
 from .memory import Region, UntrustedMemory
@@ -63,6 +64,7 @@ __all__ = [
     "SchemaError",
     "SealedBlock",
     "StorageError",
+    "WALReplayError",
     "UntrustedMemory",
     "attest",
     "measure",

@@ -26,6 +26,18 @@ class RollbackError(IntegrityError):
     """A block's revision number is older than the enclave's ledger entry."""
 
 
+class WALReplayError(IntegrityError):
+    """A write-ahead-log replay's expected record count disagrees with the
+    rollback-protected ledger.
+
+    The enclave (or the client's rollback-protection system, e.g. ROTE per
+    Section 3) persists the committed record count; recovery must present
+    it, and a mismatch against the WAL's ledger head means either a
+    truncated/extended log image or a stale client counter — both replay
+    hazards, surfaced before any statement is re-executed.
+    """
+
+
 class ObliviousMemoryError(ObliDBError):
     """An allocation would exceed the enclave's oblivious-memory budget."""
 

@@ -40,6 +40,23 @@ from .sql import parse
 from .wal import WriteAheadLog
 
 
+def _sql_literal(value: Value) -> str:
+    """Render one row value as a literal the SQL tokenizer round-trips.
+
+    Strings use single quotes with ``''`` escaping (the only form the
+    grammar accepts — ``repr`` would emit double quotes or backslash
+    escapes that break or corrupt replay); numbers print via ``repr``.
+    """
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+def _insert_statement_sql(table: str, row: Row) -> str:
+    """The replayable SQL form of one typed insert (for WAL logging)."""
+    return f"INSERT INTO {table} VALUES ({', '.join(_sql_literal(v) for v in row)})"
+
+
 class ObliDB:
     """An oblivious database engine instance inside one simulated enclave."""
 
@@ -175,8 +192,26 @@ class ObliDB:
     # Typed convenience API
     # ------------------------------------------------------------------
     def insert(self, table: str, row: Row, fast: bool = False) -> None:
-        """Insert one row (``fast`` = flat storage's constant-time path)."""
-        self.table(table).insert(row, fast=fast)
+        """Insert one row (``fast`` = flat storage's constant-time path).
+
+        WAL-logged like the SQL path, so typed inserts survive recovery.
+        """
+        target = self.table(table)
+        if self.wal is not None:
+            self.wal.append(_insert_statement_sql(target.name, row))
+        target.insert(row, fast=fast)
+
+    def insert_many(self, table: str, rows: list[Row], fast: bool = False) -> None:
+        """Bulk insert: one batched flat pass instead of one pass per row.
+
+        With WAL enabled each row is still logged individually (replay uses
+        per-statement SQL), but the storage maintenance is batched.
+        """
+        target = self.table(table)
+        if self.wal is not None:
+            for row in rows:
+                self.wal.append(_insert_statement_sql(target.name, row))
+        target.insert_many(rows, fast=fast)
 
     def select(
         self,

@@ -154,6 +154,14 @@ class Executor:
                 statement.join.left_column,
                 statement.join.right_column,
                 decision,
+                # Tighten to the |T2| foreign-key bound via the oblivious
+                # compaction network when a downstream ORDER BY will sort
+                # the output table: the oblivious sort then runs over |T2|
+                # blocks instead of the probe/scratch-sized structure,
+                # which more than repays the O(C log C) compaction.  A
+                # plain result scan reads the output exactly once, so
+                # compacting first would be a net loss there.
+                compact_output=statement.order_by is not None,
             )
         finally:
             if left_owned:

@@ -26,12 +26,20 @@ from __future__ import annotations
 import struct
 
 from ..enclave.enclave import Enclave
-from ..enclave.errors import IntegrityError, StorageError
+from ..enclave.errors import IntegrityError, StorageError, WALReplayError
+from ..enclave.integrity import RevisionLedger
 
 _HEADER = struct.Struct("<Q")  # sequence number bound into the AAD
 
 #: Initial log capacity (grows by doubling, like a file).
 _INITIAL_CAPACITY = 64
+
+#: Records decrypted per batched replay round-trip (bounds enclave residency
+#: like flat storage's chunking discipline).
+_REPLAY_CHUNK = 1024
+
+#: Ledger slot holding the committed-count head (never a real record slot).
+_HEAD_SLOT = -1
 
 
 class WriteAheadLog:
@@ -42,11 +50,22 @@ class WriteAheadLog:
         self._region = name or enclave.fresh_region_name("wal")
         enclave.untrusted.allocate_region(self._region, _INITIAL_CAPACITY)
         self._count = 0
+        # Rollback protection for the log *length*: the committed record
+        # count lives in a revision ledger head entry (the state a client
+        # persists through ROTE or similar, per Section 3), so replay can
+        # cross-check the caller's expected count before re-executing
+        # anything.
+        self._ledger = RevisionLedger()
 
     @property
     def count(self) -> int:
         """Number of committed records (enclave-side truth)."""
         return self._count
+
+    @property
+    def committed_count(self) -> int:
+        """The rollback-protected ledger head (what recovery validates)."""
+        return self._ledger.current(self._region, _HEAD_SLOT)
 
     @property
     def region_name(self) -> str:
@@ -63,40 +82,62 @@ class WriteAheadLog:
         sealed = self._enclave.seal(statement_sql.encode(), self._aad(self._count))
         self._enclave.untrusted.write(self._region, self._count, sealed)
         self._count += 1
+        self._ledger.commit(self._region, _HEAD_SLOT, self._count)
         return self._count - 1
 
     def read_all(self, expected_count: int | None = None) -> list[str]:
-        """Decrypt and verify the full log in order.
+        """Decrypt and verify the full log in order, in batched chunks.
 
-        ``expected_count`` is the enclave's (or client's) committed count;
-        a shorter log then raises :class:`IntegrityError` (truncation), as
-        does any per-record MAC/sequence failure (tamper/reorder).
+        ``expected_count`` is the committed count the caller persisted
+        (through the enclave or a rollback-protection system like ROTE); it
+        is validated against the log's ledger head *before* any record is
+        decrypted, and a mismatch raises :class:`~repro.enclave.errors.
+        WALReplayError`.  A missing record then raises
+        :class:`IntegrityError` (truncation), as does any per-record
+        MAC/sequence failure (tamper/reorder).
+
+        Trace contract: ``R 0 .. R count-1`` on the log region — the
+        per-record loop's order — executed as chunked range reads with one
+        ``open_many`` keystream pass per chunk.
         """
+        committed = self.committed_count
+        if expected_count is not None and expected_count != committed:
+            raise WALReplayError(
+                f"WAL replay count mismatch: caller expects {expected_count} "
+                f"records, rollback-protected ledger committed {committed}"
+            )
         count = expected_count if expected_count is not None else self._count
         statements: list[str] = []
-        for sequence in range(count):
-            sealed = self._enclave.untrusted.read(self._region, sequence)
-            if sealed is None:
-                raise IntegrityError(
-                    f"WAL truncated: record {sequence} of {count} missing"
-                )
-            plaintext = self._enclave.open(sealed, self._aad(sequence))
-            statements.append(plaintext.decode())
+        for start in range(0, count, _REPLAY_CHUNK):
+            chunk = min(_REPLAY_CHUNK, count - start)
+            sealed = self._enclave.untrusted.read_range(self._region, start, chunk)
+            for offset, block in enumerate(sealed):
+                if block is None:
+                    raise IntegrityError(
+                        f"WAL truncated: record {start + offset} of {count} missing"
+                    )
+            aads = [self._aad(start + offset) for offset in range(chunk)]
+            statements.extend(
+                plaintext.decode()
+                for plaintext in self._enclave.open_many(sealed, aads)
+            )
         return statements
 
     def replay_into(self, database) -> int:
         """Re-execute every logged statement against ``database``.
 
         ``database`` is an :class:`~repro.engine.database.ObliDB`; returns
-        the number of statements replayed.  Replaying into a non-empty
+        the number of statements replayed.  The read side is the batched,
+        ledger-validated :meth:`read_all`; replaying into a non-empty
         database is almost certainly a mistake, so it is rejected.
         """
         if database.table_names():
             raise StorageError("refusing to replay a WAL into a non-empty database")
-        statements = self.read_all()
+        statements = self.read_all(expected_count=self._count)
         for statement in statements:
             database.sql(statement)
         return len(statements)
 
     def free(self) -> None:
         self._enclave.untrusted.free_region(self._region)
+        self._ledger.forget_region(self._region)

@@ -1,0 +1,43 @@
+"""Oblivious shuffle & compaction subsystem.
+
+Batched, trace-fixed primitives for the two jobs ObliDB's operators used to
+delegate to a full oblivious sort even when no ordering was wanted:
+
+* :mod:`~repro.oblivious.permute` — enclave-seeded pseudorandom permutation
+  generation (the secret that drives everything else).
+* :mod:`~repro.oblivious.shuffle` — a two-pass bucket oblivious random
+  shuffle over flat storage: O(n) batched passes, O(√n) enclave residency,
+  data-independent trace.
+* :mod:`~repro.oblivious.compact` — order-preserving oblivious compaction
+  (a log-shift network): O(n log n) accesses, no row buffer, the front end
+  of the compaction-based selects and join-output tightening.
+
+All three run as chunked batched pipelines over the existing
+untrusted-memory primitives (range, gather/scatter, interleaved exchange)
+and are pinned to their per-row reference loops by
+``tests/storage/test_datapath_equivalence.py``.  See the "shuffle &
+compaction" section of ``docs/data-path.md``.
+"""
+
+from .compact import (
+    compaction_levels,
+    filter_copy,
+    materialize_prefix,
+    oblivious_compact,
+)
+from .permute import PermutationSource, generate_permutation, invert_permutation
+from .shuffle import ShuffleGeometry, oblivious_shuffle, plan_shuffle, shuffle_geometry
+
+__all__ = [
+    "PermutationSource",
+    "ShuffleGeometry",
+    "compaction_levels",
+    "filter_copy",
+    "generate_permutation",
+    "invert_permutation",
+    "materialize_prefix",
+    "oblivious_compact",
+    "oblivious_shuffle",
+    "plan_shuffle",
+    "shuffle_geometry",
+]

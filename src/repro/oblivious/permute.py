@@ -1,0 +1,86 @@
+"""Enclave-seeded pseudorandom permutation generation.
+
+Every primitive in :mod:`repro.oblivious` is driven by a secret uniformly
+random permutation that only the enclave knows: the bucket shuffle routes
+each row to ``perm[i]``, and Ring ORAM's early reshuffle re-scatters a
+bucket's surviving blocks across freshly permuted physical slots.  The
+security arguments all reduce to the same fact — the adversary observes a
+fixed access pattern while the *assignment* of plaintexts to positions is a
+uniform secret — so permutation generation is centralised here.
+
+Two sources are provided:
+
+* :func:`generate_permutation` draws a uniform permutation from a caller
+  supplied ``random.Random`` — the convention the rest of the repository
+  uses for enclave-held randomness (ORAM leaf draws, salt retries).
+
+* :class:`PermutationSource` derives permutations deterministically from an
+  enclave-held seed via a keyed BLAKE2b PRF.  This is the "enclave-seeded"
+  form: the enclave can regenerate the same permutation from (seed, tweak)
+  instead of storing ``n`` positions, the trade the bucket shuffle uses to
+  keep client state at O(1) between its two passes when memory is tight.
+
+Nothing in this module touches untrusted memory; permutations are pure
+client state (charged like the ORAM position map where they persist).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = [
+    "PermutationSource",
+    "generate_permutation",
+    "invert_permutation",
+]
+
+
+def generate_permutation(n: int, rng: random.Random) -> list[int]:
+    """A uniform random permutation of ``range(n)`` (Fisher–Yates).
+
+    ``perm[i]`` is the target position of element ``i``.  Uses exactly the
+    draws of ``random.Random.shuffle``, so callers that need lockstep
+    between a batched and a per-row implementation can share one seeded
+    ``rng``.
+    """
+    if n < 0:
+        raise ValueError("permutation size must be non-negative")
+    perm = list(range(n))
+    rng.shuffle(perm)
+    return perm
+
+
+def invert_permutation(perm: list[int]) -> list[int]:
+    """The inverse permutation: ``inverse[perm[i]] == i``.
+
+    The shuffle's distribution pass needs ``perm`` (where does slot ``i``
+    go); its clean-up pass orders each bucket by target, for which the
+    inverse answers "which slot lands here".
+    """
+    inverse = [0] * len(perm)
+    for source, target in enumerate(perm):
+        if not 0 <= target < len(perm):
+            raise ValueError(f"invalid permutation entry {target}")
+        inverse[target] = source
+    return inverse
+
+
+class PermutationSource:
+    """Deterministic permutations from an enclave-held seed.
+
+    ``permutation(n, tweak)`` is a pure function of (seed, tweak): a keyed
+    BLAKE2b digest of the tweak seeds a ``random.Random`` that drives
+    Fisher–Yates.  Distinct tweaks give independent-looking permutations;
+    the same (seed, tweak) always regenerates the same one, so the enclave
+    need not hold the ``n``-entry array across passes.
+    """
+
+    def __init__(self, seed: bytes) -> None:
+        if not seed:
+            raise ValueError("PermutationSource needs a non-empty seed")
+        self._seed = bytes(seed)
+
+    def permutation(self, n: int, tweak: bytes = b"") -> list[int]:
+        digest = hashlib.blake2b(tweak, key=self._seed[:64], digest_size=16).digest()
+        return generate_permutation(n, random.Random(int.from_bytes(digest, "little")))

@@ -20,6 +20,7 @@ from .predicate import (
 from .project import project
 from .select import (
     HASH_CHAIN_SLOTS,
+    compact_select,
     continuous_select,
     hash_select,
     large_select,
@@ -44,6 +45,7 @@ __all__ = [
     "TruePredicate",
     "aggregate",
     "bitonic_sort",
+    "compact_select",
     "conjunction",
     "continuous_select",
     "external_oblivious_sort",

@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..enclave.errors import ObliviousMemoryError, QueryError
+from ..oblivious.compact import filter_copy
 from ..storage.flat import FlatStorage
-from ..storage.rows import frame_dummy, unframe_rows
+from ..storage.rows import frame_dummy, frame_row_validated, unframe_rows
 from ..storage.schema import Column, ColumnType, Row, Schema, Value, float_column
 from .predicate import Predicate, TruePredicate
 from .sort import bitonic_sort, external_oblivious_sort, padded_scratch
@@ -231,22 +232,13 @@ def _sorted_group_aggregate(
     ]
 
     scratch = FlatStorage(enclave, schema, padded_scratch(max(1, table.capacity)))
-    dummy = frame_dummy(schema)
 
-    # Filter-copy front: one interleaved-exchange pass — R table[i],
-    # W scratch[i] per row, the per-block loop's exact two-region trace.
-    # Keepers' framed bytes are copied through without a codec round trip;
-    # non-keepers become dummies (same frame either way, so nothing leaks).
-    def filter_copy(offset: int, frames: list[bytes]) -> list[bytes]:
-        out = []
-        for framed, row in zip(frames, unframe_rows(schema, frames)):
-            keep = row is not None and matches(row)
-            out.append(framed if keep else dummy)
-        return out
-
-    table.interleave_to(
-        scratch, [(index, index) for index in range(table.capacity)], filter_copy
-    )
+    # Filter-copy front: the shared repro.oblivious front — one
+    # interleaved-exchange pass, R table[i], W scratch[i] per row, the
+    # per-block loop's exact two-region trace.  Keepers' framed bytes are
+    # copied through without a codec round trip; non-keepers become dummies
+    # (same frame either way, so nothing leaks).
+    filter_copy(table, scratch, matches)
     sort_column = schema.column(group_column)
 
     def sort_key(row: Row) -> tuple:
@@ -270,9 +262,13 @@ def _sorted_group_aggregate(
     # filtered rows) sorted to the tail.  Step i reads scratch[i] and writes
     # output[i] exactly once — a completed group's row if the group ended at
     # i-1, a dummy otherwise — plus one final write for a group ending at the
-    # tail.  Uniform: one read + one write per step, then one write.
+    # tail.  Runs as one interleaved-exchange pass (R scratch[i], W output[i]
+    # per row, the per-row loop's trace) with the open group's accumulators
+    # carried across chunks inside the enclave, then the single tail write.
     out_schema = _group_output_schema(schema, group_column, specs)
     output = FlatStorage(enclave, out_schema, scratch.capacity + 1)
+    out_dummy = frame_dummy(out_schema)
+    scratch_schema = scratch.schema
     open_key: Value | None = None
     accumulators: list[_Accumulator] = []
     emitted = 0
@@ -283,23 +279,30 @@ def _sorted_group_aggregate(
             float(accumulator.result()) for accumulator in accumulators
         )
 
-    for index in range(scratch.capacity):
-        row = scratch.read_row(index)
-        group_ended = open_key is not None and (
-            row is None or row[group_index] != open_key
-        )
-        if group_ended:
-            output.write_row(index, completed_row())
-            emitted += 1
-            open_key = None
-        else:
-            output.write_row(index, None)
-        if row is not None:
-            if open_key is None:
-                open_key = row[group_index]
-                accumulators = [_Accumulator(spec) for spec in specs]
-            for accumulator, column in zip(accumulators, columns):
-                accumulator.add(row[column] if column is not None else None)
+    def merge(offset: int, frames: list[bytes]) -> list[bytes]:
+        nonlocal open_key, accumulators, emitted
+        out = []
+        for row in unframe_rows(scratch_schema, frames):
+            group_ended = open_key is not None and (
+                row is None or row[group_index] != open_key
+            )
+            if group_ended:
+                out.append(frame_row_validated(out_schema, completed_row()))
+                emitted += 1
+                open_key = None
+            else:
+                out.append(out_dummy)
+            if row is not None:
+                if open_key is None:
+                    open_key = row[group_index]
+                    accumulators = [_Accumulator(spec) for spec in specs]
+                for accumulator, column in zip(accumulators, columns):
+                    accumulator.add(row[column] if column is not None else None)
+        return out
+
+    scratch.interleave_to(
+        output, [(index, index) for index in range(scratch.capacity)], merge
+    )
     if open_key is not None:
         output.write_row(scratch.capacity, completed_row())
         emitted += 1

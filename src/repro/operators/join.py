@@ -26,6 +26,7 @@ scanned row and a uniform one-write-per-row pattern suffices.
 from __future__ import annotations
 
 from ..enclave.errors import QueryError
+from ..oblivious.compact import materialize_prefix, oblivious_compact
 from ..storage.flat import FlatStorage
 from ..storage.rows import frame_dummy, frame_row_validated, framed_size, unframe_rows
 from ..storage.schema import Column, Row, Schema, Value, int_column
@@ -59,17 +60,53 @@ def _neutral_value(column: Column) -> Value:
     return 0
 
 
+def _compact_join_output(output: FlatStorage, bound: int) -> FlatStorage:
+    """Tighten a join output to its public foreign-key bound.
+
+    Every join here is a foreign-key join (T1 is the primary side), so the
+    result holds at most |T2| real rows — a bound derived purely from the
+    input sizes.  The sparse output (one slot per probe or per scanned
+    union row, mostly dummies) is compacted in place with the
+    order-preserving oblivious compaction network and its first ``bound``
+    slots are materialised into a tight table, so downstream operators scan
+    |T2| blocks instead of the probe- or scratch-sized structure.  Trace: a
+    pure function of the (public) capacities.
+
+    If the left side was not actually a primary key (duplicate join keys
+    split across hash chunks can each match), the output may exceed the
+    bound; truncating would silently drop join rows, so that is rejected —
+    the same contract-violation treatment as the sort-merge joins'
+    primary-side requirement.
+    """
+    bound = max(1, min(bound, output.capacity))
+    matched = output.used_rows
+    if matched > bound:
+        raise QueryError(
+            f"join produced {matched} rows, above the |T2| foreign-key "
+            f"bound {bound}: compact_output requires a primary-key left "
+            "side"
+        )
+    oblivious_compact(output)
+    tight = materialize_prefix(output, bound)
+    output.free()
+    return tight
+
+
 def hash_join(
     table1: FlatStorage,
     table2: FlatStorage,
     column1: str,
     column2: str,
     oblivious_memory_bytes: int,
+    compact_output: bool = False,
 ) -> FlatStorage:
     """Oblivious hash join (Figure 3 "Hash Join").
 
     ``oblivious_memory_bytes`` bounds the enclave hash table; it determines
     how many passes over T2 are needed and is the knob Figure 8 sweeps.
+    ``compact_output=True`` tightens the chunks-by-|T2| probe output to the
+    foreign-key bound |T2| through the oblivious compaction network (the
+    planner path enables it; direct callers keep the raw shape).
     """
     enclave = table1.enclave
     key1 = table1.schema.column_index(column1)
@@ -124,6 +161,8 @@ def hash_join(
                 probe,
             )
     output._used = matched
+    if compact_output:
+        return _compact_join_output(output, table2.capacity)
     return output
 
 
@@ -239,12 +278,15 @@ def opaque_join(
     column1: str,
     column2: str,
     oblivious_memory_bytes: int,
+    compact_output: bool = False,
 ) -> FlatStorage:
     """Opaque's sort-merge foreign-key join (Figure 3 "Opaque Join").
 
     T1 is the primary side.  The union is sorted with quicksorted chunks of
     oblivious memory merged by a chunk-level bitonic network, then merged in
     one scan.  O((N+M)·log²((N+M)/S)) block accesses.
+    ``compact_output=True`` tightens the scratch-sized merge output to the
+    foreign-key bound |T2| via the oblivious compaction network.
     """
     scratch, out_schema, key1_index, key2_index = _union_scratch(
         table1, table2, column1, column2
@@ -262,6 +304,8 @@ def opaque_join(
     external_oblivious_sort(scratch, sort_key, chunk_rows)
     output = _merge_scan(scratch, out_schema, key1_index, key2_index, left_width)
     scratch.free()
+    if compact_output:
+        return _compact_join_output(output, table2.capacity)
     return output
 
 
@@ -271,12 +315,15 @@ def zero_om_join(
     column1: str,
     column2: str,
     enclave_rows: int = 1,
+    compact_output: bool = False,
 ) -> FlatStorage:
     """The 0-OM join: bitonic-sorted union, no oblivious memory required.
 
     ``enclave_rows`` enables the in-enclave sorting cutover (the
     optimisation that lets the algorithm speed up with plain enclave memory
     without affecting obliviousness).  O((N+M)·log²(N+M)).
+    ``compact_output=True`` tightens the output to the foreign-key bound
+    |T2| via the oblivious compaction network.
     """
     scratch, out_schema, key1_index, key2_index = _union_scratch(
         table1, table2, column1, column2
@@ -291,6 +338,8 @@ def zero_om_join(
     bitonic_sort(scratch, sort_key, enclave_rows=enclave_rows)
     output = _merge_scan(scratch, out_schema, key1_index, key2_index, left_width)
     scratch.free()
+    if compact_output:
+        return _compact_join_output(output, table2.capacity)
     return output
 
 

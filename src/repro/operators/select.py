@@ -26,6 +26,12 @@ import hashlib
 import random
 
 from ..enclave.errors import StorageError
+from ..oblivious.compact import (
+    compaction_levels,
+    filter_copy,
+    materialize_prefix,
+    oblivious_compact,
+)
 from ..oram.path_oram import PathORAM
 from ..storage.flat import FlatStorage
 from ..storage.indexed import IndexedStorage
@@ -84,6 +90,38 @@ def naive_select(
     return output
 
 
+def compact_select(
+    table: FlatStorage, predicate: Predicate, output_size: int
+) -> FlatStorage:
+    """Filter-compact selection: one filter front, one compaction, one copy.
+
+    The compaction front that replaces multi-pass buffered scanning when
+    oblivious memory is scarce: copy the input through a filter into a
+    scratch (``R T[i], W scratch[i]`` per row), slide the keepers to the
+    scratch's front with the order-preserving oblivious compaction network
+    (O(N log N), no row buffer), then materialise the first |R| slots.
+    Every stage's trace is a pure function of (|T|, |R|) — the same leakage
+    as the Small algorithm it substitutes for — and the output preserves
+    input order, like Small's.
+    """
+    enclave = table.enclave
+    matches = predicate.compile(table.schema)
+    scratch = FlatStorage(enclave, table.schema, table.capacity)
+    flags = filter_copy(table, scratch, matches)
+    # The front just decided every slot: hand the flags over so the
+    # compaction skips its marking scan (a public call-site property).
+    oblivious_compact(scratch, flags=flags)
+    output = materialize_prefix(scratch, max(1, output_size))
+    if output_size == 0:
+        output._used = 0
+    scratch.free()
+    return output
+
+
+def _small_pass_count(output_size: int, buffer_rows: int) -> int:
+    return max(1, -(-output_size // buffer_rows))
+
+
 def small_select(
     table: FlatStorage,
     predicate: Predicate,
@@ -97,9 +135,20 @@ def small_select(
     the resume cursor fill an enclave buffer of ``buffer_rows`` slots, which
     is flushed to the output after the pass.  The number of passes is
     ceil(|R| / buffer), computable from public sizes alone.
+
+    When the buffer is so small that the pass count exceeds the cost of the
+    compaction front (roughly ``3 + 3·log2 |T|`` passes), the operator
+    switches to :func:`compact_select` — same output, same order, same
+    public inputs deciding, strictly fewer block accesses.
     """
     if buffer_rows < 1:
         raise ValueError("buffer_rows must be positive")
+    if (
+        output_size > 0
+        and _small_pass_count(output_size, buffer_rows)
+        > 3 + 3 * compaction_levels(table.capacity)
+    ):
+        return compact_select(table, predicate, output_size)
     enclave = table.enclave
     matches = predicate.compile(table.schema)
     output = FlatStorage(enclave, table.schema, output_size)
@@ -203,7 +252,10 @@ def _hash_slot(salt: int, function: int, index: int, buckets: int) -> int:
 
 
 def hash_select(
-    table: FlatStorage, predicate: Predicate, output_size: int
+    table: FlatStorage,
+    predicate: Predicate,
+    output_size: int,
+    compact_output: bool = False,
 ) -> FlatStorage:
     """General-purpose selection by hashing block indices (Figure 5).
 
@@ -213,6 +265,13 @@ def hash_select(
     pure function of |T| and |R| because the hash is over the block index.
     On (improbable) placement failure the whole pass retries with a new
     salt — observable, but independent of data values.
+
+    ``compact_output=True`` runs the compaction back end: the sparse
+    |R|·5-slot chain table is compacted in place (order-preserving
+    oblivious compaction, trace a function of |R| alone) and its first |R|
+    slots are materialised into a tight output table, so downstream
+    operators scan |R| blocks instead of 5·|R|.  The planner path enables
+    it; direct callers keep the paper's raw chain-table shape by default.
     """
     enclave = table.enclave
     matches = predicate.compile(table.schema)
@@ -243,6 +302,13 @@ def hash_select(
                 failed = True
         if not failed:
             output._used = placed
+            if compact_output:
+                oblivious_compact(output)
+                tight = materialize_prefix(output, buckets)
+                if output_size == 0:
+                    tight._used = 0
+                output.free()
+                return tight
             return output
         output.free()
     raise StorageError(

@@ -50,6 +50,7 @@ from typing import Sequence
 from ..enclave.enclave import Enclave
 from ..enclave.errors import ORAMError
 from ..enclave.integrity import RevisionLedger
+from ..oblivious.permute import generate_permutation
 from .base import INIT_CHUNK_BLOCKS, ORAM, greedy_eviction_placements
 from .path_oram import POSITION_MAP_BYTES_PER_BLOCK
 
@@ -366,28 +367,58 @@ class RingORAM(ORAM):
             if slot in real_slots and block_id >= 0:
                 stash.setdefault(block_id, (bleaf, payload))
 
+    def _plan_reshuffle(
+        self,
+        to_read: list[int],
+        real_slots: list[int],
+        entries: list[tuple[int, int, bytes]],
+    ) -> tuple[_BucketMeta, list[bytes]]:
+        """Plan an in-place bucket reshuffle entirely from client state.
+
+        The bucket's surviving real blocks are re-scattered across a fresh
+        secret permutation (:func:`~repro.oblivious.permute.
+        generate_permutation`) with the remaining slots refilled as fresh
+        dummies — Ring ORAM's actual reshuffle, rather than the earlier
+        dump-everything-to-the-stash shortcut, so reshuffles no longer
+        inflate stash pressure between evictions.  Returns the bucket's
+        fresh metadata and one plaintext per physical slot.  Blocks the
+        stash already holds are dropped (the stash copy is newer).
+        """
+        survivors = []
+        stash = self._stash
+        for slot, (block_id, bleaf, payload) in zip(to_read, entries):
+            if slot in real_slots and block_id >= 0 and block_id not in stash:
+                survivors.append((block_id, bleaf, payload))
+        fresh = _BucketMeta(self._z, self._s)
+        perm = generate_permutation(self._slots_per_bucket, self._rng)
+        plaintexts = [self._dummy_plaintext] * self._slots_per_bucket
+        for (block_id, bleaf, payload), slot in zip(survivors, perm):
+            fresh.slots[slot] = block_id
+            plaintexts[slot] = self._slot_plaintext(block_id, bleaf, payload)
+        return fresh, plaintexts
+
     def _reshuffle_bucket(self, bucket_index: int) -> None:
-        """Restock the stash from the bucket, then rewrite it fresh.
+        """Read the bucket's Z restock slots, then rewrite it in place.
 
         One gather for the Z restock reads, then one seal+write pass over
         the bucket's contiguous slots (trace: the per-slot loop's
-        ``W slot0..slotZ+S-1`` order).
+        ``W slot0..slotZ+S-1`` order) carrying the surviving real blocks at
+        freshly permuted slots — contents indistinguishable from dummies,
+        so the observable sequence is unchanged from the restock-and-clear
+        form.
         """
         to_read, real_slots = self._restock_plan(bucket_index)
-        self._restock_merge(
-            to_read,
-            real_slots,
-            self._read_slots([self._slot_index(bucket_index, s) for s in to_read]),
+        entries = self._read_slots(
+            [self._slot_index(bucket_index, s) for s in to_read]
         )
-        self._meta[bucket_index] = _BucketMeta(self._z, self._s)
+        fresh, plaintexts = self._plan_reshuffle(to_read, real_slots, entries)
+        self._meta[bucket_index] = fresh
         enclave = self._enclave
         base = self._slot_index(bucket_index, 0)
         revisions, aads = self._ledger.stage_range(
             self._region, base, self._slots_per_bucket
         )
-        sealed = enclave.seal_many(
-            [self._dummy_plaintext] * self._slots_per_bucket, aads
-        )
+        sealed = enclave.seal_many(plaintexts, aads)
         enclave.untrusted.write_range(self._region, base, sealed)
         self._ledger.commit_range(self._region, base, revisions)
 

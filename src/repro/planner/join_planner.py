@@ -105,17 +105,37 @@ def execute_join(
     column1: str,
     column2: str,
     decision: JoinDecision,
+    compact_output: bool = False,
 ) -> FlatStorage:
-    """Run the chosen join algorithm and return the output table."""
+    """Run the chosen join algorithm and return the output table.
+
+    ``compact_output=True`` (the executor's query path) tightens the
+    sparse join output to the public foreign-key bound |T2| through the
+    oblivious compaction network, so downstream ORDER BY scratches and
+    result scans touch |T2| blocks instead of the probe- or scratch-sized
+    structure.
+    """
     algorithm = decision.algorithm
     if algorithm is JoinAlgorithm.HASH:
         return hash_join(
-            table1, table2, column1, column2, decision.oblivious_memory_bytes
+            table1,
+            table2,
+            column1,
+            column2,
+            decision.oblivious_memory_bytes,
+            compact_output=compact_output,
         )
     if algorithm is JoinAlgorithm.OPAQUE:
         return opaque_join(
-            table1, table2, column1, column2, decision.oblivious_memory_bytes
+            table1,
+            table2,
+            column1,
+            column2,
+            decision.oblivious_memory_bytes,
+            compact_output=compact_output,
         )
     if algorithm is JoinAlgorithm.ZERO_OM:
-        return zero_om_join(table1, table2, column1, column2)
+        return zero_om_join(
+            table1, table2, column1, column2, compact_output=compact_output
+        )
     raise PlannerError(f"unknown join algorithm {algorithm}")

@@ -138,7 +138,12 @@ def execute_select(
             raise PlannerError("Continuous algorithm forced on non-adjacent matches")
         return continuous_select(table, predicate, output_size)
     if algorithm is SelectAlgorithm.HASH:
-        return hash_select(table, predicate, output_size)
+        # The planner path tightens the sparse chain table through the
+        # oblivious-compaction back end: downstream operators (ORDER BY
+        # scratches, projections, result scans) then touch |R| blocks
+        # instead of 5·|R|.  Direct hash_select callers keep the paper's
+        # raw chain-table shape.
+        return hash_select(table, predicate, output_size, compact_output=True)
     if algorithm is SelectAlgorithm.NAIVE:
         return naive_select(table, predicate, output_size, rng=rng)
     raise PlannerError(f"unknown select algorithm {algorithm}")

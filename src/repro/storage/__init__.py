@@ -3,7 +3,7 @@
 from .btree import DEFAULT_ORDER, ObliviousBPlusTree
 from .flat import FlatStorage
 from .indexed import IndexedStorage
-from .integrity import RevisionLedger
+from ..enclave.integrity import RevisionLedger
 from .rows import frame_dummy, frame_row, framed_size, is_dummy, unframe_row
 from .schema import (
     Column,

@@ -43,7 +43,7 @@ from typing import Callable, Iterator, Sequence
 
 from ..enclave.enclave import Enclave
 from ..enclave.errors import CapacityError, StorageError
-from .integrity import RevisionLedger
+from ..enclave.integrity import RevisionLedger
 from .rows import frame_dummy, frame_row_validated, is_dummy, unframe_row, unframe_rows
 from .schema import Row, Schema
 
@@ -264,6 +264,126 @@ class FlatStorage:
 
         enclave.untrusted.exchange_pairs(region, start, half, compute)
 
+    # ------------------------------------------------------------------
+    # Gather/scatter primitives: arbitrary slot sets, one batched call each
+    # ------------------------------------------------------------------
+    def read_at_framed(self, indices: Sequence[int]) -> list[bytes]:
+        """Open the blocks named by ``indices``, in the given order.
+
+        The framed-bytes gather for non-contiguous slot sets (the oblivious
+        shuffle's clean-up pass, sampled audits).  Trace contract: one read
+        of this region per index, in exactly the given order — bit-identical
+        to a :meth:`read_framed` loop.  Internally chunked at
+        :data:`_CHUNK_BLOCKS`.
+        """
+        frames: list[bytes] = []
+        for offset in range(0, len(indices), _CHUNK_BLOCKS):
+            chunk = list(indices[offset : offset + _CHUNK_BLOCKS])
+            sealed = self._enclave.untrusted.read_at(self._region, chunk)
+            for index, block in zip(chunk, sealed):
+                if block is None:
+                    raise StorageError(f"missing block {self._region}[{index}]")
+            aads = self._ledger.open_at(self._region, chunk)
+            frames.extend(self._enclave.open_many(sealed, aads))
+        return frames
+
+    def write_at_framed(self, indices: Sequence[int], frames: Sequence[bytes]) -> None:
+        """Seal ``frames`` into the slots named by ``indices``, in order.
+
+        The framed-bytes scatter paired with :meth:`read_at_framed` (the
+        oblivious shuffle's distribution pass writes each input chunk's
+        fixed per-bucket cells with one call).  Trace contract: one write of
+        this region per index, in exactly the given order — bit-identical to
+        a :meth:`write_framed` loop.  Indices within one call must be unique
+        (the ledger stages one revision per slot).  Internally chunked; each
+        chunk fails atomically.
+        """
+        if len(frames) != len(indices):
+            raise StorageError(
+                f"scatter write of {len(frames)} frames to {len(indices)} slots"
+            )
+        for offset in range(0, len(indices), _CHUNK_BLOCKS):
+            chunk = list(indices[offset : offset + _CHUNK_BLOCKS])
+            chunk_frames = list(frames[offset : offset + _CHUNK_BLOCKS])
+            revisions, aads = self._ledger.stage_at(self._region, chunk)
+            sealed = self._enclave.seal_many(chunk_frames, aads)
+            self._enclave.untrusted.write_at(self._region, chunk, sealed)
+            self._ledger.commit_at(self._region, chunk, revisions)
+
+    def exchange_schedule_framed(
+        self,
+        schedule: Sequence[tuple[str, int]],
+        transform: Callable[[Sequence[tuple[str, int]], list[bytes]], list[bytes]],
+    ) -> None:
+        """Execute a client-planned single-region schedule of R/W steps.
+
+        ``schedule`` is a sequence of ``('R'|'W', index)`` steps;
+        ``transform(steps, frames)`` receives one chunk's steps and its read
+        frames (both in schedule order) and returns one frame per write
+        step, which are sealed and scattered.  Chunk boundaries fall at
+        arbitrary step positions, so a transform whose decisions group
+        several steps must carry its partial group across calls.  This is
+        the primitive behind stencil passes whose reads and writes
+        interleave at client-planned offsets — the oblivious compaction
+        network's levels read slots ``i`` and ``i+D`` and write slot ``i``
+        per step group.
+
+        Trace contract: observable as ``len(schedule)`` individual accesses
+        on this region — the exact ops, indices, and interleaving of the
+        schedule, in schedule order — bit-identical to the per-slot
+        read/write loop.  A step may not read a slot that an earlier step of
+        the same call wrote (the per-chunk gather would hand back a stale
+        block; :meth:`~repro.enclave.memory.UntrustedMemory.
+        exchange_interleaved` enforces this within a chunk and this method
+        re-checks it across chunk boundaries).  Chunks of
+        :data:`_CHUNK_BLOCKS` steps fail atomically.
+        """
+        region = self._region
+        ledger = self._ledger
+        enclave = self._enclave
+        written: set[int] = set()
+        for offset in range(0, len(schedule), _CHUNK_BLOCKS):
+            chunk = list(schedule[offset : offset + _CHUNK_BLOCKS])
+            read_indices = [index for op, index in chunk if op == "R"]
+            write_indices = [index for op, index in chunk if op == "W"]
+            for index in read_indices:
+                if index in written:
+                    raise StorageError(
+                        f"schedule reads {region}[{index}] after a previous "
+                        "chunk wrote it; gather-then-scatter would return "
+                        "the stale block"
+                    )
+            full_schedule = [(op, region, index) for op, index in chunk]
+
+            staged: list[int] = []
+
+            def compute(
+                sealed: list,
+                chunk: list = chunk,
+                read_indices: list = read_indices,
+                write_indices: list = write_indices,
+            ) -> list:
+                for index, block in zip(read_indices, sealed):
+                    if block is None:
+                        raise StorageError(f"missing block {region}[{index}]")
+                frames = enclave.open_many(
+                    sealed, ledger.open_at(region, read_indices)
+                )
+                new_frames = transform(chunk, frames)
+                if len(new_frames) != len(write_indices):
+                    raise StorageError(
+                        f"schedule transform produced {len(new_frames)} "
+                        f"frames for {len(write_indices)} write steps"
+                    )
+                revisions, aads = ledger.stage_at(region, write_indices)
+                staged[:] = revisions
+                return enclave.seal_many(new_frames, aads)
+
+            enclave.untrusted.exchange_interleaved(full_schedule, compute)
+            # Commit only after the blocks are stored (atomic chunk).
+            ledger.commit_at(region, write_indices, staged)
+            written.update(write_indices)
+
     def interleave_to(
         self,
         target: "FlatStorage",
@@ -353,6 +473,42 @@ class FlatStorage:
         self._used += 1
         self._next_fast_insert = max(self._next_fast_insert, self._used)
 
+    def insert_many(self, rows: Sequence[Row]) -> None:
+        """Oblivious bulk insert: ONE full pass placing every row.
+
+        The per-row :meth:`insert` pays a whole read-modify-write pass per
+        row; maintaining a table's flat copy under a stream of inserts (the
+        BOTH storage method's dual-copy cost) therefore scaled as
+        ``len(rows)`` full passes.  This batch path makes the same uniform
+        pass exactly once — trace: ``R i, W i`` per slot in order, identical
+        to a single insert's pass — and fills the first ``len(rows)`` free
+        slots inside it.  The adversary learns only that a write pass of
+        public size happened; how many rows it carried is not observable
+        (every slot gets a fresh ciphertext either way).
+        """
+        framed_new = [frame_row_validated(self.schema, row) for row in rows]
+        if self._used + len(framed_new) > self.capacity:
+            raise CapacityError(f"table {self._region} is full")
+        if not framed_new:
+            return
+        pending = iter(framed_new)
+        remaining = len(framed_new)
+
+        def transform(index: int, framed: bytes) -> bytes:
+            nonlocal remaining
+            if remaining and is_dummy(framed):
+                remaining -= 1
+                return next(pending)
+            return framed
+
+        self.exchange_framed(0, self.capacity, transform)
+        if remaining:
+            raise StorageError(
+                f"table {self._region} had fewer free slots than expected"
+            )
+        self._used += len(framed_new)
+        self._next_fast_insert = max(self._next_fast_insert, self._used)
+
     def fast_insert(self, row: Row) -> None:
         """Constant-time insert into the next sequential block.
 
@@ -366,6 +522,24 @@ class FlatStorage:
         self.write_framed(self._next_fast_insert, framed)
         self._next_fast_insert += 1
         self._used += 1
+
+    def fast_insert_many(self, rows: Sequence[Row]) -> None:
+        """Batched constant-time append: one range write at the cursor.
+
+        The bulk analogue of :meth:`fast_insert` — seals every row with one
+        keystream pass and lands them with one contiguous range write.
+        Trace: ``W cursor .. W cursor+len(rows)-1``, bit-identical to the
+        per-row :meth:`fast_insert` loop.  Same leakage argument: only the
+        number of insertions, already public from table-size history.
+        """
+        frames = [frame_row_validated(self.schema, row) for row in rows]
+        if self._next_fast_insert + len(frames) > self.capacity:
+            raise CapacityError(f"table {self._region} is full for fast inserts")
+        if not frames:
+            return
+        self.write_range_framed(self._next_fast_insert, frames)
+        self._next_fast_insert += len(frames)
+        self._used += len(frames)
 
     def update(
         self, predicate: Callable[[Row], bool], assign: Callable[[Row], Row]

@@ -10,12 +10,23 @@ Import :class:`RevisionLedger` from there in new code::
 
 This module only re-exports it so existing imports
 (``repro.storage.integrity``) keep working; it will be removed once no
-in-tree or downstream code imports it.  ``tests/storage/test_integrity.py``
-pins the re-export.
+in-tree or downstream code imports it.  Importing it emits a
+``DeprecationWarning`` exactly once per process (module execution is
+cached, so repeated imports stay silent).  ``tests/storage/test_integrity.py``
+pins both the re-export and the warning behaviour.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from ..enclave.integrity import RevisionLedger
+
+warnings.warn(
+    "repro.storage.integrity is deprecated; import RevisionLedger from "
+    "repro.enclave.integrity instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["RevisionLedger"]

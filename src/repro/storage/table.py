@@ -114,6 +114,28 @@ class Table:
         if self.indexed is not None:
             self.indexed.insert(row)
 
+    def insert_many(self, rows: list[Row], fast: bool = False) -> None:
+        """Bulk insert into every representation, batching the flat side.
+
+        The dual-copy maintenance cost of the BOTH method used to scale as
+        one full oblivious pass *per row* on the flat copy; this batches it
+        to a single pass (:meth:`~repro.storage.flat.FlatStorage.
+        insert_many`) — or one contiguous range write for ``fast=True``
+        (:meth:`~repro.storage.flat.FlatStorage.fast_insert_many`) — while
+        the B+ tree side keeps its per-row padded mutations (each one is a
+        fixed-size ORAM access burst; there is nothing to amortize without
+        changing the leakage).
+        """
+        validated = [self.schema.validate_row(row) for row in rows]
+        if self.flat is not None:
+            if fast:
+                self.flat.fast_insert_many(validated)
+            else:
+                self.flat.insert_many(validated)
+        if self.indexed is not None:
+            for row in validated:
+                self.indexed.insert(row)
+
     def delete_key(self, key: Value) -> int:
         """Delete all rows whose indexed/first column equals ``key``."""
         column = self.key_column or self.schema.columns[0].name

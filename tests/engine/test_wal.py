@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import ObliDB
-from repro.enclave import Enclave, IntegrityError, StorageError
+from repro.enclave import Enclave, IntegrityError, StorageError, WALReplayError
 from repro.engine import WriteAheadLog
 
 
@@ -55,6 +55,34 @@ class TestWriteAheadLog:
         with pytest.raises(IntegrityError, match="truncated"):
             wal.read_all(expected_count=2)
 
+    def test_batched_read_is_the_per_record_loop(self, enclave: Enclave) -> None:
+        """read_all's chunked range reads record R 0 .. R count-1, exactly
+        the sequence of the per-record scalar loop."""
+        wal = WriteAheadLog(enclave)
+        for i in range(5):
+            wal.append(f"INSERT INTO t VALUES ({i})")
+        enclave.trace.clear()
+        wal.read_all()
+        assert [(e.op, e.region, e.index) for e in enclave.trace.events] == [
+            ("R", wal.region_name, i) for i in range(5)
+        ]
+
+    def test_expected_count_mismatch_raises_typed_error(
+        self, enclave: Enclave
+    ) -> None:
+        """A stale (or tampered-forward) client counter is rejected against
+        the rollback-protected ledger head before any record is decrypted."""
+        wal = WriteAheadLog(enclave)
+        wal.append("INSERT INTO t VALUES (1)")
+        wal.append("INSERT INTO t VALUES (2)")
+        assert wal.committed_count == 2
+        enclave.trace.clear()
+        for wrong in (1, 3):
+            with pytest.raises(WALReplayError, match="mismatch"):
+                wal.read_all(expected_count=wrong)
+        assert len(enclave.trace) == 0  # rejected before any observable read
+        assert len(wal.read_all(expected_count=2)) == 2
+
 
 class TestDatabaseIntegration:
     def test_writes_logged_reads_not(self) -> None:
@@ -97,3 +125,20 @@ class TestDatabaseIntegration:
     def test_wal_disabled_by_default(self) -> None:
         db = ObliDB(cipher="null", seed=6)
         assert db.wal is None
+
+    def test_typed_inserts_are_logged_and_replay(self) -> None:
+        """insert()/insert_many() log replayable SQL — including strings
+        the tokenizer needs escaped (quotes), which repr() would break."""
+        db = ObliDB(cipher="null", wal=True, seed=7)
+        db.sql("CREATE TABLE t (k INT, v STR(12)) CAPACITY 16")
+        db.insert("t", (1, "it's"))
+        db.insert_many("t", [(2, "a''b"), (3, "plain")])
+        assert db.wal is not None
+        assert db.wal.count == 4  # CREATE + 3 inserts
+        recovered = ObliDB(cipher="null", seed=8)
+        assert recovered.recover_from(db.wal) == 4
+        assert sorted(recovered.sql("SELECT * FROM t").rows) == [
+            (1, "it's"),
+            (2, "a''b"),
+            (3, "plain"),
+        ]

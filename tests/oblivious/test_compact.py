@@ -1,0 +1,135 @@
+"""Unit tests for order-preserving oblivious compaction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enclave import Enclave
+from repro.oblivious import (
+    compaction_levels,
+    filter_copy,
+    materialize_prefix,
+    oblivious_compact,
+)
+from repro.storage import FlatStorage, Schema, int_column, str_column
+
+SCHEMA = Schema([int_column("k"), str_column("v", 8)])
+
+
+def scattered(enclave: Enclave, capacity: int, positions: list[int]) -> FlatStorage:
+    table = FlatStorage(enclave, SCHEMA, capacity)
+    for rank, position in enumerate(positions):
+        table.write_row(position, (rank, f"r{rank}"))
+        table._used += 1
+    return table
+
+
+def _enclave() -> Enclave:
+    return Enclave(cipher="authenticated", keep_trace_events=False)
+
+
+class TestCompactionLevels:
+    @pytest.mark.parametrize(
+        "n,levels", [(0, 0), (1, 0), (2, 1), (3, 2), (8, 3), (9, 4), (1024, 10)]
+    )
+    def test_levels(self, n: int, levels: int) -> None:
+        assert compaction_levels(n) == levels
+
+
+class TestObliviousCompact:
+    @pytest.mark.parametrize(
+        "positions",
+        [
+            [0, 1, 2],            # already compact
+            [13, 14, 15],         # all at the tail
+            [0, 5, 6, 11, 15],    # scattered
+            list(range(16)),      # full table
+            [],                   # empty
+            [7],                  # single row mid-table
+        ],
+    )
+    def test_keepers_slide_to_front_in_order(self, positions: list[int]) -> None:
+        table = scattered(_enclave(), 16, positions)
+        kept = oblivious_compact(table)
+        assert kept == len(positions)
+        rows = [table.read_row(i) for i in range(16)]
+        assert rows[:kept] == [(rank, f"r{rank}") for rank in range(len(positions))]
+        assert all(row is None for row in rows[kept:])
+        assert table.used_rows == kept
+
+    def test_predicate_discards_non_matches(self) -> None:
+        table = scattered(_enclave(), 16, [1, 4, 6, 9, 12])
+        kept = oblivious_compact(table, keep=lambda row: row[0] % 2 == 0)
+        assert kept == 3
+        assert table.rows() == [(0, "r0"), (2, "r2"), (4, "r4")]
+
+    def test_fast_insert_resumes_after_compaction(self) -> None:
+        table = scattered(_enclave(), 8, [6, 7])
+        oblivious_compact(table)
+        table.fast_insert((9, "new"))
+        assert table.rows() == [(0, "r0"), (1, "r1"), (9, "new")]
+
+    def test_empty_table(self) -> None:
+        table = FlatStorage(_enclave(), SCHEMA, 0)
+        assert oblivious_compact(table) == 0
+
+    def test_uses_no_oblivious_memory(self) -> None:
+        """Compaction keeps only per-slot bookkeeping (ledger-rate client
+        state), so it works with a zero oblivious-memory budget."""
+        enclave = Enclave(
+            oblivious_memory_bytes=0, cipher="authenticated", keep_trace_events=False
+        )
+        table = scattered(enclave, 16, [3, 9, 12])
+        assert oblivious_compact(table) == 3
+        assert enclave.oblivious.peak_bytes == 0
+
+
+class TestFilterCopyAndPrefix:
+    def test_filter_copy_then_prefix_materialises_matches(self) -> None:
+        enclave = _enclave()
+        source = scattered(enclave, 12, [0, 2, 5, 7, 10])
+        scratch = FlatStorage(enclave, SCHEMA, 12)
+        flags = filter_copy(source, scratch, lambda row: row[0] >= 2)
+        assert sum(flags) == 3 and len(flags) == 12
+        assert oblivious_compact(scratch) == 3
+        tight = materialize_prefix(scratch, 3)
+        assert tight.capacity == 3
+        assert tight.rows() == [(2, "r2"), (3, "r3"), (4, "r4")]
+        assert tight.used_rows == 3
+
+    def test_precomputed_flags_skip_the_marking_scan(self) -> None:
+        enclave = _enclave()
+        source = scattered(enclave, 12, [1, 4, 8, 11])
+        scratch = FlatStorage(enclave, SCHEMA, 12)
+        flags = filter_copy(source, scratch, lambda row: True)
+        reads_before = enclave.cost.untrusted_reads
+        kept = oblivious_compact(scratch, flags=flags)
+        # Marking scan skipped: no standalone R 0..n-1 pass before level 1.
+        level_reads = sum(
+            2 * 12 - (1 << j) for j in range(4)
+        )  # R i + R i+D per level
+        assert enclave.cost.untrusted_reads - reads_before == level_reads
+        assert kept == 4
+        assert scratch.rows() == [(0, "r0"), (1, "r1"), (2, "r2"), (3, "r3")]
+
+    def test_wrong_flag_count_rejected(self) -> None:
+        table = scattered(_enclave(), 8, [0])
+        with pytest.raises(ValueError):
+            oblivious_compact(table, flags=[True] * 7)
+
+    def test_prefix_clamps_to_capacity(self) -> None:
+        enclave = _enclave()
+        table = scattered(enclave, 4, [0, 1])
+        tight = materialize_prefix(table, 100)
+        assert tight.capacity == 4
+        assert tight.rows() == [(0, "r0"), (1, "r1")]
+
+    def test_prefix_supports_fast_insert(self) -> None:
+        enclave = _enclave()
+        table = scattered(enclave, 8, [5, 6])
+        oblivious_compact(table)
+        tight = materialize_prefix(table, 4)
+        tight.fast_insert((42, "new"))
+        assert tight.rows() == [(0, "r0"), (1, "r1"), (42, "new")]

@@ -1,0 +1,125 @@
+"""Unit tests for the bucket oblivious shuffle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enclave import Enclave
+from repro.oblivious import oblivious_shuffle, plan_shuffle, shuffle_geometry
+from repro.oblivious.permute import generate_permutation
+from repro.storage import FlatStorage, Schema, int_column, str_column
+
+SCHEMA = Schema([int_column("k"), str_column("v", 8)])
+
+
+def load(enclave: Enclave, capacity: int, rows: int) -> FlatStorage:
+    table = FlatStorage(enclave, SCHEMA, capacity)
+    for i in range(rows):
+        table.fast_insert((i, f"r{i}"))
+    return table
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("n", [1, 2, 7, 64, 100, 1024])
+    def test_cells_cover_scratch_exactly_once(self, n: int) -> None:
+        geometry = shuffle_geometry(n)
+        slots: list[int] = []
+        for chunk in range(geometry.chunks):
+            slots.extend(geometry.distribute_indices(chunk))
+        assert sorted(slots) == list(range(geometry.scratch_capacity))
+
+    @pytest.mark.parametrize("n", [1, 2, 7, 64, 100, 1024])
+    def test_segments_partition_output(self, n: int) -> None:
+        geometry = shuffle_geometry(n)
+        positions: list[int] = []
+        for bucket in range(geometry.buckets):
+            start, stop = geometry.segment(bucket)
+            positions.extend(range(start, stop))
+        assert positions == list(range(n))
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(ValueError):
+            shuffle_geometry(0)
+
+
+class TestPlanning:
+    def test_plan_routes_every_index_once(self) -> None:
+        geometry = shuffle_geometry(100)
+        perm, cells = plan_shuffle(geometry, random.Random(3))
+        assert sorted(perm) == list(range(100))
+        routed = sorted(
+            index
+            for chunk_cells in cells
+            for cell in chunk_cells
+            for index in cell
+        )
+        assert routed == list(range(100))
+        # Every routed index sits in the cell of its chunk and target bucket.
+        for chunk, chunk_cells in enumerate(cells):
+            for bucket, cell in enumerate(chunk_cells):
+                for index in cell:
+                    assert index // geometry.chunk_rows == chunk
+                    assert perm[index] // geometry.segment_rows == bucket
+
+    def test_planning_is_unobservable(self) -> None:
+        enclave = Enclave(cipher="null", keep_trace_events=True)
+        before = len(enclave.trace)
+        plan_shuffle(shuffle_geometry(64), random.Random(1))
+        assert len(enclave.trace) == before
+
+
+class TestShuffle:
+    def test_contents_preserved_and_permuted(self) -> None:
+        enclave = Enclave(cipher="authenticated", keep_trace_events=False)
+        table = load(enclave, 40, 31)
+        output = oblivious_shuffle(table, random.Random(11))
+        assert output.capacity == 40
+        assert output.used_rows == 31
+        assert sorted(output.rows()) == sorted(table.rows())
+        # Astronomically unlikely to be the identity permutation.
+        assert output.rows() != table.rows()
+
+    def test_applies_the_planned_permutation(self) -> None:
+        """Row at slot i lands at slot perm[i] — including dummy slots."""
+        enclave = Enclave(cipher="authenticated", keep_trace_events=False)
+        table = load(enclave, 24, 17)
+        geometry = shuffle_geometry(24)
+        perm, _ = plan_shuffle(geometry, random.Random(5))
+        output = oblivious_shuffle(table, random.Random(5))
+        for index in range(24):
+            assert output.read_row(perm[index]) == table.read_row(index)
+
+    def test_single_row_table(self) -> None:
+        enclave = Enclave(cipher="authenticated", keep_trace_events=False)
+        table = load(enclave, 1, 1)
+        output = oblivious_shuffle(table, random.Random(1))
+        assert output.rows() == [(0, "r0")]
+
+    def test_empty_table(self) -> None:
+        enclave = Enclave(cipher="authenticated", keep_trace_events=False)
+        table = FlatStorage(enclave, SCHEMA, 0)
+        output = oblivious_shuffle(table, random.Random(1))
+        assert output.capacity == 0
+        assert output.rows() == []
+
+    def test_scratch_region_is_freed(self) -> None:
+        enclave = Enclave(cipher="authenticated", keep_trace_events=False)
+        table = load(enclave, 16, 9)
+        regions_before = set(enclave.untrusted.region_names())
+        output = oblivious_shuffle(table, random.Random(2))
+        leftover = (
+            set(enclave.untrusted.region_names())
+            - regions_before
+            - {output.region_name}
+        )
+        assert not leftover
+
+    def test_oblivious_memory_charge_released(self) -> None:
+        enclave = Enclave(cipher="authenticated", keep_trace_events=False)
+        table = load(enclave, 32, 20)
+        in_use = enclave.oblivious.in_use_bytes
+        oblivious_shuffle(table, random.Random(3))
+        assert enclave.oblivious.in_use_bytes == in_use
+        assert enclave.oblivious.peak_bytes > in_use  # the pass was charged

@@ -158,3 +158,60 @@ class TestJoinObliviousness:
             digests.append(enclave.trace.digest())
             out.free()
         assert digests[0] == digests[1]
+
+
+class TestCompactJoinOutput:
+    """``compact_output=True`` tightens every join to the |T2| FK bound."""
+
+    @pytest.mark.parametrize(
+        "join,kwargs",
+        [
+            (hash_join, {"oblivious_memory_bytes": 1 << 20}),
+            (hash_join, {"oblivious_memory_bytes": 256}),  # multi-chunk probe
+            (opaque_join, {"oblivious_memory_bytes": 1 << 16}),
+            (zero_om_join, {}),
+        ],
+    )
+    def test_tight_capacity_same_rows(self, tables, join, kwargs) -> None:
+        primary, foreign, expected = tables
+        out = join(primary, foreign, "pk", "fk", compact_output=True, **kwargs)
+        assert out.capacity == foreign.capacity  # the public FK bound
+        assert sorted(out.rows()) == expected
+        assert out.used_rows == len(expected)
+        out.free()
+
+    def test_non_fk_overflow_rejected_not_truncated(self) -> None:
+        """Duplicate T1 keys split across hash chunks can exceed the |T2|
+        bound; compaction must refuse loudly rather than drop join rows."""
+        from repro.enclave import QueryError as _QueryError
+
+        enclave = Enclave(cipher="null", keep_trace_events=False)
+        primary = FlatStorage(enclave, PRIMARY_SCHEMA, 4)
+        foreign = FlatStorage(enclave, FOREIGN_SCHEMA, 2)
+        for i in range(4):
+            primary.fast_insert((5, f"dup{i}"))  # same key in every chunk
+        for j in range(2):
+            foreign.fast_insert((5, j))
+        # 1-row chunks: each of the 4 chunks matches both foreign rows.
+        raw = hash_join(primary, foreign, "pk", "fk", 1)
+        assert raw.used_rows > foreign.capacity
+        with pytest.raises(_QueryError, match="foreign-key bound"):
+            hash_join(primary, foreign, "pk", "fk", 1, compact_output=True)
+
+    def test_trace_is_data_independent(self) -> None:
+        """All-match and no-match joins leave identical compacted traces."""
+        traces = []
+        for offset in (0, 1000):  # second run: no foreign key ever matches
+            enclave = Enclave(cipher="null", keep_trace_events=True)
+            primary = FlatStorage(enclave, PRIMARY_SCHEMA, 8)
+            foreign = FlatStorage(enclave, FOREIGN_SCHEMA, 16)
+            for i in range(8):
+                primary.fast_insert((offset + i, f"p{i}"))
+            for j in range(14):
+                foreign.fast_insert((j % 8, j))
+            enclave.trace.clear()
+            hash_join(
+                primary, foreign, "pk", "fk", 1 << 20, compact_output=True
+            ).free()
+            traces.append(enclave.trace)
+        assert traces[0].matches(traces[1])

@@ -9,6 +9,7 @@ import pytest
 from repro.enclave import Enclave
 from repro.operators import (
     Comparison,
+    compact_select,
     continuous_select,
     hash_select,
     large_select,
@@ -154,6 +155,86 @@ class TestHashSelect:
             table.fast_insert((key, "x"))
         out = hash_select(table, Comparison("key", ">=", 0), 32)
         assert len(out.rows()) == 32
+
+
+class TestCompactSelect:
+    def test_correct_and_order_preserving(self, table: FlatStorage) -> None:
+        out = compact_select(table, LOW_PRED, 8)
+        assert out.capacity == 8
+        assert out.rows() == EXPECTED_LOW  # input order, like Small's
+
+    def test_scattered_matches(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        t = FlatStorage(fast_enclave, kv_schema, 32)
+        for key in range(30):
+            t.fast_insert((key, "x"))
+        out = compact_select(t, Comparison("key", "=", 7), 1)
+        assert out.rows() == [(7, "x")]
+
+    def test_underestimate_keeps_first_matches(self, table: FlatStorage) -> None:
+        """Planner promised 4 but 8 match: the first 4 in input order win,
+        exactly like the buffered Small path."""
+        out = compact_select(table, LOW_PRED, 4)
+        assert out.rows() == EXPECTED_LOW[:4]
+
+    def test_zero_output(self, table: FlatStorage) -> None:
+        out = compact_select(table, Comparison("key", "=", -1), 0)
+        assert out.rows() == []
+
+    def test_trace_is_data_independent(
+        self, fast_enclave: Enclave, kv_schema: Schema
+    ) -> None:
+        traces = []
+        for matches in ({0, 1, 2}, {17, 25, 31}):
+            enclave = Enclave(cipher="null", keep_trace_events=True)
+            t = FlatStorage(enclave, kv_schema, 32)
+            for i in range(32):
+                t.fast_insert((1 if i in matches else 1000 + i, "x"))
+            enclave.trace.clear()
+            compact_select(t, Comparison("key", "=", 1), 3)
+            traces.append(enclave.trace)
+        assert traces[0].matches(traces[1])
+
+    def test_small_select_switches_in_multi_pass_regime(
+        self, table: FlatStorage, fast_enclave: Enclave
+    ) -> None:
+        """With a 1-row buffer and 35 promised rows (35 passes > the
+        compaction threshold), small_select routes to the compaction front
+        — far fewer reads than 35 full scans — and stays correct."""
+        predicate = Comparison("key", "<", 35)
+        before = fast_enclave.cost.untrusted_reads
+        out = small_select(table, predicate, 35, buffer_rows=1)
+        reads = fast_enclave.cost.untrusted_reads - before
+        assert out.rows() == [(k, f"v{k}") for k in range(35)]
+        assert reads < 35 * table.capacity  # the multi-pass cost it avoided
+
+
+class TestHashSelectCompactOutput:
+    def test_tight_capacity_and_rows(self, table: FlatStorage) -> None:
+        out = hash_select(table, LOW_PRED, 8, compact_output=True)
+        assert out.capacity == 8  # |R|, not 5*|R|
+        assert sorted(out.rows()) == EXPECTED_LOW
+        assert out.used_rows == 8
+
+    def test_fewer_matches_than_promised(self, table: FlatStorage) -> None:
+        out = hash_select(table, Comparison("key", "<", 3), 8, compact_output=True)
+        assert out.capacity == 8
+        assert sorted(out.rows()) == [(k, f"v{k}") for k in range(3)]
+
+    def test_zero_output(self, table: FlatStorage) -> None:
+        out = hash_select(table, Comparison("key", "=", -1), 0, compact_output=True)
+        assert out.rows() == []
+
+    def test_trace_is_data_independent(self, kv_schema: Schema) -> None:
+        traces = []
+        for matches in ({1, 8, 15, 22}, {0, 3, 17, 23}):
+            enclave = Enclave(cipher="null", keep_trace_events=True)
+            t = FlatStorage(enclave, kv_schema, 24)
+            for i in range(24):
+                t.fast_insert((1 if i in matches else 1000 + i, "x"))
+            enclave.trace.clear()
+            hash_select(t, Comparison("key", "=", 1), 4, compact_output=True)
+            traces.append(enclave.trace)
+        assert traces[0].matches(traces[1])
 
 
 class TestSelectionOverIndex:

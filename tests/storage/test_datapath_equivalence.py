@@ -557,19 +557,19 @@ class ReferenceRingORAM(RingORAM):
             self._write_slot_scalar(index, plaintext)
 
     def _reshuffle_bucket(self, bucket_index: int) -> None:
+        # Shared planning (same rng draws, same permutation as production),
+        # scalar observable I/O: one read per restock slot, one write per
+        # bucket slot in ascending order.
         to_read, real_slots = self._restock_plan(bucket_index)
-        self._restock_merge(
-            to_read,
-            real_slots,
-            [
-                self._read_slot_scalar(self._slot_index(bucket_index, slot))
-                for slot in to_read
-            ],
-        )
-        self._meta[bucket_index] = _BucketMeta(self._z, self._s)
-        for slot in range(self._slots_per_bucket):
+        entries = [
+            self._read_slot_scalar(self._slot_index(bucket_index, slot))
+            for slot in to_read
+        ]
+        fresh, plaintexts = self._plan_reshuffle(to_read, real_slots, entries)
+        self._meta[bucket_index] = fresh
+        for slot, plaintext in enumerate(plaintexts):
             self._write_slot_scalar(
-                self._slot_index(bucket_index, slot), self._dummy_plaintext
+                self._slot_index(bucket_index, slot), plaintext
             )
 
     def _evict_path(self, leaf: int) -> None:
@@ -1256,3 +1256,305 @@ class TestRingORAMEquivalence:
             else:
                 assert batched.read(block) == reference.read(block)
         assert_enclaves_match(enclave_a, enclave_b)
+
+
+# ---------------------------------------------------------------------------
+# Oblivious shuffle & compaction subsystem (repro.oblivious)
+# ---------------------------------------------------------------------------
+
+from repro.enclave.integrity import RevisionLedger  # noqa: E402
+from repro.oblivious.compact import oblivious_compact  # noqa: E402
+from repro.oblivious.shuffle import (  # noqa: E402
+    _ENTRY_HEADER,
+    oblivious_shuffle,
+    plan_shuffle,
+    shuffle_geometry,
+)
+
+
+def reference_shuffle(table: FlatStorage, rng: random.Random) -> FlatStorage:
+    """The per-row bucket shuffle: same planning (same rng draws, same
+    permutation) as production, but every observable access is a scalar
+    read/write with scalar seal/open — one trace event per call."""
+    enclave = table.enclave
+    geometry = shuffle_geometry(table.capacity)
+    perm, cells = plan_shuffle(geometry, rng)
+    frame_bytes = framed_size(table.schema)
+    filler = _ENTRY_HEADER.pack(-1) + b"\x00" * frame_bytes
+
+    scratch_region = enclave.fresh_region_name("shuffle")
+    enclave.untrusted.allocate_region(scratch_region, geometry.scratch_capacity)
+    ledger = RevisionLedger()
+
+    # Pass 1: scalar read per input slot, scalar sealed write per cell slot.
+    for chunk in range(geometry.chunks):
+        start = chunk * geometry.chunk_rows
+        count = min(geometry.chunk_rows, geometry.n - start)
+        frames = [table.read_framed(start + i) for i in range(count)]
+        entries: list[bytes] = []
+        for bucket in range(geometry.buckets):
+            cell = cells[chunk][bucket]
+            entries.extend(
+                _ENTRY_HEADER.pack(perm[index]) + frames[index - start]
+                for index in cell
+            )
+            entries.extend([filler] * (geometry.cell_slots - len(cell)))
+        for slot, entry in zip(geometry.distribute_indices(chunk), entries):
+            revision = ledger.next_revision(scratch_region, slot)
+            aad = ledger.associated_data(scratch_region, slot, revision)
+            enclave.untrusted.write(scratch_region, slot, enclave.seal(entry, aad))
+            ledger.commit(scratch_region, slot, revision)
+
+    # Pass 2: scalar read per bucket slot, scalar write per output slot.
+    output = FlatStorage(enclave, table.schema, geometry.n)
+    for bucket in range(geometry.buckets):
+        base = bucket * geometry.bucket_slots
+        entries_out = []
+        for offset in range(geometry.bucket_slots):
+            sealed = enclave.untrusted.read(scratch_region, base + offset)
+            aad = ledger.associated_data(
+                scratch_region,
+                base + offset,
+                ledger.current(scratch_region, base + offset),
+            )
+            plaintext = enclave.open(sealed, aad)
+            (target,) = _ENTRY_HEADER.unpack_from(plaintext, 0)
+            if target >= 0:
+                entries_out.append((target, plaintext[_ENTRY_HEADER.size :]))
+        entries_out.sort(key=lambda entry: entry[0])
+        seg_start, _ = geometry.segment(bucket)
+        for offset, (_, framed) in enumerate(entries_out):
+            output.write_framed(seg_start + offset, framed)
+
+    enclave.untrusted.free_region(scratch_region)
+    ledger.forget_region(scratch_region)
+    output._used = table.used_rows
+    output._next_fast_insert = output.capacity
+    return output
+
+
+def reference_compact(table: FlatStorage, keep=None) -> int:
+    """The per-block compaction: scalar marking scan, then per level one
+    scalar read of i, one of i+D, one write of i — the loops the batched
+    schedule pass replaces."""
+    n = table.capacity
+    schema = table.schema
+    flags = []
+    for index in range(n):
+        framed = table.read_framed(index)
+        if keep is None:
+            flags.append(not is_dummy(framed))
+        else:
+            row = unframe_row(schema, framed)
+            flags.append(row is not None and keep(row))
+    kept = sum(flags)
+
+    shifts = [0] * n
+    occupied = [False] * n
+    rank = 0
+    for index, flag in enumerate(flags):
+        if flag:
+            shifts[index] = index - rank
+            occupied[index] = True
+            rank += 1
+
+    from repro.storage.rows import frame_dummy as _dummy_frame
+
+    dummy = _dummy_frame(schema)
+    distance = 1
+    while distance < n:
+        for index in range(n):
+            low = table.read_framed(index)
+            high = None
+            partner = index + distance
+            if partner < n:
+                high = table.read_framed(partner)
+            if partner < n and occupied[partner] and shifts[partner] & distance:
+                table.write_framed(index, high)
+            elif occupied[index] and not (shifts[index] & distance):
+                table.write_framed(index, low)
+            else:
+                table.write_framed(index, dummy)
+        new_shifts = [0] * n
+        new_occupied = [False] * n
+        for index in range(n):
+            if occupied[index] and not (shifts[index] & distance):
+                new_shifts[index] = shifts[index]
+                new_occupied[index] = True
+            partner = index + distance
+            if partner < n and occupied[partner] and shifts[partner] & distance:
+                new_shifts[index] = shifts[partner] - distance
+                new_occupied[index] = True
+        shifts, occupied = new_shifts, new_occupied
+        distance *= 2
+
+    table._used = kept
+    return kept
+
+
+class TestShuffleEquivalence:
+    """Batched bucket shuffle vs the per-row reference, plus the
+    data-independence guarantee (trace a pure function of n)."""
+
+    ROWS17 = [(i * 11 % 23, f"s{i}") for i in range(17)]
+
+    def test_trace_payloads_and_permutation_match(self) -> None:
+        batched, reference = fresh_pair(24, self.ROWS17)
+        out_a = oblivious_shuffle(batched, random.Random(42))
+        out_b = reference_shuffle(reference, random.Random(42))
+        assert_traces_match(batched, reference)
+        got = [
+            unframe_row(SCHEMA, framed) for _, framed in out_a.scan_framed()
+        ]
+        want = [
+            unframe_row(SCHEMA, framed) for _, framed in out_b.scan_framed()
+        ]
+        assert got == want  # same secret permutation applied
+        assert sorted(out_a.rows()) == sorted(batched.rows())
+        assert out_a.used_rows == batched.used_rows
+
+    def test_trace_is_data_and_permutation_independent(self) -> None:
+        """Different plaintexts AND different permutations: same trace."""
+        a, _ = fresh_pair(24, self.ROWS17)
+        b, _ = fresh_pair(24, [(9, "z")] * 3)
+        a.enclave.trace.clear()
+        b.enclave.trace.clear()
+        oblivious_shuffle(a, random.Random(1))
+        oblivious_shuffle(b, random.Random(2))
+        assert a.enclave.trace.matches(b.enclave.trace)
+
+    def test_chunked_shuffle(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        import repro.storage.flat as flat
+
+        monkeypatch.setattr(flat, "_CHUNK_BLOCKS", 3)
+        batched, reference = fresh_pair(24, self.ROWS17)
+        out_a = oblivious_shuffle(batched, random.Random(5))
+        out_b = reference_shuffle(reference, random.Random(5))
+        assert_traces_match(batched, reference)
+        assert out_a.rows() == out_b.rows()
+
+
+class TestCompactEquivalence:
+    """Batched compaction network vs the per-block reference loops."""
+
+    SCATTERED = [(i, f"c{i}") for i in range(11)]
+
+    def _pair_with_holes(self) -> tuple[FlatStorage, FlatStorage]:
+        batched, reference = fresh_pair(16, [])
+        for t in (batched, reference):
+            for i, row in zip((0, 2, 3, 7, 8, 9, 13, 15), self.SCATTERED):
+                t.write_row(i, row)
+                t._used += 1
+        return batched, reference
+
+    def test_trace_result_and_order_match(self) -> None:
+        batched, reference = self._pair_with_holes()
+        kept_a = oblivious_compact(batched)
+        kept_b = reference_compact(reference)
+        assert kept_a == kept_b == 8
+        assert_traces_match(batched, reference)
+        rows_a = [batched.read_row(i) for i in range(batched.capacity)]
+        rows_b = [reference.read_row(i) for i in range(reference.capacity)]
+        assert rows_a == rows_b
+        # Order-preserving: the keepers appear in input order, then dummies.
+        assert rows_a[:8] == list(self.SCATTERED[:8])
+        assert all(row is None for row in rows_a[8:])
+
+    def test_filter_compact_with_predicate(self) -> None:
+        batched, reference = self._pair_with_holes()
+        keep = lambda row: row[0] % 2 == 0  # noqa: E731
+        kept_a = oblivious_compact(batched, keep=keep)
+        kept_b = reference_compact(reference, keep=keep)
+        assert kept_a == kept_b
+        assert_traces_match(batched, reference)
+        assert batched.rows() == reference.rows()
+
+    def test_trace_is_selectivity_independent(self) -> None:
+        """Zero keepers and all keepers: identical traces."""
+        none_keep, all_keep = fresh_pair(16, [(i, "x") for i in range(12)])
+        oblivious_compact(none_keep, keep=lambda row: False)
+        oblivious_compact(all_keep, keep=lambda row: True)
+        assert none_keep.enclave.trace.matches(all_keep.enclave.trace)
+
+    def test_chunked_compact(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        """Chunks split the R/R/W step groups mid-group; the carried state
+        must keep the result and trace identical."""
+        import repro.storage.flat as flat
+
+        monkeypatch.setattr(flat, "_CHUNK_BLOCKS", 3)
+        batched, reference = self._pair_with_holes()
+        assert oblivious_compact(batched) == reference_compact(reference)
+        assert_traces_match(batched, reference)
+        assert [batched.read_row(i) for i in range(16)] == [
+            reference.read_row(i) for i in range(16)
+        ]
+
+
+class TestFramedGatherScatterEquivalence:
+    """read_at_framed / write_at_framed / exchange_schedule_framed must
+    record their per-slot loops' exact traces."""
+
+    def test_read_write_at_framed(self) -> None:
+        batched, reference = fresh_pair(16, [(i, "x") for i in range(10)])
+        indices = [0, 7, 3, 12]
+        frames = [frame_row_validated(SCHEMA, (90 + i, "w")) for i in range(4)]
+        got = batched.read_at_framed(indices)
+        batched.write_at_framed(indices, frames)
+        want = [reference.read_framed(i) for i in indices]
+        for i, framed in zip(indices, frames):
+            reference.write_framed(i, framed)
+        assert [is_dummy(f) for f in got] == [is_dummy(f) for f in want]
+        assert_traces_match(batched, reference)
+        assert batched.rows() == reference.rows()
+
+    def test_chunked_write_at_framed(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        import repro.storage.flat as flat
+
+        monkeypatch.setattr(flat, "_CHUNK_BLOCKS", 3)
+        batched, reference = fresh_pair(16, [(i, "x") for i in range(10)])
+        indices = [1, 5, 9, 0, 14, 2, 11]
+        frames = [frame_row_validated(SCHEMA, (50 + i, "y")) for i in range(7)]
+        batched.write_at_framed(indices, frames)
+        for i, framed in zip(indices, frames):
+            reference.write_framed(i, framed)
+        assert_traces_match(batched, reference)
+        assert batched.rows() == reference.rows()
+
+    def test_schedule_pass_matches_scalar_loop(self) -> None:
+        batched, reference = fresh_pair(8, ROWS)
+        schedule = [
+            ("R", 0), ("R", 3), ("W", 0),
+            ("R", 1), ("R", 4), ("W", 1),
+            ("R", 2), ("W", 2),
+        ]
+        swap = frame_row_validated(SCHEMA, (77, "sw"))
+
+        def transform(steps, frames):
+            return [swap] * sum(1 for op, _ in steps if op == "W")
+
+        batched.exchange_schedule_framed(schedule, transform)
+        for op, index in schedule:
+            if op == "R":
+                reference.read_framed(index)
+            else:
+                reference.write_framed(index, swap)
+        assert_traces_match(batched, reference)
+        assert batched.rows() == reference.rows()
+
+    def test_schedule_rejects_read_after_write_across_chunks(
+        self, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        from repro.enclave.errors import StorageError
+
+        import repro.storage.flat as flat
+
+        monkeypatch.setattr(flat, "_CHUNK_BLOCKS", 2)
+        table, _ = fresh_pair(8, ROWS)
+        schedule = [("W", 0), ("W", 1), ("R", 0), ("W", 2)]
+        dummy = frame_dummy(SCHEMA)
+        with pytest.raises(StorageError, match="stale"):
+            table.exchange_schedule_framed(
+                schedule,
+                lambda steps, frames: [dummy]
+                * sum(1 for op, _ in steps if op == "W"),
+            )

@@ -55,6 +55,42 @@ class TestBasics:
         table.insert((1, "a"))
         assert fast_enclave.cost.block_ios - before == 20  # R+W per block
 
+    def test_insert_many_is_one_pass(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
+        """Bulk insert pays one uniform pass total, not one per row."""
+        table = make(fast_enclave, kv_schema, capacity=10)
+        before = fast_enclave.cost.block_ios
+        table.insert_many([(i, "x") for i in range(5)])
+        assert fast_enclave.cost.block_ios - before == 20  # one R+W pass
+        assert sorted(table.rows()) == [(i, "x") for i in range(5)]
+        assert table.used_rows == 5
+
+    def test_insert_many_respects_capacity_and_reuses_holes(
+        self, fast_enclave: Enclave, kv_schema: Schema
+    ) -> None:
+        table = make(fast_enclave, kv_schema, capacity=4)
+        table.insert((0, "keep"))
+        table.insert((1, "hole"))
+        table.delete(lambda row: row[0] == 1)
+        table.insert_many([(7, "a"), (8, "b"), (9, "c")])
+        assert sorted(table.rows()) == [(0, "keep"), (7, "a"), (8, "b"), (9, "c")]
+        with pytest.raises(CapacityError):
+            table.insert_many([(10, "x")])
+
+    def test_fast_insert_many_is_one_range_write(
+        self, fast_enclave: Enclave, kv_schema: Schema
+    ) -> None:
+        table = make(fast_enclave, kv_schema, capacity=16)
+        table.fast_insert((0, "first"))
+        before = fast_enclave.cost.block_ios
+        table.fast_insert_many([(i, "x") for i in range(1, 6)])
+        assert fast_enclave.cost.block_ios - before == 5  # W only, no reads
+        assert table.read_row(0) == (0, "first")
+        assert [table.read_row(i) for i in range(1, 6)] == [
+            (i, "x") for i in range(1, 6)
+        ]
+        with pytest.raises(CapacityError):
+            table.fast_insert_many([(9, "x")] * 11)
+
     def test_insert_reuses_deleted_slot(self, fast_enclave: Enclave, kv_schema: Schema) -> None:
         table = make(fast_enclave, kv_schema, capacity=3)
         for i in range(3):

@@ -71,6 +71,35 @@ class TestTableMethods:
     @pytest.mark.parametrize(
         "method", [StorageMethod.FLAT, StorageMethod.INDEXED, StorageMethod.BOTH]
     )
+    def test_insert_many_everywhere(
+        self, fast_enclave: Enclave, kv_schema: Schema, method: StorageMethod
+    ) -> None:
+        """Bulk insert keeps every representation consistent."""
+        table = make_table(fast_enclave, kv_schema, method)
+        table.insert_many([(key, f"v{key}") for key in range(10)])
+        assert table.used_rows == 10
+        assert sorted(table.rows()) == [(k, f"v{k}") for k in range(10)]
+        assert table.point_lookup(7) == [(7, "v7")]
+
+    def test_insert_many_batches_the_flat_pass(
+        self, fast_enclave: Enclave, kv_schema: Schema
+    ) -> None:
+        """The dual-copy maintenance pays ONE flat pass for k rows."""
+        table = make_table(fast_enclave, kv_schema, StorageMethod.FLAT)
+        capacity = table.capacity
+        before = fast_enclave.cost.block_ios
+        table.insert_many([(key, "x") for key in range(8)])
+        assert fast_enclave.cost.block_ios - before == 2 * capacity
+        fast_table = Table(
+            fast_enclave, "t_fast_bulk", kv_schema, 64, method=StorageMethod.FLAT
+        )
+        before = fast_enclave.cost.block_ios
+        fast_table.insert_many([(key, "x") for key in range(8)], fast=True)
+        assert fast_enclave.cost.block_ios - before == 8  # one range write
+
+    @pytest.mark.parametrize(
+        "method", [StorageMethod.FLAT, StorageMethod.INDEXED, StorageMethod.BOTH]
+    )
     def test_delete_key_everywhere(
         self, fast_enclave: Enclave, kv_schema: Schema, method: StorageMethod
     ) -> None:
