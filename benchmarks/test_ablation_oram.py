@@ -20,7 +20,6 @@ from __future__ import annotations
 import random
 
 from conftest import fresh_enclave, load_flat, print_table
-from repro.enclave import Enclave
 from repro.oram import POSITION_MAP_BYTES_PER_BLOCK, PathORAM, RecursivePathORAM
 from repro.storage import IndexedStorage
 from repro.workloads import KV_SCHEMA, kv_rows

@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 
 from conftest import fresh_enclave, load_flat, print_table
-from repro.operators import And, Comparison
+from repro.operators import Comparison
 from repro.planner import SelectAlgorithm, execute_select, plan_select
 from repro.workloads import WIDE_SCHEMA, shuffled, wide_rows
 

@@ -33,9 +33,9 @@ def run_cell(om_rows: int, n1: int, n2: int) -> dict[str, float]:
     budget = om_rows * ROW_BYTES
     out: dict[str, float] = {}
     for name, run in (
-        ("hash", lambda l, r: hash_join(l, r, "key", "key", budget)),
-        ("opaque", lambda l, r: opaque_join(l, r, "key", "key", budget)),
-        ("zero_om", lambda l, r: zero_om_join(l, r, "key", "key")),
+        ("hash", lambda a, b: hash_join(a, b, "key", "key", budget)),
+        ("opaque", lambda a, b: opaque_join(a, b, "key", "key", budget)),
+        ("zero_om", lambda a, b: zero_om_join(a, b, "key", "key")),
     ):
         enclave = fresh_enclave(oblivious_memory_bytes=budget + (1 << 14))
         left = FlatStorage(enclave, KV_SCHEMA, n1)

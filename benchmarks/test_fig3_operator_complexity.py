@@ -73,9 +73,9 @@ def _select_costs() -> dict[str, list[float]]:
 def _join_costs() -> dict[str, list[float]]:
     results: dict[str, list[float]] = {}
     joins = {
-        "hash_join": lambda l, r: hash_join(l, r, "key", "key", 1 << 12),
-        "opaque_join": lambda l, r: opaque_join(l, r, "key", "key", 1 << 12),
-        "zero_om_join": lambda l, r: zero_om_join(l, r, "key", "key"),
+        "hash_join": lambda a, b: hash_join(a, b, "key", "key", 1 << 12),
+        "opaque_join": lambda a, b: opaque_join(a, b, "key", "key", 1 << 12),
+        "zero_om_join": lambda a, b: zero_om_join(a, b, "key", "key"),
     }
     for name, run in joins.items():
         series = []

@@ -14,11 +14,9 @@ the insecure baseline.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
-from conftest import fresh_enclave, load_flat, measure_modeled_ms, print_table
+from conftest import measure_modeled_ms, print_table
 from repro.baselines import OpaqueSystem, PlainSystem
 from repro.engine import ObliDB
 from repro.operators import AggregateFunction, AggregateSpec, Comparison

@@ -5,21 +5,29 @@ from .asymptotics import fit_polylog, fit_power_law
 from .obliviousness import (
     CanonicalTrace,
     assert_indistinguishable,
+    assert_same_leakage,
     canonicalize,
     capture,
     oram_regions_of,
 )
-from .simulator import SelectLeakage, real_select_trace, simulate_select
+from .simulator import (
+    SelectLeakage,
+    real_query_trace,
+    real_select_trace,
+    simulate_select,
+)
 
 __all__ = [
     "CanonicalTrace",
     "SelectLeakage",
     "assert_indistinguishable",
+    "assert_same_leakage",
     "canonicalize",
     "capture",
     "fit_polylog",
     "fit_power_law",
     "oram_regions_of",
+    "real_query_trace",
     "real_select_trace",
     "simulate_select",
 ]

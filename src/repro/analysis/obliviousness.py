@@ -131,3 +131,26 @@ def assert_indistinguishable(traces: list[CanonicalTrace]) -> None:
                 f"lengths {first.length} vs {trace.length}, "
                 f"digests {first.digest[:12]} vs {trace.digest[:12]}"
             )
+
+
+def assert_same_leakage(plans: list) -> None:
+    """Assert all compiled :class:`~repro.planner.compile.QueryPlan`\\ s
+    declare the same leakage (identical canonical serializations).
+
+    This is the premise side of the obliviousness statement: runs whose
+    ``QueryPlan.cache_key``\\ s match are *required* to be trace-
+    indistinguishable, which :func:`assert_indistinguishable` checks on
+    the conclusion side.  Use both together to pin the end-to-end
+    contract: ``assert_same_leakage(plans)`` then
+    ``assert_indistinguishable(traces)``.
+    """
+    if not plans:
+        return
+    first = plans[0]
+    for position, plan in enumerate(plans[1:], start=1):
+        if plan is None or first is None or plan.cache_key != first.cache_key:
+            raise AssertionError(
+                f"plan {position} declares different leakage than plan 0:\n"
+                f"--- plan 0 ---\n{first.describe() if first else None}\n"
+                f"--- plan {position} ---\n{plan.describe() if plan else None}"
+            )

@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..enclave.enclave import Enclave
+from ..enclave.errors import PlannerError
 from ..operators.predicate import Comparison
-from ..planner.plan import PhysicalPlan, SelectAlgorithm
-from ..planner.select_planner import SelectDecision, execute_select
-from ..planner.stats import SelectionStats
+from ..planner.compile import CompactNode, QueryPlan, SelectNode
+from ..planner.plan import SelectAlgorithm
+from ..planner.select_planner import SelectDecision
 from ..storage.flat import FlatStorage
 from ..storage.schema import Schema, int_column
 from .obliviousness import CanonicalTrace, canonicalize, oram_regions_of
@@ -30,13 +31,26 @@ from .obliviousness import CanonicalTrace, canonicalize, oram_regions_of
 
 @dataclass(frozen=True)
 class SelectLeakage:
-    """The leakage SIM receives for one selection: sizes + chosen plan."""
+    """The leakage SIM receives for one selection: sizes + chosen plan.
+
+    ``compact_output`` records whether the plan routed the selection
+    through the oblivious-compaction back end (a
+    :class:`~repro.planner.compile.CompactNode` wrap in the IR); ``None``
+    means "the planner path's convention", i.e. compacted exactly for the
+    Hash algorithm.
+    """
 
     input_capacity: int
     output_size: int
     algorithm: SelectAlgorithm
     buffer_rows: int
     row_size: int  # schema row width is public (schema S is given to SIM)
+    compact_output: bool | None = None
+
+    def compacts(self) -> bool:
+        if self.compact_output is not None:
+            return self.compact_output
+        return self.algorithm is SelectAlgorithm.HASH
 
     @classmethod
     def from_decision(cls, schema_row_size: int, decision: "SelectDecision") -> "SelectLeakage":
@@ -46,6 +60,31 @@ class SelectLeakage:
             algorithm=decision.algorithm,
             buffer_rows=decision.buffer_rows,
             row_size=schema_row_size,
+        )
+
+    @classmethod
+    def from_plan(cls, schema_row_size: int, plan: QueryPlan) -> "SelectLeakage":
+        """Extract the selection leakage from a compiled query plan.
+
+        This is SIM consuming ``OPT(D, Q)`` in its reified form: the
+        first (post-order) SelectNode in the tree, plus whether a
+        CompactNode tightens its output.
+        """
+        select = plan.find(SelectNode)
+        if not isinstance(select, SelectNode) or select.algorithm is None:
+            raise PlannerError("plan has no concrete selection to simulate")
+        compact = any(
+            isinstance(node, CompactNode) and node.source is select
+            for node in plan.root.walk()
+        )
+        assert select.input_rows is not None and select.output_rows is not None
+        return cls(
+            input_capacity=select.input_rows,
+            output_size=select.output_rows,
+            algorithm=select.algorithm,
+            buffer_rows=select.buffer_rows,
+            row_size=schema_row_size,
+            compact_output=compact,
         )
 
 
@@ -60,6 +99,10 @@ def simulate_select(
     non-Continuous algorithms; Continuous needs contiguity, which is part of
     its leaked choice), forces the leaked algorithm, and records the trace.
     """
+    # Imported here: the engine imports the planner package at load time,
+    # and this module is re-exported through repro.analysis.
+    from ..engine.executor import run_select_algorithm
+
     enclave = Enclave(
         oblivious_memory_bytes=oblivious_memory_bytes,
         cipher="null",
@@ -72,26 +115,20 @@ def simulate_select(
         table.write_row(index, (marker, 0))
     predicate = Comparison("x", "=", 1)
 
-    stats = SelectionStats(
-        input_capacity=leakage.input_capacity,
-        matching_rows=leakage.output_size,
-        continuous=True,  # the dummy arrangement above is contiguous
-        first_match_index=0 if leakage.output_size else -1,
-    )
-    decision = SelectDecision(
-        algorithm=leakage.algorithm,
-        stats=stats,
-        buffer_rows=leakage.buffer_rows,
-        plan=PhysicalPlan(operator="select", select_algorithm=leakage.algorithm),
-    )
-
     # SIM first reproduces the planner's statistics scan (one read pass) —
     # the paper's SIM "uses this information to simulate the access pattern
     # of one scan over D".
     enclave.trace.clear()
     for index in range(table.capacity):
         table.read_row(index)
-    output = execute_select(table, predicate, decision)
+    output = run_select_algorithm(
+        table,
+        predicate,
+        leakage.algorithm,
+        leakage.output_size,
+        buffer_rows=leakage.buffer_rows,
+        compact_output=leakage.compacts(),
+    )
     trace = canonicalize(enclave.trace.events, oram_regions_of(enclave))
     output.free()
     return trace
@@ -107,6 +144,8 @@ def real_select_trace(
     Includes the statistics scan (re-run here so real and simulated traces
     cover the same operation window), matching :func:`simulate_select`.
     """
+    from ..planner.select_planner import execute_select
+
     enclave = table.enclave
     enclave.trace.clear()
     for index in range(table.capacity):
@@ -115,3 +154,18 @@ def real_select_trace(
     trace = canonicalize(enclave.trace.events, oram_regions_of(enclave))
     output.free()
     return trace
+
+
+def real_query_trace(db, sql: str) -> tuple[CanonicalTrace, QueryPlan]:
+    """Canonical trace + compiled plan of one SQL statement end to end.
+
+    The engine-level analogue of :func:`real_select_trace`: runs the
+    statement through ``ObliDB.sql`` with a cleared trace and returns the
+    canonicalized events alongside the leaked :class:`QueryPlan`, so
+    callers can assert the Appendix-A contract — equal plans (equal
+    ``cache_key``) must imply indistinguishable traces.
+    """
+    db.enclave.trace.clear()
+    result = db.sql(sql)
+    trace = canonicalize(db.enclave.trace.events, oram_regions_of(db.enclave))
+    return trace, result.plan

@@ -32,7 +32,7 @@ import random
 from ..enclave.enclave import Enclave
 from ..enclave.errors import ORAMError
 from ..storage.btree import ObliviousBPlusTree
-from ..storage.schema import Schema, Value, int_column, str_column
+from ..storage.schema import Schema, int_column, str_column
 
 #: vORAM blocks a single HIRB node occupies (4096 B buckets / ~1 KB nodes,
 #: accessed through the variable-size-block indirection).

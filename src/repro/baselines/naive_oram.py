@@ -16,7 +16,7 @@ import random
 from ..enclave.enclave import Enclave
 from ..operators.predicate import Predicate
 from ..oram.path_oram import PathORAM
-from ..storage.rows import frame_dummy, frame_row, framed_size, unframe_row
+from ..storage.rows import frame_row, framed_size, unframe_row
 from ..storage.schema import Row, Schema
 
 

@@ -3,6 +3,7 @@
 from .ast import (
     CreateTableStatement,
     DeleteStatement,
+    ExplainStatement,
     InsertStatement,
     JoinClause,
     QueryResult,
@@ -11,8 +12,9 @@ from .ast import (
     UpdateStatement,
 )
 from .database import ObliDB
-from .executor import Executor
+from .executor import Executor, PlanRunner, run_join_algorithm, run_select_algorithm
 from .padding import PaddingConfig
+from .plan_cache import PlanCache, statement_fingerprint
 from .sql import parse, tokenize
 from .wal import WriteAheadLog
 
@@ -21,14 +23,20 @@ __all__ = [
     "CreateTableStatement",
     "DeleteStatement",
     "Executor",
+    "ExplainStatement",
     "InsertStatement",
     "JoinClause",
     "ObliDB",
     "PaddingConfig",
+    "PlanCache",
+    "PlanRunner",
     "QueryResult",
     "SelectStatement",
     "Statement",
     "UpdateStatement",
     "parse",
+    "run_join_algorithm",
+    "run_select_algorithm",
+    "statement_fingerprint",
     "tokenize",
 ]

@@ -107,12 +107,25 @@ class CreateTableStatement:
     key_column: str | None = None
 
 
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN <statement>``: compile the target, run nothing.
+
+    The result rows are the rendered lines of the compiled
+    :class:`~repro.planner.compile.QueryPlan` — i.e. exactly the query's
+    declared leakage, shown to the (trusted) client.
+    """
+
+    target: "Statement"
+
+
 Statement = (
     SelectStatement
     | InsertStatement
     | UpdateStatement
     | DeleteStatement
     | CreateTableStatement
+    | ExplainStatement
 )
 
 
@@ -121,9 +134,11 @@ class QueryResult:
     """What a statement execution returns to the client.
 
     ``rows`` are the real result rows (dummies stripped — the client is
-    trusted; only untrusted memory sees padded structures).  ``plans``
-    records the physical plan(s), i.e. the leakage; ``cost`` the modeled
-    block-access counters consumed.
+    trusted; only untrusted memory sees padded structures).  ``plan`` is
+    the compiled :class:`~repro.planner.compile.QueryPlan` — the query's
+    leaked value — and ``plans`` its flattened per-operator view (always
+    derived from ``plan``); ``cost`` the modeled block-access counters
+    consumed.
     """
 
     rows: list[tuple[Value, ...]] = field(default_factory=list)
@@ -131,6 +146,7 @@ class QueryResult:
     affected: int = 0
     plans: list = field(default_factory=list)
     cost: dict[str, int] = field(default_factory=dict)
+    plan: object | None = None  # QueryPlan (typed loosely: no engine→planner import cycle at runtime)
 
     def scalar(self) -> Value:
         """The single value of a one-row, one-column result."""

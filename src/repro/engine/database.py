@@ -20,22 +20,26 @@ permitted (disabled in the Opaque comparison).
 
 from __future__ import annotations
 
+import itertools
 import random
 
 from ..enclave.counters import CostModel
 from ..enclave.enclave import DEFAULT_OBLIVIOUS_MEMORY_BYTES, Enclave
 from ..enclave.errors import QueryError, StorageError
 from ..operators.predicate import Predicate
+from ..planner.compile import QueryPlan
 from ..storage.schema import Column, ColumnType, Row, Schema, Value
 from ..storage.table import StorageMethod, Table
 from .ast import (
     CreateTableStatement,
+    ExplainStatement,
     QueryResult,
     SelectStatement,
     Statement,
 )
 from .executor import Executor
 from .padding import PaddingConfig
+from .plan_cache import PlanCache
 from .sql import parse
 from .wal import WriteAheadLog
 
@@ -69,6 +73,7 @@ class ObliDB:
         keep_trace_events: bool = False,
         seed: int | None = None,
         wal: bool = False,
+        result_cache_entries: int = 0,
     ) -> None:
         self.enclave = Enclave(
             oblivious_memory_bytes=oblivious_memory_bytes,
@@ -78,11 +83,21 @@ class ObliDB:
         self.padding = padding
         self._rng = random.Random(seed)
         self._tables: dict[str, Table] = {}
+        self._creation_ids = itertools.count(1)
+        # Opt-in plan-keyed result cache: a hit answers a repeated
+        # read-only query from enclave memory with zero untrusted
+        # accesses.  That makes query *repetition* observable (the classic
+        # deduplication trade-off), so it is off by default; see
+        # repro.engine.plan_cache for the leakage discussion.
+        self.result_cache: PlanCache | None = (
+            PlanCache(result_cache_entries) if result_cache_entries > 0 else None
+        )
         self._executor = Executor(
             self._tables,
             padding=padding,
             allow_continuous=allow_continuous,
             rng=self._rng,
+            result_cache=self.result_cache,
         )
         # Optional write-ahead log (the Section 3 durability extension):
         # every DDL/write statement is sealed and appended before it runs.
@@ -118,6 +133,7 @@ class ObliDB:
             key_column=key_column,
             rng=random.Random(self._rng.randrange(2**63)),
             oram_kind=oram_kind,
+            creation_id=next(self._creation_ids),
         )
         self._tables[name] = table
         return table
@@ -127,6 +143,8 @@ class ObliDB:
         table = self._tables.pop(name, None)
         if table is None:
             raise StorageError(f"no table named {name!r}")
+        if self.result_cache is not None:
+            self.result_cache.invalidate_table(name)
         table.free()
 
     def table(self, name: str) -> Table:
@@ -145,6 +163,8 @@ class ObliDB:
         """Execute a logical statement built programmatically."""
         if isinstance(statement, CreateTableStatement):
             return self._create_from_statement(statement)
+        if isinstance(statement, ExplainStatement):
+            return self._explain_result(statement.target)
         return self._executor.execute(statement)
 
     def sql(self, text: str) -> QueryResult:
@@ -152,19 +172,40 @@ class ObliDB:
 
         With WAL enabled, write statements (CREATE/INSERT/UPDATE/DELETE)
         are appended to the encrypted log *before* execution, as the paper
-        prescribes — one sequential log write, no new leakage.
+        prescribes — one sequential log write, no new leakage.  Read-only
+        statements (SELECT, EXPLAIN) are never logged.
         """
         statement = parse(text)
-        if self.wal is not None and not isinstance(statement, SelectStatement):
+        if self.wal is not None and not isinstance(
+            statement, (SelectStatement, ExplainStatement)
+        ):
             self.wal.append(text)
         return self.execute(statement)
 
-    def explain(self, text: str) -> list:
-        """The physical plan a query would leak, without executing it."""
+    def explain(self, text: str) -> QueryPlan:
+        """The compiled :class:`QueryPlan` a statement would leak, without
+        executing it.  ``plan.describe()`` renders the tree;
+        ``plan.physical_plans()`` flattens it to per-operator entries."""
         statement = parse(text)
+        if isinstance(statement, ExplainStatement):  # EXPLAIN EXPLAIN via API
+            statement = statement.target
         if isinstance(statement, CreateTableStatement):
             raise QueryError("CREATE TABLE has no physical plan to explain")
         return self._executor.explain(statement)
+
+    def _explain_result(self, target: Statement) -> QueryResult:
+        """``EXPLAIN <stmt>`` through the SQL surface: one row per rendered
+        plan line, nothing executed."""
+        if isinstance(target, CreateTableStatement):
+            raise QueryError("CREATE TABLE has no physical plan to explain")
+        plan = self._executor.explain(target)
+        return QueryResult(
+            rows=[(line,) for line in plan.describe().splitlines()],
+            column_names=["plan"],
+            affected=0,
+            plans=plan.physical_plans(),
+            plan=plan,
+        )
 
     def recover_from(self, wal: "WriteAheadLog") -> int:
         """Rebuild this (empty) database by replaying a write-ahead log."""

@@ -1,40 +1,68 @@
-"""Query execution: logical statements → planner → physical operators.
+"""Plan execution: compiled :class:`~repro.planner.compile.QueryPlan` trees
+→ physical operators.
 
-The executor owns the decisions above individual operators:
+The executor no longer plans anything.  Every access-method, algorithm,
+fusion, and padding decision is made by :mod:`repro.planner.compile`, which
+turns a logical statement into a typed plan tree; this module is two thin
+layers on top of it:
 
-* **Access method.**  If the target table keeps an index and the WHERE
-  clause pins the key column to an interval, the query runs over the index
-  (point lookup or range segment); otherwise it scans a flat representation
-  — the table's own flat storage, or the "scan the index like a flat table"
-  fallback for index-only tables.
+* :class:`Executor` — the statement entry point: consult the optional
+  plan-keyed result cache, compile, run, attach the leaked plan and cost
+  counters to the result, store cacheable results.
 
-* **Operator fusion.**  ``SELECT agg(..) FROM t WHERE ..`` without GROUP BY
-  runs the fused select+aggregate operator, which neither materialises nor
-  leaks an intermediate result size (Section 4.2).
+* :class:`PlanRunner` — a structural walk of the plan tree that invokes
+  the existing batched operators.  The only "logic" here is mechanical:
+  resolve a node's materialized source, call the operator the node names
+  with the sizes the node carries, free intermediates.  Two node fields
+  arrive *deferred* from compilation (a selection over a join output, and
+  a grouped aggregate's observed output size); the runner refines them by
+  calling back into ``planner.compile`` — the decision still lives there —
+  and substitutes the refined nodes into the final plan attached to the
+  result, so ``QueryResult.plans`` is always derived from one concrete
+  :class:`QueryPlan`.
 
-* **Padding mode.**  With a :class:`~repro.engine.padding.PaddingConfig`
-  the planner is skipped, selections run the Hash algorithm at the padded
-  size, and grouped aggregates pad their outputs (Section 7.1).
-
-Every result records the physical plans chosen — the query's leakage — and
-the enclave cost counters it consumed.
+The module-level :func:`run_select_algorithm` / :func:`run_join_algorithm`
+are the enum → operator dispatch tables (no decisions; the legacy
+``execute_select`` / ``execute_join`` planner entry points delegate here).
 """
 
 from __future__ import annotations
 
 import random
 
-from ..enclave.errors import ObliviousMemoryError, QueryError
-from ..operators.aggregate import AggregateSpec, aggregate, group_by_aggregate
+from ..enclave.errors import ObliviousMemoryError, PlannerError, QueryError
+from ..operators.aggregate import aggregate, group_by_aggregate
+from ..operators.join import hash_join, opaque_join, zero_om_join
+from ..operators.predicate import Predicate, TruePredicate
+from ..operators.select import (
+    continuous_select,
+    hash_select,
+    large_select,
+    naive_select,
+    small_select,
+)
 from ..operators.sort import bitonic_sort, padded_scratch
-from ..operators.predicate import Interval, Predicate, TruePredicate
-from ..operators.select import hash_select, materialize_index_range
 from ..operators.write import oblivious_delete, oblivious_insert, oblivious_update
-from ..planner.join_planner import execute_join, plan_join
-from ..planner.plan import AccessMethod, PhysicalPlan, SelectAlgorithm
-from ..planner.select_planner import SelectDecision, execute_select, plan_select
+from ..planner.compile import (
+    AggregateNode,
+    CompactNode,
+    CompiledQuery,
+    GroupByNode,
+    IndexLookupNode,
+    JoinNode,
+    PlanNode,
+    QueryPlan,
+    ScanNode,
+    SelectNode,
+    SortNode,
+    compile_statement,
+    plan_selection_node,
+    plan_sort_node,
+    refine,
+)
+from ..planner.plan import JoinAlgorithm, SelectAlgorithm
 from ..storage.flat import FlatStorage
-from ..storage.schema import ColumnType, Row, Schema, Value
+from ..storage.schema import ColumnType, Row, Value
 from ..storage.table import Table
 from .ast import (
     DeleteStatement,
@@ -45,10 +73,403 @@ from .ast import (
     UpdateStatement,
 )
 from .padding import PaddingConfig
+from .plan_cache import PlanCache, statement_fingerprint
 
 
+# ----------------------------------------------------------------------
+# Algorithm dispatch (no decisions — pure enum → operator mapping)
+# ----------------------------------------------------------------------
+def run_select_algorithm(
+    source: FlatStorage,
+    predicate: Predicate,
+    algorithm: SelectAlgorithm,
+    output_size: int,
+    buffer_rows: int = 0,
+    rng: random.Random | None = None,
+    compact_output: bool = False,
+) -> FlatStorage:
+    """Invoke one Section 4.1 selection operator with planned sizes."""
+    if algorithm is SelectAlgorithm.SMALL:
+        return small_select(source, predicate, output_size, buffer_rows)
+    if algorithm is SelectAlgorithm.LARGE:
+        return large_select(source, predicate)
+    if algorithm is SelectAlgorithm.CONTINUOUS:
+        return continuous_select(source, predicate, output_size)
+    if algorithm is SelectAlgorithm.HASH:
+        return hash_select(
+            source, predicate, output_size, compact_output=compact_output
+        )
+    if algorithm is SelectAlgorithm.NAIVE:
+        return naive_select(source, predicate, output_size, rng=rng)
+    raise PlannerError(f"unknown select algorithm {algorithm}")
+
+
+def run_join_algorithm(
+    left: FlatStorage,
+    right: FlatStorage,
+    left_column: str,
+    right_column: str,
+    algorithm: JoinAlgorithm,
+    oblivious_memory_bytes: int,
+    compact_output: bool = False,
+) -> FlatStorage:
+    """Invoke one Section 4.3 join operator with planned sizes."""
+    if algorithm is JoinAlgorithm.HASH:
+        return hash_join(
+            left,
+            right,
+            left_column,
+            right_column,
+            oblivious_memory_bytes,
+            compact_output=compact_output,
+        )
+    if algorithm is JoinAlgorithm.OPAQUE:
+        return opaque_join(
+            left,
+            right,
+            left_column,
+            right_column,
+            oblivious_memory_bytes,
+            compact_output=compact_output,
+        )
+    if algorithm is JoinAlgorithm.ZERO_OM:
+        return zero_om_join(
+            left, right, left_column, right_column, compact_output=compact_output
+        )
+    raise PlannerError(f"unknown join algorithm {algorithm}")
+
+
+# ----------------------------------------------------------------------
+# The plan runner
+# ----------------------------------------------------------------------
+class PlanRunner:
+    """Walks a compiled plan tree and invokes the batched operators."""
+
+    def __init__(
+        self,
+        padding: PaddingConfig | None = None,
+        allow_continuous: bool = True,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._padding = padding
+        self._allow_continuous = allow_continuous
+        self._rng = rng if rng is not None else random.Random()
+
+    # -- entry ----------------------------------------------------------
+    def run(self, compiled: CompiledQuery) -> QueryResult:
+        """Execute a compiled SELECT; returns the result with its final
+        (refined) plan attached."""
+        statement = compiled.statement
+        assert isinstance(statement, SelectStatement)
+        root = compiled.plan.root
+        if isinstance(root, GroupByNode):
+            result, final_root = self._run_group_by(root, statement, compiled)
+        elif isinstance(root, AggregateNode):
+            result, final_root = self._run_aggregate(root, statement, compiled)
+        else:
+            result, final_root = self._run_selection_shape(
+                root, statement, compiled
+            )
+        result.plan = refine_plan(compiled.plan, final_root)
+        result.plans = result.plan.physical_plans()
+        return result
+
+    # -- sources --------------------------------------------------------
+    def _materialize(
+        self, node: PlanNode, statement: SelectStatement, compiled: CompiledQuery
+    ) -> tuple[FlatStorage, bool, PlanNode]:
+        """(storage, caller_owns_it, refined_node) for any source subtree."""
+        if isinstance(node, (ScanNode, IndexLookupNode)):
+            storage, owned = compiled.take(node)
+            return storage, owned, node
+        if isinstance(node, JoinNode):
+            return (*self._run_join(node, compiled, compact_output=False), node)
+        if isinstance(node, CompactNode) and isinstance(node.source, JoinNode):
+            storage, owned = self._run_join(
+                node.source, compiled, compact_output=True
+            )
+            return storage, owned, node
+        if isinstance(node, (SelectNode, CompactNode)):
+            return self._run_selection(node, statement, compiled)
+        raise QueryError(f"cannot materialize plan node {node.kind!r}")
+
+    def _run_join(
+        self, node: JoinNode, compiled: CompiledQuery, compact_output: bool
+    ) -> tuple[FlatStorage, bool]:
+        left, left_owned = compiled.take(node.left)
+        right, right_owned = compiled.take(node.right)
+        try:
+            joined = run_join_algorithm(
+                left,
+                right,
+                node.left_column,
+                node.right_column,
+                node.algorithm,
+                node.oblivious_bytes,
+                compact_output=compact_output,
+            )
+        finally:
+            if left_owned:
+                left.free()
+            if right_owned:
+                right.free()
+        return joined, True
+
+    # -- selection ------------------------------------------------------
+    def _run_selection(
+        self,
+        node: PlanNode,
+        statement: SelectStatement,
+        compiled: CompiledQuery,
+    ) -> tuple[FlatStorage, bool, PlanNode]:
+        """Execute a Select / Compact(Select) subtree."""
+        compact = isinstance(node, CompactNode)
+        select = node.source if compact else node
+        assert isinstance(select, SelectNode)
+        where = statement.where or TruePredicate()
+
+        source, owned, final_source = self._materialize(
+            select.source, statement, compiled
+        )
+        try:
+            if select.algorithm is None:
+                # Deferred: the source is a join output that only now
+                # exists.  The decision is still planner code.
+                planned = plan_selection_node(
+                    final_source,
+                    source,
+                    where,
+                    padding=self._padding,
+                    allow_continuous=self._allow_continuous,
+                )
+                return (*self._execute_selection(planned, source, where), planned)
+            if select.padded:
+                final = refine(
+                    select, source=final_source, input_rows=source.capacity
+                )
+                output, out_owned = self._execute_selection(final, source, where)
+                return output, out_owned, final
+            final_select = refine(select, source=final_source)
+            final: PlanNode = (
+                refine(node, source=final_select) if compact else final_select
+            )
+            output, out_owned = self._execute_selection(final, source, where)
+            return output, out_owned, final
+        finally:
+            if owned:
+                source.free()
+
+    def _execute_selection(
+        self, node: PlanNode, source: FlatStorage, where: Predicate
+    ) -> tuple[FlatStorage, bool]:
+        compact = isinstance(node, CompactNode)
+        select = node.source if compact else node
+        assert isinstance(select, SelectNode)
+        assert select.algorithm is not None and select.output_rows is not None
+        output = run_select_algorithm(
+            source,
+            where,
+            select.algorithm,
+            select.output_rows,
+            buffer_rows=select.buffer_rows,
+            rng=self._rng,
+            compact_output=compact,
+        )
+        if select.padded and self._padding is not None:
+            try:
+                self._padding.check_fits(output.used_rows)
+            except BaseException:
+                output.free()  # an over-full padded result is an expected error
+                raise
+        return output, True
+
+    def _run_selection_shape(
+        self,
+        root: PlanNode,
+        statement: SelectStatement,
+        compiled: CompiledQuery,
+    ) -> tuple[QueryResult, PlanNode]:
+        """Plain selection, optionally topped by Sort, then LIMIT and the
+        in-enclave projection."""
+        sort = root if isinstance(root, SortNode) else None
+        selection = sort.source if sort is not None else root
+        output, _, final_selection = self._materialize(
+            selection, statement, compiled
+        )
+        try:
+            schema = output.schema
+            names = list(schema.column_names())
+            if sort is not None:
+                rows, final_sort = self._run_sort(sort, final_selection, output)
+                final_root: PlanNode = final_sort
+            else:
+                rows = output.rows()
+                final_root = final_selection
+        finally:
+            output.free()
+        if compiled.plan.limit is not None:
+            rows = rows[: compiled.plan.limit]
+        if statement.columns:
+            indexes = [schema.column_index(name) for name in statement.columns]
+            rows = [tuple(row[i] for i in indexes) for row in rows]
+            names = list(statement.columns)
+        result = QueryResult(rows=rows, column_names=names, affected=len(rows))
+        return result, final_root
+
+    def _run_sort(
+        self, sort: SortNode, final_selection: PlanNode, output: FlatStorage
+    ) -> tuple[list[Row], SortNode]:
+        """ORDER BY over a selection's output table.
+
+        The in-enclave/bitonic decision was made at compile time from
+        public sizes (or is refined here, by planner code, for deferred
+        join-source selections).  Either way the trace depends only on
+        sizes and the public ORDER BY clause.
+        """
+        node = sort
+        if node.rows is None or node.in_enclave is None:
+            node = plan_sort_node(
+                final_selection,
+                output.enclave,
+                output.schema.row_size,
+                output.capacity,
+                sort.order_by,
+                sort.descending,
+            )
+        else:
+            node = refine(node, source=final_selection)
+        schema = output.schema
+        order_index = schema.column_index(node.order_by)
+        if node.in_enclave:
+            result_bytes = output.capacity * (schema.row_size + 1)
+            try:
+                with output.enclave.oblivious_buffer(result_bytes):
+                    rows = output.rows()
+                    rows.sort(key=lambda row: row[order_index])
+            except ObliviousMemoryError as error:  # pragma: no cover
+                raise PlannerError(
+                    "compiled in-enclave sort no longer fits oblivious memory"
+                ) from error
+        else:
+            scratch = output.copy_to(
+                capacity=padded_scratch(max(1, output.capacity))
+            )
+            column = schema.columns[order_index]
+            bitonic_sort(
+                scratch,
+                key=lambda row: (column.sort_key(row[order_index]),)
+                if column.type is not ColumnType.FLOAT
+                else (row[order_index],),
+            )
+            rows = scratch.rows()
+            scratch.free()
+        if node.descending:
+            rows.reverse()
+        return rows, node
+
+    # -- aggregates -----------------------------------------------------
+    def _run_aggregate(
+        self,
+        node: AggregateNode,
+        statement: SelectStatement,
+        compiled: CompiledQuery,
+    ) -> tuple[QueryResult, PlanNode]:
+        where = statement.where or TruePredicate()
+        source, owned, final_source = self._materialize(
+            node.source, statement, compiled
+        )
+        try:
+            values = aggregate(source, list(statement.aggregates), predicate=where)
+            final = refine(
+                node, source=final_source, input_rows=source.capacity
+            )
+        finally:
+            if owned:
+                source.free()
+        names = [spec.label() for spec in statement.aggregates]
+        return (
+            QueryResult(rows=[tuple(values)], column_names=names, affected=1),
+            final,
+        )
+
+    def _run_group_by(
+        self,
+        node: GroupByNode,
+        statement: SelectStatement,
+        compiled: CompiledQuery,
+    ) -> tuple[QueryResult, PlanNode]:
+        where = statement.where or TruePredicate()
+        source, owned, final_source = self._materialize(
+            node.source, statement, compiled
+        )
+        try:
+            output_groups = self._padding.pad_groups if self._padding else None
+            output = group_by_aggregate(
+                source,
+                node.group_column,
+                list(statement.aggregates),
+                predicate=where,
+                output_groups=output_groups,
+            )
+            final = refine(
+                node,
+                source=final_source,
+                input_rows=source.capacity,
+                output_rows=output.capacity,
+            )
+        finally:
+            if owned:
+                source.free()
+        try:
+            if self._padding is not None:
+                self._padding.check_fits(output.used_rows)
+            names = list(node.labels)
+            rows = output.rows()
+        finally:
+            output.free()
+        if statement.order_by is not None:
+            # Group results are small (one row per group) and already
+            # decrypted in the enclave: sort them there.  ORDER BY may
+            # name the group column or an aggregate label.
+            if statement.order_by not in names:
+                raise QueryError(
+                    f"ORDER BY column {statement.order_by!r} is not in the "
+                    f"GROUP BY output {names}"
+                )
+            order_index = names.index(statement.order_by)
+            rows.sort(key=lambda row: row[order_index], reverse=statement.descending)
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        return (
+            QueryResult(rows=rows, column_names=names, affected=len(rows)),
+            final,
+        )
+
+
+def refine_plan(plan: QueryPlan, final_root: PlanNode) -> QueryPlan:
+    """The plan with runtime-refined nodes substituted in."""
+    if final_root is plan.root:
+        return plan
+    return QueryPlan(
+        root=final_root,
+        statement_kind=plan.statement_kind,
+        tables=plan.tables,
+        columns=plan.columns,
+        limit=plan.limit,
+    )
+
+
+# ----------------------------------------------------------------------
+# The statement entry point
+# ----------------------------------------------------------------------
 class Executor:
-    """Executes statements against a catalog of tables in one enclave."""
+    """Executes statements against a catalog of tables in one enclave.
+
+    Pipeline per statement: result-cache probe (enclave-side only — a hit
+    touches no untrusted memory) → :func:`compile_statement` →
+    :class:`PlanRunner` → cache store.  Writes additionally bump the
+    target table's revision epoch and invalidate its cache entries.
+    """
 
     def __init__(
         self,
@@ -56,11 +477,15 @@ class Executor:
         padding: PaddingConfig | None = None,
         allow_continuous: bool = True,
         rng: random.Random | None = None,
+        result_cache: PlanCache | None = None,
     ) -> None:
         self._tables = tables
         self._padding = padding
         self._allow_continuous = allow_continuous
-        self._rng = rng if rng is not None else random.Random()
+        self._cache = result_cache
+        self._runner = PlanRunner(
+            padding=padding, allow_continuous=allow_continuous, rng=rng
+        )
 
     # ------------------------------------------------------------------
     # Entry point
@@ -68,12 +493,8 @@ class Executor:
     def execute(self, statement: Statement) -> QueryResult:
         if isinstance(statement, SelectStatement):
             return self._execute_select(statement)
-        if isinstance(statement, InsertStatement):
-            return self._execute_insert(statement)
-        if isinstance(statement, UpdateStatement):
-            return self._execute_update(statement)
-        if isinstance(statement, DeleteStatement):
-            return self._execute_delete(statement)
+        if isinstance(statement, (InsertStatement, UpdateStatement, DeleteStatement)):
+            return self._execute_write(statement)
         raise QueryError(f"executor cannot run {type(statement).__name__}")
 
     def _table(self, name: str) -> Table:
@@ -82,371 +503,102 @@ class Executor:
         except KeyError:
             raise QueryError(f"no table named {name!r}") from None
 
-    # ------------------------------------------------------------------
-    # Flat views (including the index-linear-scan fallback)
-    # ------------------------------------------------------------------
-    def _flat_view(self, table: Table) -> tuple[FlatStorage, bool, AccessMethod]:
-        """A flat representation to scan: (storage, caller_owns_it, method)."""
-        if table.flat is not None:
-            return table.flat, False, AccessMethod.FLAT_SCAN
-        index = table.require_index()
-        scratch = FlatStorage(
-            table.enclave, table.schema, max(1, index.capacity)
+    def _compile(self, statement: Statement) -> CompiledQuery:
+        return compile_statement(
+            self._tables,
+            statement,
+            padding=self._padding,
+            allow_continuous=self._allow_continuous,
         )
-        position = 0
-        for row in index.linear_scan():
-            scratch.write_row(position, row)
-            scratch._used += 1
-            position += 1
-        return scratch, True, AccessMethod.INDEX_LINEAR
-
-    def _index_interval(
-        self, table: Table, where: Predicate | None
-    ) -> Interval | None:
-        """The key interval if the query can be served from the index."""
-        if where is None or table.indexed is None:
-            return None
-        key_column = table.indexed.key_column
-        interval = where.key_interval(key_column)
-        if interval is None:
-            return None
-        if interval.low is None and interval.high is None:
-            return None
-        return interval
 
     # ------------------------------------------------------------------
-    # SELECT
+    # SELECT (with the plan-keyed result cache)
     # ------------------------------------------------------------------
-    def _execute_select(self, statement: SelectStatement) -> QueryResult:
-        table = self._table(statement.table)
-        enclave = table.enclave
-        start = enclave.cost_snapshot()
-        plans: list[PhysicalPlan] = []
-
+    def _statement_tables(self, statement: SelectStatement) -> list[Table]:
+        tables = [self._table(statement.table)]
         if statement.join is not None:
-            source, owned = self._run_join(statement, plans)
-        else:
-            source, owned = self._run_scan_source(table, statement, plans)
+            tables.append(self._table(statement.join.right_table))
+        return tables
 
+    def _epochs(self, tables: list[Table]) -> tuple:
+        return tuple((table.name, table.revision) for table in tables)
+
+    def _execute_select(self, statement: SelectStatement) -> QueryResult:
+        tables = self._statement_tables(statement)
+        enclave = tables[0].enclave
+        fingerprint = epochs = None
+        if self._cache is not None:
+            # The probe runs entirely on enclave-side state (statement
+            # fingerprint + catalog epochs): a hit performs zero untrusted-
+            # memory accesses, a miss changes nothing about the trace.
+            fingerprint = statement_fingerprint(
+                statement, self._padding, self._allow_continuous
+            )
+            if fingerprint is not None:  # None: statement not cacheable
+                epochs = self._epochs(tables)
+                cached = self._cache.lookup(fingerprint, epochs)
+                if cached is not None:
+                    return cached.to_result()
+        start = enclave.cost_snapshot()
+        compiled = self._compile(statement)
         try:
-            result = self._finish_select(statement, source, plans)
+            result = self._runner.run(compiled)
         finally:
-            if owned:
-                source.free()
+            compiled.free()  # releases sources left behind by an error
         result.cost = enclave.cost.delta_since(start).snapshot()
-        result.plans = plans
+        if self._cache is not None and fingerprint is not None:
+            assert epochs is not None
+            self._cache.store(fingerprint, epochs, result)
         return result
 
-    def _run_join(
-        self, statement: SelectStatement, plans: list[PhysicalPlan]
-    ) -> tuple[FlatStorage, bool]:
-        assert statement.join is not None
-        left = self._table(statement.table)
-        right = self._table(statement.join.right_table)
-        left_flat, left_owned, _ = self._flat_view(left)
-        right_flat, right_owned, _ = self._flat_view(right)
-        try:
-            decision = plan_join(left_flat, right_flat)
-            plans.append(decision.plan)
-            joined = execute_join(
-                left_flat,
-                right_flat,
-                statement.join.left_column,
-                statement.join.right_column,
-                decision,
-                # Tighten to the |T2| foreign-key bound via the oblivious
-                # compaction network when a downstream ORDER BY will sort
-                # the output table: the oblivious sort then runs over |T2|
-                # blocks instead of the probe/scratch-sized structure,
-                # which more than repays the O(C log C) compaction.  A
-                # plain result scan reads the output exactly once, so
-                # compacting first would be a net loss there.
-                compact_output=statement.order_by is not None,
-            )
-        finally:
-            if left_owned:
-                left_flat.free()
-            if right_owned:
-                right_flat.free()
-        return joined, True
-
-    def _run_scan_source(
-        self,
-        table: Table,
-        statement: SelectStatement,
-        plans: list[PhysicalPlan],
-    ) -> tuple[FlatStorage, bool]:
-        """The table to run selection/aggregation over: the base table's
-        flat view, or an index-range materialisation when applicable."""
-        interval = None
-        if self._padding is None:
-            # Padding mode never uses indexes: their benefit comes from
-            # knowing query selectivity, exactly what padding hides (§7.1).
-            interval = self._index_interval(table, statement.where)
-        if interval is not None:
-            index = table.require_index()
-            segment = materialize_index_range(index, interval.low, interval.high)
-            plans.append(
-                PhysicalPlan(
-                    operator="index_range",
-                    access_method=AccessMethod.INDEX_RANGE,
-                    sizes={"segment": segment.capacity},
-                )
-            )
-            return segment, True
-        source, owned, method = self._flat_view(table)
-        if method is AccessMethod.INDEX_LINEAR:
-            plans.append(
-                PhysicalPlan(
-                    operator="index_linear_scan",
-                    access_method=method,
-                    sizes={"capacity": source.capacity},
-                )
-            )
-        return source, owned
-
-    def _finish_select(
-        self,
-        statement: SelectStatement,
-        source: FlatStorage,
-        plans: list[PhysicalPlan],
-    ) -> QueryResult:
-        where = statement.where or TruePredicate()
-
-        # Grouped aggregation.
-        if statement.group_by is not None:
-            output_groups = self._padding.pad_groups if self._padding else None
-            output = group_by_aggregate(
-                source,
-                statement.group_by,
-                list(statement.aggregates),
-                predicate=where,
-                output_groups=output_groups,
-            )
-            plans.append(
-                PhysicalPlan(
-                    operator="group_by",
-                    sizes={"input": source.capacity, "output": output.capacity},
-                )
-            )
-            if self._padding is not None:
-                self._padding.check_fits(output.used_rows)
-            names = [statement.group_by] + [
-                spec.label() for spec in statement.aggregates
-            ]
-            rows = output.rows()
-            output.free()
-            if statement.order_by is not None:
-                # Group results are small (one row per group) and already
-                # decrypted in the enclave: sort them there.  ORDER BY may
-                # name the group column or an aggregate label.
-                if statement.order_by not in names:
-                    raise QueryError(
-                        f"ORDER BY column {statement.order_by!r} is not in the "
-                        f"GROUP BY output {names}"
-                    )
-                order_index = names.index(statement.order_by)
-                rows.sort(key=lambda row: row[order_index], reverse=statement.descending)
-            if statement.limit is not None:
-                rows = rows[: statement.limit]
-            return QueryResult(rows=rows, column_names=names, affected=len(rows))
-
-        # Whole-input aggregation (fused with selection).
-        if statement.aggregates:
-            values = aggregate(source, list(statement.aggregates), predicate=where)
-            plans.append(
-                PhysicalPlan(
-                    operator="aggregate", sizes={"input": source.capacity}
-                )
-            )
-            names = [spec.label() for spec in statement.aggregates]
-            return QueryResult(rows=[tuple(values)], column_names=names, affected=1)
-
-        # Plain selection.
-        output = self._run_selection(source, where, plans)
-        try:
-            names = list(source.schema.column_names())
-            rows = self._apply_order_limit(output, statement, plans)
-        finally:
-            output.free()
-        if statement.columns:
-            indexes = [source.schema.column_index(name) for name in statement.columns]
-            rows = [tuple(row[i] for i in indexes) for row in rows]
-            names = list(statement.columns)
-        return QueryResult(rows=rows, column_names=names, affected=len(rows))
-
-    def _apply_order_limit(
-        self,
-        output: FlatStorage,
-        statement: SelectStatement,
-        plans: list[PhysicalPlan],
-    ) -> list[Row]:
-        """ORDER BY / LIMIT over a selection's output table.
-
-        When the result fits in oblivious memory it is sorted inside the
-        enclave (invisible to the adversary).  Otherwise the output is
-        copied to a padded scratch table and sorted with the oblivious
-        bitonic network.  Either way the trace depends only on sizes and
-        the (public) ORDER BY/LIMIT clause; the truncation to LIMIT rows
-        happens on the decrypted result inside the enclave.
-        """
-        if statement.order_by is None and statement.limit is None:
-            return output.rows()
-        schema = output.schema
-        enclave = output.enclave
-        if statement.order_by is not None:
-            order_index = schema.column_index(statement.order_by)
-            result_bytes = output.capacity * (schema.row_size + 1)
-            try:
-                with enclave.oblivious_buffer(result_bytes):
-                    rows = output.rows()
-                    rows.sort(key=lambda row: row[order_index])
-                plans.append(
-                    PhysicalPlan(
-                        operator="order_by",
-                        sizes={"rows": output.capacity, "in_enclave": 1},
-                    )
-                )
-            except ObliviousMemoryError:
-                scratch = output.copy_to(
-                    capacity=padded_scratch(max(1, output.capacity))
-                )
-                column = schema.columns[order_index]
-                bitonic_sort(
-                    scratch,
-                    key=lambda row: (column.sort_key(row[order_index]),)
-                    if column.type is not ColumnType.FLOAT
-                    else (row[order_index],),
-                )
-                rows = scratch.rows()
-                scratch.free()
-                plans.append(
-                    PhysicalPlan(
-                        operator="order_by",
-                        sizes={"rows": output.capacity, "in_enclave": 0},
-                    )
-                )
-            if statement.descending:
-                rows.reverse()
-        else:
-            rows = output.rows()
-        if statement.limit is not None:
-            rows = rows[: statement.limit]
-        return rows
-
-    def _run_selection(
-        self,
-        source: FlatStorage,
-        where: Predicate,
-        plans: list[PhysicalPlan],
-    ) -> FlatStorage:
-        if self._padding is not None:
-            # Padding mode: fixed Hash algorithm at the padded size, no
-            # statistics-based planning (Section 5: planner not used).
-            output = hash_select(source, where, self._padding.pad_rows)
-            self._padding.check_fits(output.used_rows)
-            plans.append(
-                PhysicalPlan(
-                    operator="select",
-                    select_algorithm=SelectAlgorithm.HASH,
-                    sizes={"input": source.capacity, "output": self._padding.pad_rows},
-                )
-            )
-            return output
-        decision: SelectDecision = plan_select(
-            source, where, allow_continuous=self._allow_continuous
-        )
-        plans.append(decision.plan)
-        return execute_select(source, where, decision, rng=self._rng)
-
     # ------------------------------------------------------------------
-    # EXPLAIN: planning without execution
+    # EXPLAIN: compilation without execution
     # ------------------------------------------------------------------
-    def explain(self, statement: Statement) -> list[PhysicalPlan]:
-        """The physical plan a statement *would* leak, without running it.
+    def explain(self, statement: Statement) -> QueryPlan:
+        """The :class:`QueryPlan` a statement *would* leak, without running
+        it.
 
-        For selections this runs the planner's statistics pass (the same
-        one execution would run); for joins it reads only table sizes; for
-        writes the plan is size-only.  Nothing is materialised.
+        Compilation performs the same planner work execution would (the
+        statistics pass, index-segment materialization) and frees every
+        intermediate; nothing user-visible is materialised or modified.
         """
-        if isinstance(statement, SelectStatement):
-            return self._explain_select(statement)
-        if isinstance(statement, InsertStatement):
-            table = self._table(statement.table)
-            return [PhysicalPlan(operator="insert", sizes={"capacity": table.capacity})]
-        if isinstance(statement, UpdateStatement):
-            table = self._table(statement.table)
-            return [PhysicalPlan(operator="update", sizes={"capacity": table.capacity})]
-        if isinstance(statement, DeleteStatement):
-            table = self._table(statement.table)
-            return [PhysicalPlan(operator="delete", sizes={"capacity": table.capacity})]
-        raise QueryError(f"cannot explain {type(statement).__name__}")
-
-    def _explain_select(self, statement: SelectStatement) -> list[PhysicalPlan]:
-        table = self._table(statement.table)
-        plans: list[PhysicalPlan] = []
-        if statement.join is not None:
-            left, left_owned, _ = self._flat_view(table)
-            right_table = self._table(statement.join.right_table)
-            right, right_owned, _ = self._flat_view(right_table)
-            try:
-                plans.append(plan_join(left, right).plan)
-            finally:
-                if left_owned:
-                    left.free()
-                if right_owned:
-                    right.free()
-            return plans
-        if statement.group_by is not None or statement.aggregates:
-            source, owned, _ = self._flat_view(table)
-            operator = "group_by" if statement.group_by is not None else "aggregate"
-            plans.append(
-                PhysicalPlan(operator=operator, sizes={"input": source.capacity})
-            )
-            if owned:
-                source.free()
-            return plans
-        source, owned = self._run_scan_source(table, statement, plans)
-        try:
-            where = statement.where or TruePredicate()
-            if self._padding is not None:
-                plans.append(
-                    PhysicalPlan(
-                        operator="select",
-                        select_algorithm=SelectAlgorithm.HASH,
-                        sizes={
-                            "input": source.capacity,
-                            "output": self._padding.pad_rows,
-                        },
-                    )
-                )
-            else:
-                decision = plan_select(
-                    source, where, allow_continuous=self._allow_continuous
-                )
-                plans.append(decision.plan)
-        finally:
-            if owned:
-                source.free()
-        return plans
+        compiled = self._compile(statement)
+        compiled.free()
+        return compiled.plan
 
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def _execute_insert(self, statement: InsertStatement) -> QueryResult:
-        table = self._table(statement.table)
+    def _execute_write(self, statement: Statement) -> QueryResult:
+        compiled = self._compile(statement)
+        table = self._table(compiled.plan.tables[0])
         start = table.enclave.cost_snapshot()
-        oblivious_insert(table, statement.values, fast=statement.fast)
+        if isinstance(statement, InsertStatement):
+            oblivious_insert(table, statement.values, fast=statement.fast)
+            affected = 1
+        elif isinstance(statement, UpdateStatement):
+            affected = oblivious_update(
+                table,
+                statement.where or TruePredicate(),
+                self._assigner(table, statement),
+            )
+        else:
+            assert isinstance(statement, DeleteStatement)
+            affected = oblivious_delete(
+                table, statement.where or TruePredicate()
+            )
+        table.bump_revision()
+        if self._cache is not None:
+            self._cache.invalidate_table(table.name)
         return QueryResult(
-            affected=1,
+            affected=affected,
             cost=table.enclave.cost.delta_since(start).snapshot(),
-            plans=[PhysicalPlan(operator="insert", sizes={"capacity": table.capacity})],
+            plans=compiled.plan.physical_plans(),
+            plan=compiled.plan,
         )
 
-    def _execute_update(self, statement: UpdateStatement) -> QueryResult:
-        table = self._table(statement.table)
-        start = table.enclave.cost_snapshot()
-        where = statement.where or TruePredicate()
+    @staticmethod
+    def _assigner(table: Table, statement: UpdateStatement):
         schema = table.schema
         assignment_indexes = [
             (schema.column_index(column), value)
@@ -459,20 +611,4 @@ class Executor:
                 values[index] = value
             return tuple(values)
 
-        affected = oblivious_update(table, where, assign)
-        return QueryResult(
-            affected=affected,
-            cost=table.enclave.cost.delta_since(start).snapshot(),
-            plans=[PhysicalPlan(operator="update", sizes={"capacity": table.capacity})],
-        )
-
-    def _execute_delete(self, statement: DeleteStatement) -> QueryResult:
-        table = self._table(statement.table)
-        start = table.enclave.cost_snapshot()
-        where = statement.where or TruePredicate()
-        affected = oblivious_delete(table, where)
-        return QueryResult(
-            affected=affected,
-            cost=table.enclave.cost.delta_since(start).snapshot(),
-            plans=[PhysicalPlan(operator="delete", sizes={"capacity": table.capacity})],
-        )
+        return assign

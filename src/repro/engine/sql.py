@@ -11,7 +11,10 @@ engine executes —
   flat insert;
 * ``UPDATE .. SET .. WHERE`` and ``DELETE FROM .. WHERE``;
 * ``CREATE TABLE`` with column types, fixed capacity, storage method, and
-  index key.
+  index key;
+* ``EXPLAIN <statement>``, which compiles the target to its
+  :class:`~repro.planner.compile.QueryPlan` — the query's declared
+  leakage — and returns the rendered tree without executing anything.
 
 Example::
 
@@ -32,6 +35,7 @@ from ..storage.schema import Value
 from .ast import (
     CreateTableStatement,
     DeleteStatement,
+    ExplainStatement,
     InsertStatement,
     JoinClause,
     SelectStatement,
@@ -56,7 +60,7 @@ _KEYWORDS = {
     "select", "from", "where", "and", "or", "not", "group", "by", "join",
     "on", "insert", "into", "values", "update", "set", "delete", "create",
     "table", "capacity", "method", "key", "fast", "int", "float", "str",
-    "order", "asc", "desc", "limit",
+    "order", "asc", "desc", "limit", "explain",
 }
 
 _AGGREGATES = {name.value for name in AggregateFunction}
@@ -168,6 +172,8 @@ class _Parser:
         if token is None:
             raise SQLSyntaxError("empty statement")
         word = token.text.lower()
+        if word == "explain":
+            return self._explain()
         if word == "select":
             return self._select()
         if word == "insert":
@@ -179,6 +185,14 @@ class _Parser:
         if word == "create":
             return self._create()
         raise SQLSyntaxError(f"unknown statement {token.text!r}")
+
+    def _explain(self) -> ExplainStatement:
+        """``EXPLAIN <statement>``: compile the target without running it."""
+        self._expect_word("explain")
+        token = self._peek()
+        if token is not None and token.text.lower() == "explain":
+            raise SQLSyntaxError("EXPLAIN cannot be nested")
+        return ExplainStatement(target=self.statement())
 
     def _select(self) -> SelectStatement:
         self._expect_word("select")

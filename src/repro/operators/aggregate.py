@@ -200,12 +200,18 @@ def group_by_aggregate(
     out_schema = _group_output_schema(schema, group_column, specs)
     capacity = output_groups if output_groups is not None else len(groups)
     output = FlatStorage(enclave, out_schema, max(1, capacity))
-    for i, (key, accumulators) in enumerate(sorted(groups.items())):
-        values: tuple[Value, ...] = (key,) + tuple(
-            float(accumulator.result()) for accumulator in accumulators
-        )
-        output.write_row(i, values)
-        output._used += 1
+    try:
+        for i, (key, accumulators) in enumerate(sorted(groups.items())):
+            values: tuple[Value, ...] = (key,) + tuple(
+                float(accumulator.result()) for accumulator in accumulators
+            )
+            output.write_row(i, values)
+            output._used += 1
+    except BaseException:
+        # More real groups than the planned output capacity (an expected,
+        # data-dependent error under padding): release the scratch.
+        output.free()
+        raise
     return output
 
 

@@ -331,7 +331,7 @@ def materialize_index_range(
     """
     rows = index.range_lookup(low, high)  # type: ignore[arg-type]
     scratch = FlatStorage(index.enclave, index.schema, max(1, len(rows)))
-    for i, row in enumerate(rows):
-        scratch.write_row(i, row)
-        scratch._used += 1
+    # One contiguous range write; the batched path records the same
+    # W 0..|T'|-1 sequence as the per-row loop it replaces.
+    scratch.fast_insert_many(rows)
     return scratch

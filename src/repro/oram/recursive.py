@@ -74,7 +74,7 @@ class RecursivePathORAM(ORAM):
             start = map_block * fanout
             leaves = self._data._position[start : start + fanout]
             leaves += [0] * (fanout - len(leaves))
-            self._map.write(map_block, b"".join(_LEAF.pack(l) for l in leaves))
+            self._map.write(map_block, b"".join(_LEAF.pack(leaf) for leaf in leaves))
         self._freed = False
 
     @property

@@ -1,5 +1,23 @@
-"""Query planner: statistics pass, operator selection, plan descriptions."""
+"""Query planner: statistics pass, cost models, and the compiled plan IR."""
 
+from .compile import (
+    AggregateNode,
+    CompactNode,
+    CompiledQuery,
+    GroupByNode,
+    IndexLookupNode,
+    JoinNode,
+    PlanNode,
+    QueryPlan,
+    ScanNode,
+    SelectNode,
+    SortNode,
+    WriteNode,
+    compile_statement,
+    plan_selection_node,
+    plan_sort_node,
+    selection_output_capacity,
+)
 from .join_planner import (
     JoinDecision,
     estimate_join_costs,
@@ -17,17 +35,33 @@ from .stats import SelectionStats, scan_statistics
 
 __all__ = [
     "AccessMethod",
+    "AggregateNode",
+    "CompactNode",
+    "CompiledQuery",
+    "GroupByNode",
+    "IndexLookupNode",
     "JoinAlgorithm",
     "JoinDecision",
+    "JoinNode",
     "LARGE_SELECTIVITY_THRESHOLD",
     "PhysicalPlan",
+    "PlanNode",
+    "QueryPlan",
+    "ScanNode",
     "SelectAlgorithm",
     "SelectDecision",
+    "SelectNode",
     "SelectionStats",
+    "SortNode",
+    "WriteNode",
+    "compile_statement",
     "estimate_join_costs",
     "execute_join",
     "execute_select",
     "plan_join",
     "plan_select",
+    "plan_selection_node",
+    "plan_sort_node",
     "scan_statistics",
+    "selection_output_capacity",
 ]

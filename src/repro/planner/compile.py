@@ -1,0 +1,876 @@
+"""Statement → physical-plan compilation: the query-level leaked value.
+
+Under the security theorem (Appendix A) a query leaks exactly ``OPT(D, Q)``
+— the planner's operator choices plus public sizes.  Before this module,
+those choices were smeared across the executor's dispatch branches and two
+per-operator planners; here they are reified as one canonical, typed,
+hashable IR:
+
+* :class:`PlanNode` subclasses — Scan / IndexLookup / Select / Compact /
+  Join / Aggregate / GroupBy / Sort / Write — each carrying *only* public
+  fields (access method, algorithm enums, padding mode, sizes).  Secret
+  query parameters (predicate constants, inserted values) never enter a
+  node; they stay on the logical statement, which the runner consults at
+  execution time.
+
+* :class:`QueryPlan` — the whole query's plan tree plus statement-level
+  public metadata, with a canonical serialization (:meth:`QueryPlan.
+  to_dict`), a stable digest (:attr:`QueryPlan.cache_key`), a rendered
+  tree (:meth:`QueryPlan.describe` — what ``EXPLAIN`` prints), and the
+  flattened per-operator :meth:`QueryPlan.physical_plans` compatibility
+  view consumed by ``QueryResult.plans``.
+
+* :func:`compile_statement` — turns a logical :class:`~repro.engine.ast.
+  Statement` into a :class:`CompiledQuery`: the plan, plus *bindings* from
+  leaf nodes to materialized source storages.  Compilation performs the
+  planner's statistics pass (the same single scan execution always paid)
+  and the index-segment materialization, so the sequence of adversary-
+  visible accesses is unchanged: compile immediately precedes run and
+  their concatenated trace equals the old interleaved executor's.
+
+Two decisions are *data-dependent in a public way* and therefore refined
+at run time **by this module's functions** (never by executor branches):
+a selection whose source is a join output plans its algorithm only once
+the join output exists (:func:`plan_selection_node` — the same statistics
+scan the paper's planner runs), and a grouped aggregate's observed output
+size is recorded after execution.  The runner substitutes the refined
+nodes into the final plan it attaches to the result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterator
+
+from ..enclave.errors import QueryError
+from ..operators.predicate import Interval, Predicate, TruePredicate
+from ..operators.select import materialize_index_range
+from ..storage.flat import FlatStorage
+from ..storage.table import Table
+from .join_planner import JoinDecision, plan_join
+from .plan import AccessMethod, JoinAlgorithm, PhysicalPlan, SelectAlgorithm
+from .select_planner import SelectDecision, plan_select
+
+if TYPE_CHECKING:  # statement types only; engine imports planner at runtime
+    from ..engine.ast import SelectStatement, Statement
+    from ..engine.padding import PaddingConfig
+
+
+# ----------------------------------------------------------------------
+# Plan nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class: one operator-level planning decision in the tree."""
+
+    kind = "node"
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def public_fields(self) -> dict[str, object]:
+        """The node's leaked scalars (no children, no secrets)."""
+        return {}
+
+    def label(self) -> str:
+        """One-line rendering used by :meth:`QueryPlan.describe`."""
+        parts = [self.kind]
+        for key, value in self.public_fields().items():
+            parts.append(f"{key}={'?' if value is None else value}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict[str, object]:
+        """Canonical nested-dict serialization (enums as their values)."""
+        return {
+            "kind": self.kind,
+            **self.public_fields(),
+            "children": [child.to_dict() for child in self.children()],
+        }
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        """The per-operator :class:`PhysicalPlan` this node flattens to."""
+        return None
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Post-order traversal (children before the node itself)."""
+        for child in self.children():
+            yield from child.walk()
+        yield self
+
+
+def _sizes(**pairs: int | None) -> dict[str, int]:
+    """Drop unknown (None) entries; PhysicalPlan sizes are always ints."""
+    return {key: value for key, value in pairs.items() if value is not None}
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """Read a table's flat representation front to back.
+
+    ``access_method`` is :attr:`AccessMethod.FLAT_SCAN` for a real flat
+    table or :attr:`AccessMethod.INDEX_LINEAR` for the "scan the index like
+    a flat table" fallback (which first materializes an owned scratch).
+    """
+
+    table: str
+    access_method: AccessMethod
+    rows: int
+
+    kind = "scan"
+
+    def public_fields(self) -> dict[str, object]:
+        return {
+            "table": self.table,
+            "access_method": self.access_method.value,
+            "rows": self.rows,
+        }
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        if self.access_method is AccessMethod.INDEX_LINEAR:
+            return PhysicalPlan(
+                operator="index_linear_scan",
+                access_method=self.access_method,
+                sizes={"capacity": self.rows},
+            )
+        return None  # a plain flat scan was never a separate leaked entry
+
+
+@dataclass(frozen=True)
+class IndexLookupNode(PlanNode):
+    """Materialize the index segment the WHERE clause pins (point/range).
+
+    Leaks the segment size |T'| — an intermediate table size the threat
+    model already concedes — never the key values themselves.
+    """
+
+    table: str
+    segment_rows: int
+
+    kind = "index_lookup"
+
+    def public_fields(self) -> dict[str, object]:
+        return {
+            "table": self.table,
+            "access_method": AccessMethod.INDEX_RANGE.value,
+            "segment_rows": self.segment_rows,
+        }
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        return PhysicalPlan(
+            operator="index_range",
+            access_method=AccessMethod.INDEX_RANGE,
+            sizes={"segment": self.segment_rows},
+        )
+
+
+@dataclass(frozen=True)
+class SelectNode(PlanNode):
+    """One Section 4.1 selection over ``source``.
+
+    ``algorithm is None`` marks a *deferred* selection: the source is a
+    join output that does not exist at compile time, so the algorithm is
+    chosen by :func:`plan_selection_node` (still this module) once the
+    runner materializes it.  ``padded`` records Section 7.1 padding mode:
+    fixed Hash algorithm at the padded output size, no statistics pass.
+    """
+
+    source: PlanNode
+    algorithm: SelectAlgorithm | None
+    input_rows: int | None
+    output_rows: int | None
+    buffer_rows: int = 0
+    padded: bool = False
+
+    kind = "select"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,)
+
+    def public_fields(self) -> dict[str, object]:
+        return {
+            "algorithm": self.algorithm.value if self.algorithm else None,
+            "input_rows": self.input_rows,
+            "output_rows": self.output_rows,
+            "buffer_rows": self.buffer_rows,
+            "padded": self.padded,
+        }
+
+    def _access_method(self) -> AccessMethod:
+        if isinstance(self.source, ScanNode):
+            return self.source.access_method
+        if isinstance(self.source, IndexLookupNode):
+            return AccessMethod.INDEX_RANGE
+        return AccessMethod.FLAT_SCAN  # join outputs are flat scratches
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        return PhysicalPlan(
+            operator="select",
+            access_method=self._access_method(),
+            select_algorithm=self.algorithm,
+            sizes=_sizes(
+                input=self.input_rows,
+                output=self.output_rows,
+                buffer_rows=self.buffer_rows,
+            ),
+        )
+
+    def output_capacity(self) -> int | None:
+        """Capacity of the output structure, a function of public sizes."""
+        if self.algorithm is None or self.input_rows is None:
+            return None
+        assert self.output_rows is not None
+        if self.algorithm is SelectAlgorithm.LARGE:
+            return self.input_rows
+        if self.algorithm is SelectAlgorithm.HASH:
+            # Raw chain table (the compacted case is wrapped in CompactNode,
+            # whose bound supersedes this).
+            from ..operators.select import HASH_CHAIN_SLOTS
+
+            return max(1, self.output_rows) * HASH_CHAIN_SLOTS
+        if self.algorithm is SelectAlgorithm.CONTINUOUS:
+            return max(1, self.output_rows)
+        return self.output_rows  # SMALL (and NAIVE) allocate exactly |R|
+
+
+@dataclass(frozen=True)
+class CompactNode(PlanNode):
+    """Oblivious-compaction back end tightening ``source``'s output.
+
+    Wraps a Hash selection (chain table → |R| rows) or a join (sparse
+    output → the |T2| foreign-key bound).  ``bound`` is the public row
+    bound the output is tightened to.
+    """
+
+    source: PlanNode
+    bound: int
+
+    kind = "compact"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,)
+
+    def public_fields(self) -> dict[str, object]:
+        return {"bound": self.bound}
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        return PhysicalPlan(operator="compact", sizes={"bound": self.bound})
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """One Section 4.3 join; sizes are the two flat-view capacities."""
+
+    left: PlanNode
+    right: PlanNode
+    left_column: str
+    right_column: str
+    algorithm: JoinAlgorithm
+    t1: int
+    t2: int
+    oblivious_rows: int
+    oblivious_bytes: int
+
+    kind = "join"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def public_fields(self) -> dict[str, object]:
+        return {
+            "algorithm": self.algorithm.value,
+            "on": f"{self.left_column}={self.right_column}",
+            "t1": self.t1,
+            "t2": self.t2,
+            "oblivious_rows": self.oblivious_rows,
+            "oblivious_bytes": self.oblivious_bytes,
+        }
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        return PhysicalPlan(
+            operator="join",
+            access_method=AccessMethod.FLAT_SCAN,
+            join_algorithm=self.algorithm,
+            sizes={
+                "t1": self.t1,
+                "t2": self.t2,
+                "oblivious_rows": self.oblivious_rows,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class AggregateNode(PlanNode):
+    """Fused select+aggregate over the whole input (no GROUP BY)."""
+
+    source: PlanNode
+    input_rows: int | None
+    labels: tuple[str, ...]
+
+    kind = "aggregate"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,)
+
+    def public_fields(self) -> dict[str, object]:
+        return {"labels": list(self.labels), "input_rows": self.input_rows}
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        return PhysicalPlan(operator="aggregate", sizes=_sizes(input=self.input_rows))
+
+
+@dataclass(frozen=True)
+class GroupByNode(PlanNode):
+    """Grouped aggregation.  ``output_rows`` is the padded bound under
+    padding mode, otherwise the observed group-structure size recorded
+    into the final plan after execution (it is leaked either way)."""
+
+    source: PlanNode
+    group_column: str
+    labels: tuple[str, ...]
+    input_rows: int | None
+    output_rows: int | None
+
+    kind = "group_by"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,)
+
+    def public_fields(self) -> dict[str, object]:
+        return {
+            "group_column": self.group_column,
+            "labels": list(self.labels),
+            "input_rows": self.input_rows,
+            "output_rows": self.output_rows,
+        }
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        return PhysicalPlan(
+            operator="group_by",
+            sizes=_sizes(input=self.input_rows, output=self.output_rows),
+        )
+
+
+@dataclass(frozen=True)
+class SortNode(PlanNode):
+    """ORDER BY over a selection's output table.
+
+    ``in_enclave`` is the compile-time decision between sorting decrypted
+    rows inside the enclave (result fits the oblivious-memory budget;
+    invisible to the adversary) and the padded bitonic network (visible,
+    but a pure function of ``rows``).  Deferred (None) fields are refined
+    by :func:`plan_sort_node` once a join-source selection materializes.
+    """
+
+    source: PlanNode
+    order_by: str
+    descending: bool
+    rows: int | None
+    in_enclave: bool | None
+
+    kind = "sort"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,)
+
+    def public_fields(self) -> dict[str, object]:
+        return {
+            "order_by": self.order_by,
+            "descending": self.descending,
+            "rows": self.rows,
+            "in_enclave": self.in_enclave,
+        }
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        return PhysicalPlan(
+            operator="order_by",
+            sizes=_sizes(
+                rows=self.rows,
+                in_enclave=None if self.in_enclave is None else int(self.in_enclave),
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WriteNode(PlanNode):
+    """INSERT / UPDATE / DELETE: one uniform pass, size-only leakage."""
+
+    operation: str  # "insert" | "update" | "delete"
+    table: str
+    rows: int
+
+    kind = "write"
+
+    def label(self) -> str:
+        return f"{self.operation} {self.table} capacity={self.rows}"
+
+    def public_fields(self) -> dict[str, object]:
+        return {"operation": self.operation, "table": self.table, "rows": self.rows}
+
+    def physical_plan(self) -> PhysicalPlan | None:
+        return PhysicalPlan(operator=self.operation, sizes={"capacity": self.rows})
+
+
+# ----------------------------------------------------------------------
+# The query-level plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryPlan:
+    """The whole query's compiled physical plan — exactly what is leaked.
+
+    ``columns`` / ``limit`` are statement-level public metadata (the query
+    text is public under the threat model; only literal parameters inside
+    predicates and VALUES are hidden, and those never appear here).
+    """
+
+    root: PlanNode
+    statement_kind: str  # "select" | "insert" | "update" | "delete"
+    tables: tuple[str, ...]
+    columns: tuple[str, ...] = ()
+    limit: int | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "statement": self.statement_kind,
+            "tables": list(self.tables),
+            "columns": list(self.columns),
+            "limit": self.limit,
+            "root": self.root.to_dict(),
+        }
+
+    @property
+    def cache_key(self) -> str:
+        """Stable digest of the canonical serialization.
+
+        Two runs leak the same value iff their plans' cache keys match;
+        the obliviousness checker requires their canonical traces to be
+        identical in that case, and the result cache uses the key as the
+        plan-identity half of its entries.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+    def describe(self) -> str:
+        """Render the plan as an indented tree (the ``EXPLAIN`` output)."""
+        header = f"plan[{self.statement_kind}] tables={','.join(self.tables)}"
+        if self.columns:
+            header += f" columns={','.join(self.columns)}"
+        if self.limit is not None:
+            header += f" limit={self.limit}"
+        lines = [header]
+
+        def render(node: PlanNode, prefix: str, last: bool) -> None:
+            branch = "`-- " if last else "|-- "
+            lines.append(prefix + branch + node.label())
+            child_prefix = prefix + ("    " if last else "|   ")
+            children = node.children()
+            for position, child in enumerate(children):
+                render(child, child_prefix, position == len(children) - 1)
+
+        render(self.root, "", True)
+        return "\n".join(lines)
+
+    def physical_plans(self) -> list[PhysicalPlan]:
+        """Flatten to the per-operator list ``QueryResult.plans`` carries."""
+        plans = []
+        for node in self.root.walk():
+            plan = node.physical_plan()
+            if plan is not None:
+                plans.append(plan)
+        return plans
+
+    def find(self, node_type: type) -> PlanNode | None:
+        """First node of ``node_type`` in post-order, or None."""
+        for node in self.root.walk():
+            if isinstance(node, node_type):
+                return node
+        return None
+
+
+# ----------------------------------------------------------------------
+# Compiled query: plan + bindings to materialized sources
+# ----------------------------------------------------------------------
+@dataclass
+class _Binding:
+    storage: FlatStorage
+    owned: bool
+
+
+@dataclass
+class CompiledQuery:
+    """A plan ready to run: the IR plus materialized leaf sources.
+
+    ``bindings`` maps leaf-node identity to the storage compilation
+    materialized (the table's own flat storage, an index-linear scratch,
+    or an index-range segment).  The runner *takes* bindings as it
+    consumes them; :meth:`free` releases whatever was never consumed
+    (the EXPLAIN path, or an execution error).
+    """
+
+    plan: QueryPlan
+    statement: Statement
+    bindings: dict[int, _Binding] = field(default_factory=dict)
+
+    def bind(self, node: PlanNode, storage: FlatStorage, owned: bool) -> None:
+        self.bindings[id(node)] = _Binding(storage, owned)
+
+    def take(self, node: PlanNode) -> tuple[FlatStorage, bool]:
+        binding = self.bindings.pop(id(node))
+        return binding.storage, binding.owned
+
+    def free(self) -> None:
+        """Release owned, unconsumed sources (explain path / error path)."""
+        for binding in self.bindings.values():
+            if binding.owned:
+                binding.storage.free()
+        self.bindings.clear()
+
+
+# ----------------------------------------------------------------------
+# Decision helpers (shared by compile-time and run-time refinement)
+# ----------------------------------------------------------------------
+def plan_selection_node(
+    source_node: PlanNode,
+    storage: FlatStorage,
+    predicate: Predicate,
+    *,
+    padding: PaddingConfig | None = None,
+    allow_continuous: bool = True,
+) -> PlanNode:
+    """Choose the selection subtree over a materialized source.
+
+    Padding mode (Section 7.1) skips the statistics pass and fixes the
+    Hash algorithm at the padded size (raw chain table, no compaction).
+    Otherwise this runs the planner's statistics scan and cost model
+    (:func:`~repro.planner.select_planner.plan_select`); the planner path
+    compacts Hash outputs, reified as a :class:`CompactNode` wrap.
+    """
+    if padding is not None:
+        return SelectNode(
+            source=source_node,
+            algorithm=SelectAlgorithm.HASH,
+            input_rows=storage.capacity,
+            output_rows=padding.pad_rows,
+            buffer_rows=0,
+            padded=True,
+        )
+    decision: SelectDecision = plan_select(
+        storage, predicate, allow_continuous=allow_continuous
+    )
+    node = SelectNode(
+        source=source_node,
+        algorithm=decision.algorithm,
+        input_rows=decision.stats.input_capacity,
+        output_rows=decision.stats.matching_rows,
+        buffer_rows=(
+            decision.buffer_rows
+            if decision.algorithm is SelectAlgorithm.SMALL
+            else 0
+        ),
+    )
+    if decision.algorithm is SelectAlgorithm.HASH:
+        return CompactNode(source=node, bound=max(1, decision.stats.matching_rows))
+    return node
+
+
+def selection_output_capacity(node: PlanNode) -> int | None:
+    """Output-structure capacity of a selection subtree (public sizes)."""
+    if isinstance(node, CompactNode):
+        return node.bound
+    if isinstance(node, SelectNode):
+        return node.output_capacity()
+    return None
+
+
+def plan_sort_node(
+    source_node: PlanNode,
+    enclave,
+    row_size: int,
+    capacity: int,
+    order_by: str,
+    descending: bool,
+) -> SortNode:
+    """Decide where ORDER BY runs: inside the enclave when the decrypted
+    result fits the oblivious-memory budget, else the padded bitonic
+    network over untrusted scratch.  Both inputs are public."""
+    result_bytes = capacity * (row_size + 1)
+    in_enclave = result_bytes <= enclave.oblivious.free_bytes
+    return SortNode(
+        source=source_node,
+        order_by=order_by,
+        descending=descending,
+        rows=capacity,
+        in_enclave=in_enclave,
+    )
+
+
+# ----------------------------------------------------------------------
+# The compiler
+# ----------------------------------------------------------------------
+def compile_statement(
+    tables: dict[str, Table],
+    statement: Statement,
+    *,
+    padding: PaddingConfig | None = None,
+    allow_continuous: bool = True,
+) -> CompiledQuery:
+    """Compile one logical statement into a :class:`CompiledQuery`."""
+    # Imported lazily: repro.engine imports repro.planner at module load,
+    # so a module-level import here would close an import cycle.
+    from ..engine.ast import (
+        DeleteStatement,
+        InsertStatement,
+        SelectStatement,
+        UpdateStatement,
+    )
+
+    compiler = _Compiler(tables, padding, allow_continuous)
+    if isinstance(statement, SelectStatement):
+        return compiler.compile_select(statement)
+    if isinstance(statement, InsertStatement):
+        return compiler.compile_write(statement, "insert")
+    if isinstance(statement, UpdateStatement):
+        return compiler.compile_write(statement, "update")
+    if isinstance(statement, DeleteStatement):
+        return compiler.compile_write(statement, "delete")
+    raise QueryError(f"cannot compile {type(statement).__name__}")
+
+
+class _Compiler:
+    def __init__(
+        self,
+        tables: dict[str, Table],
+        padding: PaddingConfig | None,
+        allow_continuous: bool,
+    ) -> None:
+        self._tables = tables
+        self._padding = padding
+        self._allow_continuous = allow_continuous
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"no table named {name!r}") from None
+
+    # -- writes ---------------------------------------------------------
+    def compile_write(self, statement, operation: str) -> CompiledQuery:
+        table = self._table(statement.table)
+        node = WriteNode(operation=operation, table=table.name, rows=table.capacity)
+        plan = QueryPlan(
+            root=node, statement_kind=operation, tables=(table.name,)
+        )
+        return CompiledQuery(plan=plan, statement=statement)
+
+    # -- selects --------------------------------------------------------
+    def compile_select(self, statement: SelectStatement) -> CompiledQuery:
+        table = self._table(statement.table)
+        compiled = CompiledQuery(
+            plan=None,  # type: ignore[arg-type]  # assigned below
+            statement=statement,
+        )
+        try:
+            if statement.join is not None:
+                source = self._compile_join(statement, table, compiled)
+            else:
+                source = self._compile_scan_source(table, statement, compiled)
+            root = self._compile_shape(statement, table, source, compiled)
+        except BaseException:
+            compiled.free()
+            raise
+        names = [statement.table]
+        if statement.join is not None:
+            names.append(statement.join.right_table)
+        compiled.plan = QueryPlan(
+            root=root,
+            statement_kind="select",
+            tables=tuple(names),
+            columns=tuple(statement.columns),
+            limit=statement.limit,
+        )
+        return compiled
+
+    def _compile_shape(
+        self,
+        statement: SelectStatement,
+        table: Table,
+        source: PlanNode,
+        compiled: CompiledQuery,
+    ) -> PlanNode:
+        """Group-by / fused-aggregate / plain-selection shape over a source."""
+        input_rows = self._source_rows(source, compiled)
+        if statement.group_by is not None:
+            labels = (statement.group_by,) + tuple(
+                spec.label() for spec in statement.aggregates
+            )
+            return GroupByNode(
+                source=source,
+                group_column=statement.group_by,
+                labels=labels,
+                input_rows=input_rows,
+                output_rows=self._padding.pad_groups if self._padding else None,
+            )
+        if statement.aggregates:
+            return AggregateNode(
+                source=source,
+                input_rows=input_rows,
+                labels=tuple(spec.label() for spec in statement.aggregates),
+            )
+        selection = self._compile_selection(statement, source, compiled)
+        if statement.order_by is None:
+            return selection
+        capacity = selection_output_capacity(selection)
+        if capacity is None:  # join source: refined by the runner
+            return SortNode(
+                source=selection,
+                order_by=statement.order_by,
+                descending=statement.descending,
+                rows=None,
+                in_enclave=None,
+            )
+        return plan_sort_node(
+            selection,
+            table.enclave,
+            table.schema.row_size,
+            capacity,
+            statement.order_by,
+            statement.descending,
+        )
+
+    def _compile_selection(
+        self,
+        statement: SelectStatement,
+        source: PlanNode,
+        compiled: CompiledQuery,
+    ) -> PlanNode:
+        where = statement.where or TruePredicate()
+        binding = compiled.bindings.get(id(source))
+        if binding is None:
+            # Join output: does not exist yet.  Padding mode still fixes
+            # the algorithm now (no statistics pass to defer); otherwise
+            # the runner refines via plan_selection_node.
+            if self._padding is not None:
+                return SelectNode(
+                    source=source,
+                    algorithm=SelectAlgorithm.HASH,
+                    input_rows=None,
+                    output_rows=self._padding.pad_rows,
+                    buffer_rows=0,
+                    padded=True,
+                )
+            return SelectNode(
+                source=source,
+                algorithm=None,
+                input_rows=None,
+                output_rows=None,
+            )
+        return plan_selection_node(
+            source,
+            binding.storage,
+            where,
+            padding=self._padding,
+            allow_continuous=self._allow_continuous,
+        )
+
+    def _source_rows(self, source: PlanNode, compiled: CompiledQuery) -> int | None:
+        if isinstance(source, ScanNode):
+            return source.rows
+        if isinstance(source, IndexLookupNode):
+            return source.segment_rows
+        return None  # join output: observed at run time
+
+    # -- sources --------------------------------------------------------
+    def _index_interval(
+        self, table: Table, where: Predicate | None
+    ) -> Interval | None:
+        """The key interval if the query can be served from the index."""
+        if where is None or table.indexed is None:
+            return None
+        interval = where.key_interval(table.indexed.key_column)
+        if interval is None:
+            return None
+        if interval.low is None and interval.high is None:
+            return None
+        return interval
+
+    def _compile_scan_source(
+        self,
+        table: Table,
+        statement: SelectStatement,
+        compiled: CompiledQuery,
+    ) -> PlanNode:
+        interval = None
+        if self._padding is None:
+            # Padding mode never uses indexes: their benefit comes from
+            # knowing query selectivity, exactly what padding hides (§7.1).
+            interval = self._index_interval(table, statement.where)
+        if interval is not None:
+            index = table.require_index()
+            segment = materialize_index_range(index, interval.low, interval.high)
+            node = IndexLookupNode(table=table.name, segment_rows=segment.capacity)
+            compiled.bind(node, segment, owned=True)
+            return node
+        return self._flat_view_node(table, compiled)
+
+    def _flat_view_node(self, table: Table, compiled: CompiledQuery) -> ScanNode:
+        """A flat representation to scan, materialized and bound."""
+        if table.flat is not None:
+            node = ScanNode(
+                table=table.name,
+                access_method=AccessMethod.FLAT_SCAN,
+                rows=table.flat.capacity,
+            )
+            compiled.bind(node, table.flat, owned=False)
+            return node
+        index = table.require_index()
+        scratch = FlatStorage(table.enclave, table.schema, max(1, index.capacity))
+        scratch.fast_insert_many(list(index.linear_scan()))
+        node = ScanNode(
+            table=table.name,
+            access_method=AccessMethod.INDEX_LINEAR,
+            rows=scratch.capacity,
+        )
+        compiled.bind(node, scratch, owned=True)
+        return node
+
+    # -- joins ----------------------------------------------------------
+    def _compile_join(
+        self,
+        statement: SelectStatement,
+        left_table: Table,
+        compiled: CompiledQuery,
+    ) -> PlanNode:
+        assert statement.join is not None
+        right_table = self._table(statement.join.right_table)
+        left = self._flat_view_node(left_table, compiled)
+        right = self._flat_view_node(right_table, compiled)
+        left_storage = compiled.bindings[id(left)].storage
+        right_storage = compiled.bindings[id(right)].storage
+        decision: JoinDecision = plan_join(left_storage, right_storage)
+        node = JoinNode(
+            left=left,
+            right=right,
+            left_column=statement.join.left_column,
+            right_column=statement.join.right_column,
+            algorithm=decision.algorithm,
+            t1=left_storage.capacity,
+            t2=right_storage.capacity,
+            oblivious_rows=decision.plan.sizes["oblivious_rows"],
+            oblivious_bytes=decision.oblivious_memory_bytes,
+        )
+        # Tighten to the |T2| foreign-key bound via the oblivious
+        # compaction network when a downstream ORDER BY will sort the
+        # output table: the oblivious sort then runs over |T2| blocks
+        # instead of the probe/scratch-sized structure, which more than
+        # repays the O(C log C) compaction.  A plain result scan reads
+        # the output exactly once, so compacting first would be a net
+        # loss there.
+        if statement.order_by is not None:
+            return CompactNode(source=node, bound=right_storage.capacity)
+        return node
+
+
+def refine(node: PlanNode, **changes: object) -> PlanNode:
+    """``dataclasses.replace`` re-exported for runner-side refinement."""
+    return replace(node, **changes)

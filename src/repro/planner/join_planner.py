@@ -22,8 +22,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..enclave.errors import PlannerError
-from ..operators.join import hash_join, opaque_join, zero_om_join
 from ..storage.flat import FlatStorage
 from ..storage.rows import framed_size
 from .plan import AccessMethod, PhysicalPlan, JoinAlgorithm
@@ -107,35 +105,28 @@ def execute_join(
     decision: JoinDecision,
     compact_output: bool = False,
 ) -> FlatStorage:
-    """Run the chosen join algorithm and return the output table.
+    """Run a :class:`JoinDecision` (compatibility entry point).
 
-    ``compact_output=True`` (the executor's query path) tightens the
-    sparse join output to the public foreign-key bound |T2| through the
-    oblivious compaction network, so downstream ORDER BY scratches and
-    result scans touch |T2| blocks instead of the probe- or scratch-sized
-    structure.
+    The planner is a pure cost model now; the engine compiles decisions
+    into :class:`~repro.planner.compile.JoinNode`s and dispatches them
+    through :func:`repro.engine.executor.run_join_algorithm`.  This
+    wrapper keeps the historical API for tests and benchmarks.
+
+    ``compact_output=True`` (the engine's query path when a downstream
+    ORDER BY will sort the output) tightens the sparse join output to the
+    public foreign-key bound |T2| through the oblivious compaction
+    network, so downstream scratches and result scans touch |T2| blocks
+    instead of the probe- or scratch-sized structure.
     """
-    algorithm = decision.algorithm
-    if algorithm is JoinAlgorithm.HASH:
-        return hash_join(
-            table1,
-            table2,
-            column1,
-            column2,
-            decision.oblivious_memory_bytes,
-            compact_output=compact_output,
-        )
-    if algorithm is JoinAlgorithm.OPAQUE:
-        return opaque_join(
-            table1,
-            table2,
-            column1,
-            column2,
-            decision.oblivious_memory_bytes,
-            compact_output=compact_output,
-        )
-    if algorithm is JoinAlgorithm.ZERO_OM:
-        return zero_om_join(
-            table1, table2, column1, column2, compact_output=compact_output
-        )
-    raise PlannerError(f"unknown join algorithm {algorithm}")
+    # Imported lazily: the engine imports this module at load time.
+    from ..engine.executor import run_join_algorithm
+
+    return run_join_algorithm(
+        table1,
+        table2,
+        column1,
+        column2,
+        decision.algorithm,
+        decision.oblivious_memory_bytes,
+        compact_output=compact_output,
+    )

@@ -1,11 +1,13 @@
-"""Physical plan descriptions — exactly what ObliDB leaks per query.
+"""Per-operator plan records and the planner's algorithm enums.
 
 Under the security theorem (Appendix A) the simulator is given
-``OPT(D, Q)``, the planner's operator choices, along with table sizes.  A
-:class:`PhysicalPlan` is our concrete representation of that leaked value:
-benchmarks print it, the obliviousness checker treats runs with equal plans
-and equal sizes as required-indistinguishable, and the Appendix-A simulator
-consumes it to regenerate the expected trace.
+``OPT(D, Q)``, the planner's operator choices, along with table sizes.
+The *query-level* representation of that leaked value is
+:class:`~repro.planner.compile.QueryPlan` (a tree of typed nodes with a
+canonical serialization); a :class:`PhysicalPlan` is the flattened
+per-operator view derived from it — benchmarks print it, and
+``QueryResult.plans`` carries it for compatibility.  The enums here name
+the paper's algorithm choices and are shared by both layers.
 """
 
 from __future__ import annotations

@@ -23,13 +23,6 @@ from dataclasses import dataclass
 
 from ..enclave.errors import PlannerError
 from ..operators.predicate import Predicate
-from ..operators.select import (
-    continuous_select,
-    hash_select,
-    large_select,
-    naive_select,
-    small_select,
-)
 from ..storage.flat import FlatStorage
 from ..storage.rows import framed_size
 from .plan import AccessMethod, PhysicalPlan, SelectAlgorithm
@@ -126,24 +119,33 @@ def execute_select(
     decision: SelectDecision,
     rng: random.Random | None = None,
 ) -> FlatStorage:
-    """Run the chosen SELECT algorithm and return the output table."""
-    algorithm = decision.algorithm
-    output_size = decision.stats.matching_rows
-    if algorithm is SelectAlgorithm.SMALL:
-        return small_select(table, predicate, output_size, decision.buffer_rows)
-    if algorithm is SelectAlgorithm.LARGE:
-        return large_select(table, predicate)
-    if algorithm is SelectAlgorithm.CONTINUOUS:
-        if not decision.stats.continuous:
-            raise PlannerError("Continuous algorithm forced on non-adjacent matches")
-        return continuous_select(table, predicate, output_size)
-    if algorithm is SelectAlgorithm.HASH:
-        # The planner path tightens the sparse chain table through the
-        # oblivious-compaction back end: downstream operators (ORDER BY
-        # scratches, projections, result scans) then touch |R| blocks
-        # instead of 5·|R|.  Direct hash_select callers keep the paper's
-        # raw chain-table shape.
-        return hash_select(table, predicate, output_size, compact_output=True)
-    if algorithm is SelectAlgorithm.NAIVE:
-        return naive_select(table, predicate, output_size, rng=rng)
-    raise PlannerError(f"unknown select algorithm {algorithm}")
+    """Run a :class:`SelectDecision` (compatibility entry point).
+
+    The planner itself no longer executes anything; the engine compiles
+    decisions into :class:`~repro.planner.compile.SelectNode` trees and
+    dispatches them through :func:`repro.engine.executor.
+    run_select_algorithm`.  This wrapper keeps the historical
+    plan-then-execute API for the simulator, tests, and benchmarks,
+    preserving the planner path's behaviours: Continuous is rejected on
+    non-adjacent matches, and Hash outputs are tightened through the
+    oblivious-compaction back end (downstream operators then touch |R|
+    blocks instead of 5·|R|; direct ``hash_select`` callers keep the
+    paper's raw chain-table shape).
+    """
+    # Imported lazily: the engine imports this module at load time.
+    from ..engine.executor import run_select_algorithm
+
+    if (
+        decision.algorithm is SelectAlgorithm.CONTINUOUS
+        and not decision.stats.continuous
+    ):
+        raise PlannerError("Continuous algorithm forced on non-adjacent matches")
+    return run_select_algorithm(
+        table,
+        predicate,
+        decision.algorithm,
+        decision.stats.matching_rows,
+        buffer_rows=decision.buffer_rows,
+        rng=rng,
+        compact_output=decision.algorithm is SelectAlgorithm.HASH,
+    )

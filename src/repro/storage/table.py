@@ -41,6 +41,7 @@ class Table:
         key_column: str | None = None,
         rng: random.Random | None = None,
         oram_kind: str = "path",
+        creation_id: int = 0,
     ) -> None:
         if method is not StorageMethod.FLAT and key_column is None:
             raise StorageError(f"table {name!r}: indexed storage needs a key column")
@@ -49,6 +50,11 @@ class Table:
         self.schema = schema
         self.method = method
         self.key_column = key_column
+        # Revision epoch: (catalog creation id, mutation count).  The
+        # result cache keys on it, so any mutation — and any drop/recreate,
+        # which gets a fresh creation id — invalidates cached results.
+        self._creation_id = creation_id
+        self._mutations = 0
         self.flat: FlatStorage | None = None
         self.indexed: IndexedStorage | None = None
         if method in (StorageMethod.FLAT, StorageMethod.BOTH):
@@ -78,6 +84,17 @@ class Table:
     @property
     def enclave(self) -> Enclave:
         return self._enclave
+
+    @property
+    def revision(self) -> tuple[int, int]:
+        """The table's revision epoch (creation id, mutation count)."""
+        return (self._creation_id, self._mutations)
+
+    def bump_revision(self) -> None:
+        """Advance the epoch after a mutation (idempotent per statement:
+        an extra bump only ever invalidates, never preserves, stale cache
+        entries)."""
+        self._mutations += 1
 
     def has_flat(self) -> bool:
         return self.flat is not None
@@ -113,6 +130,7 @@ class Table:
                 self.flat.insert(row)
         if self.indexed is not None:
             self.indexed.insert(row)
+        self.bump_revision()
 
     def insert_many(self, rows: list[Row], fast: bool = False) -> None:
         """Bulk insert into every representation, batching the flat side.
@@ -135,6 +153,7 @@ class Table:
         if self.indexed is not None:
             for row in validated:
                 self.indexed.insert(row)
+        self.bump_revision()
 
     def delete_key(self, key: Value) -> int:
         """Delete all rows whose indexed/first column equals ``key``."""
@@ -147,6 +166,7 @@ class Table:
             indexed_deleted = self.indexed.delete_all(key)
             if self.flat is None:
                 deleted = indexed_deleted
+        self.bump_revision()
         return deleted
 
     def update_key(self, key: Value, assign: Callable[[Row], Row]) -> int:
@@ -160,6 +180,7 @@ class Table:
             indexed_updated = self.indexed.update_key(key, assign)
             if self.flat is None:
                 updated = indexed_updated
+        self.bump_revision()
         return updated
 
     # ------------------------------------------------------------------

@@ -75,6 +75,34 @@ class TestSimulatorTheorem:
         )
         assert real.matches(sim)
 
+    def test_sim_from_compiled_plan(self) -> None:
+        """SIM consuming the reified IR: extract the selection leakage from
+        a compiled QueryPlan and reproduce the real operator trace."""
+        from repro import ObliDB
+
+        db = ObliDB(
+            cipher="null", oblivious_memory_bytes=OM_BYTES, keep_trace_events=True
+        )
+        db.sql("CREATE TABLE s (x INT, payload INT) CAPACITY 32")
+        rng = random.Random(8)
+        positions = set(rng.sample(range(32), 5))
+        rows = [
+            (1 if i in positions else rng.randrange(2, 99), rng.randrange(1000))
+            for i in range(32)
+        ]
+        db.insert_many("s", rows)
+
+        plan = db.explain("SELECT * FROM s WHERE x = 1")
+        leakage = SelectLeakage.from_plan(db.table("s").schema.row_size, plan)
+        assert leakage.output_size == 5
+
+        flat = db.table("s").require_flat()
+        decision = plan_select(flat, PREDICATE)
+        assert decision.algorithm is leakage.algorithm
+        real = real_select_trace(flat, PREDICATE, decision)
+        sim = simulate_select(leakage, OM_BYTES)
+        assert real.matches(sim)
+
     def test_sim_differs_when_leakage_differs(self) -> None:
         """SIM given different leakage must produce a different trace —
         otherwise the check would be vacuous."""

@@ -16,7 +16,7 @@ from repro.baselines import (
 )
 from repro.enclave import Enclave
 from repro.operators import AggregateFunction, AggregateSpec, Comparison
-from repro.storage import Schema, int_column, str_column
+from repro.storage import Schema, int_column
 
 SCHEMA = Schema([int_column("k"), int_column("v")])
 

@@ -30,10 +30,10 @@ class TestKeystream:
         (single keyed-BLAKE2b block up to 64 bytes, SHAKE-256 XOF beyond)."""
         key, nonce = b"k" * 32, b"n" * 12
         small = _keystream(key, nonce, 64)
-        for length in [l for l in LENGTHS if 0 < l <= 64]:
+        for length in [n for n in LENGTHS if 0 < n <= 64]:
             assert _keystream(key, nonce, length) == small[:length]
         large = _keystream(key, nonce, 1000)
-        for length in [l for l in LENGTHS if l > 64]:
+        for length in [n for n in LENGTHS if n > 64]:
             assert _keystream(key, nonce, length) == large[:length]
 
     def test_zero_length(self) -> None:

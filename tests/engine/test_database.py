@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import ObliDB, StorageMethod
+from repro import ObliDB
 from repro.enclave import QueryError, StorageError
 
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import ObliDB, StorageMethod
-from repro.enclave import QueryError
 from repro.engine import parse
 from repro.storage import Schema, int_column, str_column
 

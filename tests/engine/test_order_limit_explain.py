@@ -7,7 +7,6 @@ import pytest
 from repro import ObliDB
 from repro.enclave import QueryError
 from repro.engine import parse
-from repro.planner import SelectAlgorithm
 
 
 @pytest.fixture
@@ -107,7 +106,8 @@ class TestOrderByExecution:
 
 class TestExplain:
     def test_explain_select_runs_no_operator(self, db: ObliDB) -> None:
-        plans = db.explain("SELECT * FROM t WHERE v = 10")
+        plan = db.explain("SELECT * FROM t WHERE v = 10")
+        plans = plan.physical_plans()
         select_plans = [p for p in plans if p.operator == "select"]
         assert len(select_plans) == 1
         assert select_plans[0].select_algorithm is not None
@@ -115,7 +115,7 @@ class TestExplain:
 
     def test_explain_matches_execution_plan(self, db: ObliDB) -> None:
         sql = "SELECT * FROM t WHERE v < 40"
-        explained = db.explain(sql)
+        explained = db.explain(sql).physical_plans()
         executed = db.sql(sql).plans
         explained_algorithms = [
             p.select_algorithm for p in explained if p.operator == "select"
@@ -125,20 +125,34 @@ class TestExplain:
         ]
         assert explained_algorithms == executed_algorithms
 
+    def test_explain_matches_execution_cache_key(self, db: ObliDB) -> None:
+        """The compiled plan is the leaked value: explaining and running
+        the same non-join query must produce identical QueryPlans."""
+        sql = "SELECT * FROM t WHERE v < 40"
+        explained = db.explain(sql)
+        executed = db.sql(sql).plan
+        assert executed is not None
+        assert explained.cache_key == executed.cache_key
+
     def test_explain_index_point_query(self, db: ObliDB) -> None:
-        plans = db.explain("SELECT * FROM t WHERE k = 3")
-        assert any(p.operator == "index_range" for p in plans)
+        plan = db.explain("SELECT * FROM t WHERE k = 3")
+        assert any(p.operator == "index_range" for p in plan.physical_plans())
 
     def test_explain_join(self, db: ObliDB) -> None:
         db.sql("CREATE TABLE u (k INT) CAPACITY 8")
         db.sql("INSERT INTO u VALUES (1)")
-        plans = db.explain("SELECT * FROM t JOIN u ON t.k = u.k")
+        plans = db.explain("SELECT * FROM t JOIN u ON t.k = u.k").physical_plans()
         assert any(p.operator == "join" and p.join_algorithm is not None for p in plans)
 
     def test_explain_writes(self, db: ObliDB) -> None:
-        assert db.explain("INSERT INTO t VALUES (99, 1, 'x')")[0].operator == "insert"
-        assert db.explain("UPDATE t SET v = 0 WHERE k = 1")[0].operator == "update"
-        assert db.explain("DELETE FROM t WHERE k = 1")[0].operator == "delete"
+        for sql, operator in [
+            ("INSERT INTO t VALUES (99, 1, 'x')", "insert"),
+            ("UPDATE t SET v = 0 WHERE k = 1", "update"),
+            ("DELETE FROM t WHERE k = 1", "delete"),
+        ]:
+            plan = db.explain(sql)
+            assert plan.statement_kind == operator
+            assert plan.physical_plans()[0].operator == operator
 
     def test_explain_does_not_modify(self, db: ObliDB) -> None:
         before = db.sql("SELECT COUNT(*) FROM t").scalar()
@@ -148,3 +162,44 @@ class TestExplain:
     def test_explain_create_rejected(self, db: ObliDB) -> None:
         with pytest.raises(QueryError):
             db.explain("CREATE TABLE x (y INT)")
+
+
+class TestExplainSQL:
+    """``EXPLAIN <stmt>`` through the SQL surface (grammar + execution)."""
+
+    def test_explain_statement_parses(self) -> None:
+        from repro.engine import ExplainStatement
+
+        statement = parse("EXPLAIN SELECT * FROM t WHERE v = 1")
+        assert isinstance(statement, ExplainStatement)
+        assert statement.target.table == "t"
+
+    def test_explain_sql_returns_plan_rows(self, db: ObliDB) -> None:
+        result = db.sql("EXPLAIN SELECT * FROM t WHERE v = 10")
+        assert result.column_names == ["plan"]
+        text = "\n".join(row[0] for row in result.rows)
+        assert "select" in text and "scan" in text
+        assert result.plan is not None
+        assert result.plan.describe() == text
+
+    def test_explain_sql_does_not_execute(self, db: ObliDB) -> None:
+        before = db.sql("SELECT COUNT(*) FROM t").scalar()
+        db.sql("EXPLAIN DELETE FROM t")
+        assert db.sql("SELECT COUNT(*) FROM t").scalar() == before
+
+    def test_explain_sql_not_wal_logged(self) -> None:
+        db = ObliDB(cipher="null", seed=3, wal=True)
+        db.sql("CREATE TABLE w (x INT) CAPACITY 8")
+        logged = db.wal.count
+        db.sql("EXPLAIN INSERT INTO w VALUES (1)")
+        assert db.wal.count == logged
+
+    def test_nested_explain_rejected(self) -> None:
+        from repro.enclave import SQLSyntaxError
+
+        with pytest.raises(SQLSyntaxError):
+            parse("EXPLAIN EXPLAIN SELECT * FROM t")
+
+    def test_explain_create_rejected(self, db: ObliDB) -> None:
+        with pytest.raises(QueryError):
+            db.sql("EXPLAIN CREATE TABLE x (y INT)")

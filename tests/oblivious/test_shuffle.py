@@ -8,7 +8,6 @@ import pytest
 
 from repro.enclave import Enclave
 from repro.oblivious import oblivious_shuffle, plan_shuffle, shuffle_geometry
-from repro.oblivious.permute import generate_permutation
 from repro.storage import FlatStorage, Schema, int_column, str_column
 
 SCHEMA = Schema([int_column("k"), str_column("v", 8)])

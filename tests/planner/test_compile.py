@@ -1,0 +1,350 @@
+"""Tests for the compiled physical-plan IR and the planner cost-model
+boundaries.
+
+Two families:
+
+* **Plan snapshots** — the quickstart queries compile to *stable* plans:
+  same database state ⇒ same ``QueryPlan`` (bit-identical ``cache_key``
+  and rendered tree).  The snapshots pin the compiler's decisions so an
+  accidental planning change shows up as a diff, not silently as a new
+  leakage profile.
+
+* **Cost-model boundaries** — threshold-bracketing cases on both sides of
+  every switch: the Small algorithm's multi-pass ↔ compaction-front
+  switch, the hash-vs-continuous (adjacency) and small-vs-hash
+  crossovers, and the hash-vs-opaque / zero-OM join crossovers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ObliDB, Comparison
+from repro.enclave import Enclave
+from repro.oblivious.compact import compaction_levels
+from repro.operators import select as select_ops
+from repro.planner import (
+    CompactNode,
+    IndexLookupNode,
+    JoinAlgorithm,
+    JoinNode,
+    ScanNode,
+    SelectAlgorithm,
+    SelectNode,
+    SortNode,
+    estimate_join_costs,
+    plan_join,
+    plan_select,
+)
+from repro.storage import FlatStorage, Schema, int_column
+from repro.storage.rows import framed_size
+
+
+# ----------------------------------------------------------------------
+# Plan snapshots for the quickstart queries
+# ----------------------------------------------------------------------
+QUICKSTART_QUERIES = [
+    "SELECT * FROM employees WHERE id = 4",
+    "SELECT name, salary FROM employees WHERE id >= 2 AND id <= 5 AND dept = 'eng'",
+    "SELECT COUNT(*), AVG(salary) FROM employees WHERE dept = 'eng'",
+    "SELECT dept, SUM(salary) FROM employees GROUP BY dept",
+    "SELECT name FROM employees WHERE salary > 1100 ORDER BY salary DESC LIMIT 3",
+]
+
+
+@pytest.fixture
+def quickstart_db() -> ObliDB:
+    db = ObliDB(cipher="null", seed=7, oblivious_memory_bytes=1 << 20)
+    db.sql(
+        "CREATE TABLE employees (id INT, name STR(16), dept STR(8), salary INT)"
+        " CAPACITY 128 METHOD both KEY id"
+    )
+    people = [
+        (1, "ada", "eng", 1200),
+        (2, "grace", "eng", 1400),
+        (3, "edsger", "research", 1100),
+        (4, "barbara", "eng", 1500),
+        (5, "donald", "research", 1300),
+        (6, "leslie", "ops", 1000),
+    ]
+    db.insert_many("employees", people)
+    return db
+
+
+class TestPlanSnapshots:
+    def test_quickstart_plans_are_stable(self, quickstart_db: ObliDB) -> None:
+        """Compiling twice (and against an identically built database)
+        yields bit-identical plans — the determinism the result cache and
+        the Appendix-A checker rely on."""
+        first = [quickstart_db.explain(sql) for sql in QUICKSTART_QUERIES]
+        second = [quickstart_db.explain(sql) for sql in QUICKSTART_QUERIES]
+        for a, b in zip(first, second):
+            assert a.cache_key == b.cache_key
+            assert a.describe() == b.describe()
+            assert a.to_dict() == b.to_dict()
+
+    def test_point_query_plan_shape(self, quickstart_db: ObliDB) -> None:
+        plan = quickstart_db.explain(QUICKSTART_QUERIES[0])
+        lookup = plan.find(IndexLookupNode)
+        assert isinstance(lookup, IndexLookupNode)
+        assert lookup.segment_rows == 1
+        select = plan.find(SelectNode)
+        assert isinstance(select, SelectNode)
+        assert select.algorithm is not None
+        assert select.output_rows == 1
+
+    def test_range_query_uses_index_segment(self, quickstart_db: ObliDB) -> None:
+        plan = quickstart_db.explain(QUICKSTART_QUERIES[1])
+        lookup = plan.find(IndexLookupNode)
+        assert isinstance(lookup, IndexLookupNode)
+        assert lookup.segment_rows == 4  # ids 2..5
+
+    def test_aggregate_plan_is_fused(self, quickstart_db: ObliDB) -> None:
+        plan = quickstart_db.explain(QUICKSTART_QUERIES[2])
+        assert plan.root.kind == "aggregate"
+        assert plan.find(SelectNode) is None  # no intermediate selection
+
+    def test_group_by_plan(self, quickstart_db: ObliDB) -> None:
+        plan = quickstart_db.explain(QUICKSTART_QUERIES[3])
+        assert plan.root.kind == "group_by"
+        assert plan.root.output_rows is None  # observed at run, not planned
+
+    def test_order_by_plan_has_sort_decision(self, quickstart_db: ObliDB) -> None:
+        plan = quickstart_db.explain(QUICKSTART_QUERIES[4])
+        sort = plan.find(SortNode)
+        assert isinstance(sort, SortNode)
+        assert sort.in_enclave is True  # 3 matching rows easily fit 1 MiB
+        assert plan.limit == 3
+
+    def test_executed_plan_matches_compiled_plan(self, quickstart_db: ObliDB) -> None:
+        for sql in QUICKSTART_QUERIES:
+            compiled = quickstart_db.explain(sql)
+            executed = quickstart_db.sql(sql)
+            assert executed.plan is not None
+            if executed.plan.root.kind == "group_by":
+                # The observed group count is recorded into the final plan.
+                assert executed.plan.root.output_rows is not None
+                continue
+            assert executed.plan.cache_key == compiled.cache_key
+            assert executed.plans == executed.plan.physical_plans()
+
+    def test_describe_renders_one_line_per_node(self, quickstart_db: ObliDB) -> None:
+        plan = quickstart_db.explain(QUICKSTART_QUERIES[4])
+        lines = plan.describe().splitlines()
+        nodes = sum(1 for _ in plan.root.walk())
+        assert len(lines) == nodes + 1  # header + one line per node
+
+    def test_cache_key_sensitive_to_sizes(self, quickstart_db: ObliDB) -> None:
+        """Different leaked sizes must produce different plan identities."""
+        narrow = quickstart_db.explain("SELECT * FROM employees WHERE id = 4")
+        wide = quickstart_db.explain(
+            "SELECT * FROM employees WHERE id >= 2 AND id <= 5"
+        )
+        assert narrow.cache_key != wide.cache_key
+
+
+class TestScanSourceDecisions:
+    def test_flat_scan_when_no_index_interval(self, quickstart_db: ObliDB) -> None:
+        plan = quickstart_db.explain("SELECT * FROM employees WHERE salary = 1200")
+        scan = plan.find(ScanNode)
+        assert isinstance(scan, ScanNode)
+        assert scan.access_method.value == "flat_scan"
+
+    def test_index_linear_fallback_for_index_only_table(self) -> None:
+        db = ObliDB(cipher="null", seed=9)
+        db.sql(
+            "CREATE TABLE ix (k INT, v INT) CAPACITY 16 METHOD indexed KEY k"
+        )
+        for i in range(4):
+            db.sql(f"INSERT INTO ix VALUES ({i}, {i * 2})")
+        plan = db.explain("SELECT * FROM ix WHERE v = 4")
+        scan = plan.find(ScanNode)
+        assert isinstance(scan, ScanNode)
+        assert scan.access_method.value == "index_linear"
+        result = db.sql("SELECT * FROM ix WHERE v = 4")
+        assert result.rows == [(2, 4)]
+
+
+# ----------------------------------------------------------------------
+# Cost-model boundaries
+# ----------------------------------------------------------------------
+SCHEMA = Schema([int_column("id"), int_column("payload")])
+
+
+def build_table(
+    capacity: int,
+    matches: int,
+    contiguous: bool,
+    oblivious_memory_bytes: int,
+) -> FlatStorage:
+    """A table whose first/scattered ``matches`` rows satisfy ``id < 0``."""
+    enclave = Enclave(
+        oblivious_memory_bytes=oblivious_memory_bytes, cipher="null"
+    )
+    table = FlatStorage(enclave, SCHEMA, capacity)
+    if contiguous:
+        positions = set(range(matches))
+    else:
+        positions = {(i * 3) % capacity for i in range(matches)}
+        while len(positions) < matches:  # collisions when 3 | capacity
+            positions.add(len(positions))
+    rows = [
+        (-1 if index in positions else index + 1, index)
+        for index in range(capacity)
+    ]
+    table.fast_insert_many(rows)
+    return table
+
+
+def om_bytes_for_buffer(buffer_rows: int) -> int:
+    """An OM budget that yields exactly ``buffer_rows`` Small-buffer rows."""
+    row_bytes = framed_size(SCHEMA)
+    # plan_select: buffer = max(1, int((free // row_bytes) * 0.8))
+    return int(buffer_rows / 0.8 + 1) * row_bytes
+
+
+PREDICATE = Comparison("id", "<", 0)
+
+
+class TestSelectCrossover:
+    def test_adjacency_flips_hash_to_continuous(self) -> None:
+        """Same sizes, same (tiny) buffer: scattered matches pick Hash,
+        adjacent matches pick Continuous — the only difference is the
+        leaked adjacency bit."""
+        scattered = build_table(64, 22, contiguous=False, oblivious_memory_bytes=8)
+        adjacent = build_table(64, 22, contiguous=True, oblivious_memory_bytes=8)
+        assert (
+            plan_select(scattered, PREDICATE).algorithm is SelectAlgorithm.HASH
+        )
+        assert (
+            plan_select(adjacent, PREDICATE).algorithm
+            is SelectAlgorithm.CONTINUOUS
+        )
+
+    def test_continuous_disabled_falls_back(self) -> None:
+        adjacent = build_table(64, 22, contiguous=True, oblivious_memory_bytes=8)
+        decision = plan_select(adjacent, PREDICATE, allow_continuous=False)
+        assert decision.algorithm is SelectAlgorithm.HASH
+
+    def test_small_vs_hash_crossover_bracketed(self) -> None:
+        """With a 1-row buffer the Small cost is N·R + R versus Hash's
+        21·N: at N=64 the crossover sits between R=20 and R=22."""
+        below = build_table(64, 20, contiguous=False, oblivious_memory_bytes=8)
+        above = build_table(64, 22, contiguous=False, oblivious_memory_bytes=8)
+        assert plan_select(below, PREDICATE).algorithm is SelectAlgorithm.SMALL
+        assert plan_select(above, PREDICATE).algorithm is SelectAlgorithm.HASH
+
+    def test_large_threshold_bracketed(self) -> None:
+        """Selectivity ≥ 0.5 admits Large (4·N), which then beats a
+        1-row-buffer Small; just below the threshold Large is ineligible."""
+        at = build_table(64, 32, contiguous=False, oblivious_memory_bytes=8)
+        under = build_table(64, 31, contiguous=False, oblivious_memory_bytes=8)
+        assert plan_select(at, PREDICATE).algorithm is SelectAlgorithm.LARGE
+        assert plan_select(under, PREDICATE).algorithm is not SelectAlgorithm.LARGE
+
+    def test_big_buffer_prefers_small(self) -> None:
+        """One pass of Small (N + R) beats every alternative when the
+        whole output fits the buffer."""
+        table = build_table(
+            64, 22, contiguous=True, oblivious_memory_bytes=1 << 20
+        )
+        assert plan_select(table, PREDICATE).algorithm is SelectAlgorithm.SMALL
+
+
+class TestSmallCompactSwitch:
+    """The multi-pass ↔ compaction-front switch inside small_select.
+
+    The operator switches to the compaction front when the pass count
+    exceeds ``3 + 3·ceil(log2 N)`` — both sides bracketed here, with a
+    monkeypatched probe observing which implementation ran.
+    """
+
+    def _run(self, monkeypatch, capacity: int, matches: int, buffer_rows: int) -> bool:
+        table = build_table(
+            capacity, matches, contiguous=False, oblivious_memory_bytes=1 << 20
+        )
+        called = []
+        original = select_ops.compact_select
+        monkeypatch.setattr(
+            select_ops,
+            "compact_select",
+            lambda *args, **kwargs: called.append(True) or original(*args, **kwargs),
+        )
+        output = select_ops.small_select(table, PREDICATE, matches, buffer_rows)
+        assert sorted(row[1] for row in output.rows()) == sorted(
+            row[1] for row in table.rows() if row[0] < 0
+        )
+        output.free()
+        return bool(called)
+
+    def test_pass_count_above_threshold_switches(self, monkeypatch) -> None:
+        capacity = 32
+        threshold = 3 + 3 * compaction_levels(capacity)
+        matches = threshold + 1  # 1-row buffer ⇒ passes == matches
+        assert self._run(monkeypatch, capacity, matches, buffer_rows=1)
+
+    def test_pass_count_at_threshold_stays_multipass(self, monkeypatch) -> None:
+        capacity = 32
+        threshold = 3 + 3 * compaction_levels(capacity)
+        matches = threshold  # passes == threshold: not strictly greater
+        assert not self._run(monkeypatch, capacity, matches, buffer_rows=1)
+
+
+class TestJoinCrossover:
+    def _tables(self, n1: int, n2: int, oblivious_memory_bytes: int):
+        enclave = Enclave(
+            oblivious_memory_bytes=oblivious_memory_bytes, cipher="null"
+        )
+        return (
+            FlatStorage(enclave, SCHEMA, n1),
+            FlatStorage(enclave, SCHEMA, n2),
+        )
+
+    def test_hash_when_om_holds_t1(self) -> None:
+        left, right = self._tables(64, 64, oblivious_memory_bytes=1 << 20)
+        assert plan_join(left, right).algorithm is JoinAlgorithm.HASH
+
+    def test_zero_om_when_no_oblivious_memory(self) -> None:
+        left, right = self._tables(64, 64, oblivious_memory_bytes=16)
+        assert plan_join(left, right).algorithm is JoinAlgorithm.ZERO_OM
+
+    def test_hash_opaque_crossover_bracketed(self) -> None:
+        """At |T1| = |T2| = 1024 the cost curves cross between 4 and 16
+        oblivious rows: chunked re-reads of T2 sink the hash join first."""
+        n = 1024
+        row_bytes = framed_size(SCHEMA) + 16
+        costs_low = estimate_join_costs(n, n, oblivious_rows=4)
+        costs_high = estimate_join_costs(n, n, oblivious_rows=16)
+        assert costs_low[JoinAlgorithm.OPAQUE] < costs_low[JoinAlgorithm.HASH]
+        assert costs_high[JoinAlgorithm.HASH] < costs_high[JoinAlgorithm.OPAQUE]
+
+        left, right = self._tables(n, n, oblivious_memory_bytes=4 * row_bytes)
+        assert plan_join(left, right).algorithm is JoinAlgorithm.OPAQUE
+        left, right = self._tables(n, n, oblivious_memory_bytes=16 * row_bytes)
+        assert plan_join(left, right).algorithm is JoinAlgorithm.HASH
+
+    def test_join_node_records_cost_model_inputs(self) -> None:
+        """The compiled JoinNode carries exactly the sizes the cost model
+        consumed — the join's whole leakage."""
+        db = ObliDB(cipher="null", seed=11)
+        db.sql("CREATE TABLE a (k INT, x INT) CAPACITY 32")
+        db.sql("CREATE TABLE b (k INT, y INT) CAPACITY 8")
+        plan = db.explain("SELECT * FROM a JOIN b ON a.k = b.k")
+        join = plan.find(JoinNode)
+        assert isinstance(join, JoinNode)
+        assert (join.t1, join.t2) == (32, 8)
+        assert join.oblivious_rows >= 1
+
+    def test_join_compact_only_under_order_by(self) -> None:
+        db = ObliDB(cipher="null", seed=12)
+        db.sql("CREATE TABLE a (k INT, x INT) CAPACITY 16")
+        db.sql("CREATE TABLE b (k INT, y INT) CAPACITY 4")
+        bare = db.explain("SELECT * FROM a JOIN b ON a.k = b.k")
+        ordered = db.explain("SELECT * FROM a JOIN b ON a.k = b.k ORDER BY x")
+        def compacted_join(plan):
+            return any(
+                isinstance(node, CompactNode) and isinstance(node.source, JoinNode)
+                for node in plan.root.walk()
+            )
+        assert not compacted_join(bare)
+        assert compacted_join(ordered)

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro import ObliDB
 from repro.enclave import Enclave
-from repro.engine import WriteAheadLog
 from repro.oram import RingORAM
 from repro.operators import is_sorted, randomized_shellsort
 from repro.storage import FlatStorage, Schema, int_column

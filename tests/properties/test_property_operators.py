@@ -137,7 +137,7 @@ def test_joins_agree_with_python(left, right) -> None:
     for row in right:
         right_table.fast_insert(row)
     expected = sorted(
-        l + r for l in left for r in right if l[0] == r[0]
+        lhs + rhs for lhs in left for rhs in right if lhs[0] == rhs[0]
     )
     for join in (
         lambda: hash_join(left_table, right_table, "k", "k", 1 << 16),

@@ -12,9 +12,14 @@ from __future__ import annotations
 
 import random
 
-from repro import ObliDB, StorageMethod
-from repro.analysis import assert_indistinguishable, canonicalize, oram_regions_of
-from repro.storage import Schema, int_column, str_column
+from repro import ObliDB
+from repro.analysis import (
+    assert_indistinguishable,
+    assert_same_leakage,
+    canonicalize,
+    oram_regions_of,
+    real_query_trace,
+)
 
 SCHEMA_SQL = (
     "CREATE TABLE t (k INT, v INT, s STR(8)) CAPACITY 48 METHOD both KEY k"
@@ -142,6 +147,111 @@ class TestWrites:
             trace, _ = trace_of(db, f"INSERT INTO t VALUES (40, {value}, 'zz')")
             traces.append(trace)
         assert_indistinguishable(traces)
+
+
+class TestPlanLeakageContract:
+    """The IR-level statement of obliviousness: equal compiled QueryPlans
+    (equal ``cache_key``) must imply bit-identical canonical traces."""
+
+    def test_equal_plans_imply_equal_traces(self) -> None:
+        queries = [
+            "SELECT * FROM t WHERE k = 3",
+            "SELECT * FROM t WHERE k = 17",
+            "SELECT * FROM t WHERE k = 28",
+        ]
+        traces, plans = [], []
+        for sql in queries:
+            db = build_db(seed=13)
+            trace, plan = real_query_trace(db, sql)
+            traces.append(trace)
+            plans.append(plan)
+        assert_same_leakage(plans)
+        assert_indistinguishable(traces)
+
+    def test_leakage_helper_detects_different_plans(self) -> None:
+        db = build_db(seed=14)
+        _, narrow = real_query_trace(db, "SELECT * FROM t WHERE k = 3")
+        _, wide = real_query_trace(
+            db, "SELECT * FROM t WHERE k >= 3 AND k <= 9"
+        )
+        try:
+            assert_same_leakage([narrow, wide])
+        except AssertionError:
+            pass
+        else:
+            raise AssertionError("different plans must not compare equal")
+
+    def test_write_plans_equal_and_traces_equal(self) -> None:
+        traces, plans = [], []
+        for value in (1, 99999):
+            db = build_db(seed=15)
+            trace, plan = real_query_trace(
+                db, f"UPDATE t SET v = {value} WHERE k = 8"
+            )
+            traces.append(trace)
+            plans.append(plan)
+        assert_same_leakage(plans)
+        assert_indistinguishable(traces)
+
+
+class TestResultCacheTraces:
+    """Trace-level acceptance criteria for the opt-in result cache."""
+
+    def build_cached_db(self, seed: int, entries: int = 8) -> ObliDB:
+        db = ObliDB(
+            cipher="null",
+            keep_trace_events=True,
+            allow_continuous=False,
+            seed=1,
+            result_cache_entries=entries,
+        )
+        db.sql(SCHEMA_SQL)
+        rng = random.Random(seed)
+        for key in range(30):
+            db.sql(f"INSERT INTO t VALUES ({key}, {rng.randrange(1000)}, 's{key}')")
+        return db
+
+    def test_cache_hit_performs_zero_untrusted_accesses(self) -> None:
+        db = self.build_cached_db(seed=16)
+        sql = "SELECT * FROM t WHERE k = 5"
+        first = db.sql(sql)
+        db.enclave.trace.clear()
+        second = db.sql(sql)
+        assert second.rows == first.rows
+        assert len(db.enclave.trace.events) == 0
+        assert second.cost == {"cache_hits": 1}
+
+    def test_cache_miss_trace_identical_to_uncached(self) -> None:
+        """Enabling the cache must not change what a miss looks like: the
+        first execution's trace equals the trace of the same query on an
+        identically built cache-less database."""
+        for sql in (
+            "SELECT * FROM t WHERE k = 9",
+            "SELECT COUNT(*), SUM(v) FROM t WHERE v < 500",
+            "SELECT * FROM t WHERE k >= 4 AND k <= 8",
+        ):
+            cached_db = self.build_cached_db(seed=17)
+            uncached_db = build_db(seed=17)
+            cached_trace, cached_plan = real_query_trace(cached_db, sql)
+            uncached_trace, uncached_plan = real_query_trace(uncached_db, sql)
+            assert_same_leakage([cached_plan, uncached_plan])
+            assert_indistinguishable([cached_trace, uncached_trace])
+
+    def test_invalidated_entry_reruns_with_unchanged_trace(self) -> None:
+        """After a write invalidates an entry, the re-execution's trace is
+        again indistinguishable from a fresh uncached run."""
+        sql = "SELECT * FROM t WHERE k = 5"
+        cached_db = self.build_cached_db(seed=18)
+        cached_db.sql(sql)  # populate
+        cached_db.sql("UPDATE t SET v = 7 WHERE k = 5")  # invalidate
+
+        uncached_db = build_db(seed=18)
+        uncached_db.sql(sql)
+        uncached_db.sql("UPDATE t SET v = 7 WHERE k = 5")
+
+        rerun_cached, _ = real_query_trace(cached_db, sql)
+        rerun_uncached, _ = real_query_trace(uncached_db, sql)
+        assert_indistinguishable([rerun_cached, rerun_uncached])
 
 
 class TestPaddingModeEndToEnd:

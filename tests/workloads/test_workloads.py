@@ -2,12 +2,9 @@
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro import ObliDB, StorageMethod
-from repro.storage import Table
 from repro.workloads import (
     CFPB_SCHEMA,
     KV_SCHEMA,
