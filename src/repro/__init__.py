@@ -17,8 +17,9 @@ Quick start::
 
 from .enclave.enclave import Enclave
 from .engine.ast import QueryResult, SelectStatement
-from .engine.database import ObliDB
+from .engine.database import ObliDB, RetryPolicy
 from .engine.padding import PaddingConfig
+from .faults import FaultPlan, SimulatedCrash
 from .operators.aggregate import AggregateFunction, AggregateSpec
 from .operators.predicate import And, Comparison, Not, Or, TruePredicate
 from .storage.schema import (
@@ -41,12 +42,15 @@ __all__ = [
     "ColumnType",
     "Comparison",
     "Enclave",
+    "FaultPlan",
     "Not",
     "ObliDB",
     "Or",
     "PaddingConfig",
     "QueryResult",
+    "RetryPolicy",
     "Schema",
+    "SimulatedCrash",
     "SelectStatement",
     "StorageMethod",
     "TruePredicate",

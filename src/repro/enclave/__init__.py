@@ -29,6 +29,7 @@ from .errors import (
     SchemaError,
     SQLSyntaxError,
     StorageError,
+    TransientStorageError,
     WALReplayError,
 )
 from .integrity import RevisionLedger
@@ -64,6 +65,7 @@ __all__ = [
     "SchemaError",
     "SealedBlock",
     "StorageError",
+    "TransientStorageError",
     "WALReplayError",
     "UntrustedMemory",
     "attest",

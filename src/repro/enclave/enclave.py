@@ -17,7 +17,7 @@ stated budget (e.g. Figure 8's 6–20 MB sweep) is honoured by construction.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from .counters import CostModel, CostWeights
 from .crypto import AuthenticatedCipher, CipherSuite, NullCipher, SealedBlock
@@ -77,6 +77,12 @@ class Enclave:
     keep_trace_events:
         Whether the access trace retains the full event list (tests) or only
         a running digest (benchmarks).
+    untrusted_factory:
+        Hook building the untrusted-memory host from ``(trace, cost)``.
+        Defaults to the honest :class:`UntrustedMemory`; the fault-injection
+        harness passes a factory producing
+        :class:`~repro.faults.FaultyUntrustedMemory` so any workload can run
+        against Section 3's malicious OS without touching enclave code.
     """
 
     def __init__(
@@ -86,6 +92,8 @@ class Enclave:
         key: bytes | None = None,
         keep_trace_events: bool = True,
         cost_weights: CostWeights | None = None,
+        untrusted_factory: Callable[[AccessTrace, CostModel], UntrustedMemory]
+        | None = None,
     ) -> None:
         if isinstance(cipher, str):
             if cipher == "authenticated":
@@ -98,7 +106,10 @@ class Enclave:
             self.cipher = cipher
         self.trace = AccessTrace(keep_events=keep_trace_events)
         self.cost = CostModel(weights=cost_weights or CostWeights())
-        self.untrusted = UntrustedMemory(self.trace, self.cost)
+        if untrusted_factory is None:
+            self.untrusted = UntrustedMemory(self.trace, self.cost)
+        else:
+            self.untrusted = untrusted_factory(self.trace, self.cost)
         self.oblivious = ObliviousMemoryAccount(oblivious_memory_bytes)
         self._region_counter = 0
 

@@ -46,6 +46,18 @@ class StorageError(ObliDBError):
     """A storage-method invariant was violated (e.g. table capacity full)."""
 
 
+class TransientStorageError(StorageError):
+    """The untrusted host failed an access in a retryable way.
+
+    Models the recoverable half of Section 3's adversary: an EPC page
+    eviction, a flaky storage upcall, an interrupted enclave transition.
+    The access did *not* take effect; re-issuing it is safe.  The
+    :class:`~repro.engine.database.ObliDB` statement boundary retries these
+    with bounded backoff (see ``RetryPolicy``); anything that survives the
+    retry budget — or that struck after a mutation already started — is
+    surfaced to the caller unchanged."""
+
+
 class CapacityError(StorageError):
     """The table's fixed maximum capacity is exhausted."""
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import struct
 from typing import Sequence
 
-from .errors import RollbackError
+from .errors import RollbackError, StorageError
 
 _AAD = struct.Struct("<IQ")  # row index within region, revision number
 
@@ -176,7 +176,7 @@ class RevisionLedger:
         the replay hole revision binding exists to close.
         """
         if len(set(indices)) != len(indices):
-            raise ValueError("stage_at indices must be unique")
+            raise StorageError("stage_at indices must be unique")
         prefix = self._prefix(region)
         pack = _AAD.pack
         get = self._region(region).get
@@ -232,7 +232,7 @@ class RevisionLedger:
         (see :meth:`stage_at`).
         """
         if len(set(steps)) != len(steps):
-            raise ValueError("stage_steps (region, index) pairs must be unique")
+            raise StorageError("stage_steps (region, index) pairs must be unique")
         pack = _AAD.pack
         prefixes: dict[str, bytes] = {}
         getters: dict = {}

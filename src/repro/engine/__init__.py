@@ -11,14 +11,17 @@ from .ast import (
     Statement,
     UpdateStatement,
 )
-from .database import ObliDB
+from .database import ObliDB, RetryPolicy, VerifyReport
 from .executor import Executor, PlanRunner, run_join_algorithm, run_select_algorithm
 from .padding import PaddingConfig
 from .plan_cache import PlanCache, statement_fingerprint
 from .sql import parse, tokenize
-from .wal import WriteAheadLog
+from .wal import RecoveryReport, WriteAheadLog
 
 __all__ = [
+    "RecoveryReport",
+    "RetryPolicy",
+    "VerifyReport",
     "WriteAheadLog",
     "CreateTableStatement",
     "DeleteStatement",

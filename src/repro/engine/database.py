@@ -22,10 +22,19 @@ from __future__ import annotations
 
 import itertools
 import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
 
 from ..enclave.counters import CostModel
 from ..enclave.enclave import DEFAULT_OBLIVIOUS_MEMORY_BYTES, Enclave
-from ..enclave.errors import QueryError, StorageError
+from ..enclave.errors import (
+    ObliDBError,
+    QueryError,
+    StorageError,
+    TransientStorageError,
+)
+from ..faults import FaultPlan, FaultyUntrustedMemory
 from ..operators.predicate import Predicate
 from ..planner.compile import QueryPlan
 from ..storage.schema import Column, ColumnType, Row, Schema, Value
@@ -41,7 +50,7 @@ from .executor import Executor
 from .padding import PaddingConfig
 from .plan_cache import PlanCache
 from .sql import parse
-from .wal import WriteAheadLog
+from .wal import RecoveryReport, WriteAheadLog
 
 
 def _sql_literal(value: Value) -> str:
@@ -61,6 +70,39 @@ def _insert_statement_sql(table: str, row: Row) -> str:
     return f"INSERT INTO {table} VALUES ({', '.join(_sql_literal(v) for v in row)})"
 
 
+@dataclass
+class RetryPolicy:
+    """Bounded retry-with-backoff for :class:`TransientStorageError`.
+
+    Applied at the statement boundary (:meth:`ObliDB.execute`): a transient
+    host failure is retried only while **no table mutated during the failed
+    attempt** — a transient that strikes after a write pass started must
+    surface, because re-running the statement would double-apply its
+    surviving prefix.  ``sleep`` is injectable so tests can record the
+    backoff schedule instead of waiting it out.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.001  # doubled after each failed attempt
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+
+_DEFAULT_RETRY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Result of :meth:`ObliDB.verify` — the fsck-style invariant sweep."""
+
+    issues: list[str]
+    tables_checked: int
+    blocks_verified: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+
 class ObliDB:
     """An oblivious database engine instance inside one simulated enclave."""
 
@@ -74,12 +116,23 @@ class ObliDB:
         seed: int | None = None,
         wal: bool = False,
         result_cache_entries: int = 0,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = _DEFAULT_RETRY,
     ) -> None:
+        # ``fault_plan`` swaps the honest untrusted host for the adversarial
+        # one (tests and the crash sweep); ``retry=None`` disables the
+        # transient-failure retry at the statement boundary.
+        untrusted_factory = None
+        if fault_plan is not None:
+            def untrusted_factory(trace, cost):
+                return FaultyUntrustedMemory(trace, cost, fault_plan)
         self.enclave = Enclave(
             oblivious_memory_bytes=oblivious_memory_bytes,
             cipher=cipher,
             keep_trace_events=keep_trace_events,
+            untrusted_factory=untrusted_factory,
         )
+        self.retry = retry
         self.padding = padding
         self._rng = random.Random(seed)
         self._tables: dict[str, Table] = {}
@@ -160,12 +213,38 @@ class ObliDB:
     # Statements
     # ------------------------------------------------------------------
     def execute(self, statement: Statement) -> QueryResult:
-        """Execute a logical statement built programmatically."""
+        """Execute a logical statement built programmatically.
+
+        :class:`TransientStorageError` raised by the untrusted host is
+        retried with bounded backoff per :class:`RetryPolicy`, but only
+        while the failed attempt mutated nothing (catalog and every table
+        revision unchanged) — a transient mid-mutation surfaces unchanged,
+        since re-execution would double-apply the surviving prefix.
+        """
         if isinstance(statement, CreateTableStatement):
             return self._create_from_statement(statement)
         if isinstance(statement, ExplainStatement):
             return self._explain_result(statement.target)
-        return self._executor.execute(statement)
+        policy = self.retry
+        if policy is None or policy.attempts <= 1:
+            return self._executor.execute(statement)
+        backoff = policy.backoff_s
+        for attempt in range(policy.attempts):
+            epochs = {
+                name: table.revision for name, table in self._tables.items()
+            }
+            try:
+                return self._executor.execute(statement)
+            except TransientStorageError:
+                mutated = set(self._tables) != set(epochs) or any(
+                    self._tables[name].revision != revision
+                    for name, revision in epochs.items()
+                )
+                if mutated or attempt + 1 >= policy.attempts:
+                    raise
+                policy.sleep(backoff)
+                backoff *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def sql(self, text: str) -> QueryResult:
         """Parse and execute one SQL statement.
@@ -208,8 +287,123 @@ class ObliDB:
         )
 
     def recover_from(self, wal: "WriteAheadLog") -> int:
-        """Rebuild this (empty) database by replaying a write-ahead log."""
+        """Rebuild this (empty) database by replaying a write-ahead log.
+
+        The strict live-replication variant: expects the log's enclave-side
+        count to match its rollback-protected head (no torn tail).  After a
+        crash, use :meth:`recover`.
+        """
         return wal.replay_into(self)
+
+    def recover(self, wal: "WriteAheadLog") -> RecoveryReport:
+        """Crash-consistent rebuild from a write-ahead log.
+
+        Replays exactly the committed prefix (the records covered by the
+        rollback-protected ledger head) into this empty database and
+        reports any detected-and-dropped torn tail — sealed records a crash
+        stranded beyond the head.  Statements past the commit point were
+        never acknowledged, so dropping them is correct, not data loss.
+        """
+        return wal.recover_into(self)
+
+    def verify(self) -> VerifyReport:
+        """Fsck-style invariant sweep over the whole database.
+
+        Checks, per table: the flat region exists at its declared capacity
+        and every block opens against the revision ledger (tampered or
+        rolled-back slots are reported, not raised); the enclave-side row
+        count matches the stored rows; a BOTH table's two representations
+        hold the same multiset of rows.  Globally: the WAL's committed
+        records verify and its head matches the enclave count, and no
+        anonymous scratch regions (``flat#``/``shuffle#``) linger after
+        statement execution — a leak of a failed operator's cleanup path.
+
+        Everything reads through the normal verified data path, so the
+        sweep is itself oblivious: full scans and sequential log reads.
+        """
+        issues: list[str] = []
+        tables_checked = 0
+        blocks_verified = 0
+        untrusted = self.enclave.untrusted
+        for name in self.table_names():
+            table = self._tables[name]
+            tables_checked += 1
+            flat_rows: list[Row] | None = None
+            if table.flat is not None:
+                flat = table.flat
+                if not untrusted.has_region(flat.region_name):
+                    issues.append(
+                        f"table {name!r}: flat region {flat.region_name} missing"
+                    )
+                else:
+                    region = untrusted.region(flat.region_name)
+                    if region.capacity != flat.capacity:
+                        issues.append(
+                            f"table {name!r}: region capacity {region.capacity} "
+                            f"!= declared {flat.capacity}"
+                        )
+                    try:
+                        flat_rows = flat.rows()
+                        blocks_verified += flat.capacity
+                    except ObliDBError as error:
+                        issues.append(
+                            f"table {name!r}: flat verification failed: {error}"
+                        )
+                    else:
+                        if len(flat_rows) != flat.used_rows:
+                            issues.append(
+                                f"table {name!r}: flat holds {len(flat_rows)} "
+                                f"rows, metadata says {flat.used_rows}"
+                            )
+            if table.indexed is not None:
+                try:
+                    index_rows = list(table.indexed.linear_scan())
+                except StorageError:
+                    index_rows = None  # no flat-style audit pass (non-Path ORAM)
+                except ObliDBError as error:
+                    index_rows = None
+                    issues.append(
+                        f"table {name!r}: index verification failed: {error}"
+                    )
+                if index_rows is not None:
+                    if flat_rows is not None:
+                        # Dual-copy coherence: same multiset of rows.
+                        if sorted(map(repr, flat_rows)) != sorted(
+                            map(repr, index_rows)
+                        ):
+                            issues.append(
+                                f"table {name!r}: flat and indexed copies "
+                                "diverge"
+                            )
+                    elif len(index_rows) != table.indexed.used_rows:
+                        issues.append(
+                            f"table {name!r}: index holds {len(index_rows)} "
+                            f"rows, metadata says {table.indexed.used_rows}"
+                        )
+        if self.wal is not None:
+            if self.wal.committed_count != self.wal.count:
+                issues.append(
+                    f"WAL head {self.wal.committed_count} != enclave count "
+                    f"{self.wal.count}"
+                )
+            try:
+                _, dropped = self.wal.read_committed()
+                blocks_verified += self.wal.committed_count
+            except ObliDBError as error:
+                issues.append(f"WAL verification failed: {error}")
+            else:
+                if dropped:
+                    issues.append(
+                        f"WAL holds {dropped} uncommitted trailing record(s)"
+                    )
+        for region_name in untrusted.region_names():
+            if region_name.startswith(("flat#", "shuffle#")):
+                issues.append(f"leaked scratch region {region_name}")
+        return VerifyReport(
+            issues=issues,
+            tables_checked=tables_checked,
+            blocks_verified=blocks_verified,
+        )
 
     def _create_from_statement(self, statement: CreateTableStatement) -> QueryResult:
         columns = [
@@ -245,13 +439,17 @@ class ObliDB:
     def insert_many(self, table: str, rows: list[Row], fast: bool = False) -> None:
         """Bulk insert: one batched flat pass instead of one pass per row.
 
-        With WAL enabled each row is still logged individually (replay uses
-        per-statement SQL), but the storage maintenance is batched.
+        With WAL enabled the batch is logged with one group commit
+        (:meth:`~repro.engine.wal.WriteAheadLog.append_many`): every row's
+        replay statement is sealed, then the rollback-protected head
+        advances once.  The batch is one durable epoch — a crash before the
+        head commit drops all of it, never half an ingest burst.
         """
         target = self.table(table)
-        if self.wal is not None:
-            for row in rows:
-                self.wal.append(_insert_statement_sql(target.name, row))
+        if self.wal is not None and rows:
+            self.wal.append_many(
+                [_insert_statement_sql(target.name, row) for row in rows]
+            )
         target.insert_many(rows, fast=fast)
 
     def select(

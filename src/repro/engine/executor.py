@@ -573,20 +573,29 @@ class Executor:
         compiled = self._compile(statement)
         table = self._table(compiled.plan.tables[0])
         start = table.enclave.cost_snapshot()
-        if isinstance(statement, InsertStatement):
-            oblivious_insert(table, statement.values, fast=statement.fast)
-            affected = 1
-        elif isinstance(statement, UpdateStatement):
-            affected = oblivious_update(
-                table,
-                statement.where or TruePredicate(),
-                self._assigner(table, statement),
-            )
-        else:
-            assert isinstance(statement, DeleteStatement)
-            affected = oblivious_delete(
-                table, statement.where or TruePredicate()
-            )
+        before = table.revision
+        try:
+            if isinstance(statement, InsertStatement):
+                oblivious_insert(table, statement.values, fast=statement.fast)
+                affected = 1
+            elif isinstance(statement, UpdateStatement):
+                affected = oblivious_update(
+                    table,
+                    statement.where or TruePredicate(),
+                    self._assigner(table, statement),
+                )
+            else:
+                assert isinstance(statement, DeleteStatement)
+                affected = oblivious_delete(
+                    table, statement.where or TruePredicate()
+                )
+        except BaseException:
+            # Failed-write coherence: if the mutation layer bumped the
+            # revision (it started touching storage), drop the table's
+            # cached results too.  Clean failures leave both untouched.
+            if self._cache is not None and table.revision != before:
+                self._cache.invalidate_table(table.name)
+            raise
         table.bump_revision()
         if self._cache is not None:
             self._cache.invalidate_table(table.name)

@@ -14,6 +14,25 @@ truncated *suffix* is detectable by comparing the enclave's committed count
 — persisted with the client or a rollback-protection system like ROTE, per
 Section 3 — against the replayed count).
 
+Durability protocol
+-------------------
+An append stores the sealed record(s) first and *then* commits the new
+count to the rollback-protected ledger head: the head commit is the commit
+point.  A crash between the two leaves a **torn tail** — well-formed sealed
+records beyond the head.  Recovery treats the head as truth: committed
+records replay, and a torn tail of records that verify under their sequence
+AADs is *detected and dropped* (reported, never replayed, since their
+statements were never acknowledged).  A trailing record that fails
+verification is a tamper and raises :class:`IntegrityError` — the adversary
+cannot disguise corruption as an innocent torn write.
+
+:meth:`append_many` seals a whole batch of statements and commits the head
+once — group commit.  The batch becomes durable atomically: a crash
+anywhere before the single head commit drops the entire batch, so recovery
+never observes half an ingest burst.  This is also the write-heavy fast
+path: one range write and one ledger commit amortize per-record bookkeeping
+across the batch (``benchmarks/test_perf_recovery.py`` measures the win).
+
 Access-pattern argument, as in the paper: one sequential write per write
 statement, a pattern that depends only on the number of writes — which the
 adversary already observes from the table traffic itself.
@@ -24,6 +43,8 @@ Recovery replays the logged statements against a fresh database.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
+from typing import Sequence
 
 from ..enclave.enclave import Enclave
 from ..enclave.errors import IntegrityError, StorageError, WALReplayError
@@ -40,6 +61,19 @@ _REPLAY_CHUNK = 1024
 
 #: Ledger slot holding the committed-count head (never a real record slot).
 _HEAD_SLOT = -1
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What a crash-consistent recovery found and did.
+
+    ``replayed`` statements were re-executed (the committed prefix);
+    ``dropped_tail`` records were found beyond the rollback-protected head,
+    verified as authentic-but-uncommitted torn writes, and discarded.
+    """
+
+    replayed: int
+    dropped_tail: int
 
 
 class WriteAheadLog:
@@ -74,39 +108,50 @@ class WriteAheadLog:
     def _aad(self, sequence: int) -> bytes:
         return self._region.encode() + b"\x00" + _HEADER.pack(sequence)
 
+    def _append_batch(self, statements: Sequence[str]) -> int:
+        """Store sealed records, then commit the head once (group commit).
+
+        Returns the first sequence number of the batch.  The single ledger
+        commit after the range write is the durability point for the whole
+        batch: a crash before it leaves every record of the batch as an
+        uncommitted torn tail, dropped on recovery.
+        """
+        first = self._count
+        new_count = first + len(statements)
+        region = self._enclave.untrusted.region(self._region)
+        capacity = region.capacity
+        while new_count > capacity:
+            capacity *= 2
+        if capacity != region.capacity:
+            region.resize(capacity)
+        aads = [self._aad(first + offset) for offset in range(len(statements))]
+        sealed = self._enclave.seal_many(
+            [statement.encode() for statement in statements], aads
+        )
+        self._enclave.untrusted.write_range(self._region, first, sealed)
+        # Commit point: everything before this line is a droppable torn tail.
+        self._ledger.commit(self._region, _HEAD_SLOT, new_count)
+        self._count = new_count
+        return first
+
     def append(self, statement_sql: str) -> int:
         """Seal and append one statement; returns its sequence number."""
-        region = self._enclave.untrusted.region(self._region)
-        if self._count >= region.capacity:
-            region.resize(region.capacity * 2)
-        sealed = self._enclave.seal(statement_sql.encode(), self._aad(self._count))
-        self._enclave.untrusted.write(self._region, self._count, sealed)
-        self._count += 1
-        self._ledger.commit(self._region, _HEAD_SLOT, self._count)
-        return self._count - 1
+        return self._append_batch([statement_sql])
 
-    def read_all(self, expected_count: int | None = None) -> list[str]:
-        """Decrypt and verify the full log in order, in batched chunks.
+    def append_many(self, statements: Sequence[str]) -> tuple[int, int]:
+        """Group-commit a batch of statements under one durable epoch.
 
-        ``expected_count`` is the committed count the caller persisted
-        (through the enclave or a rollback-protection system like ROTE); it
-        is validated against the log's ledger head *before* any record is
-        decrypted, and a mismatch raises :class:`~repro.enclave.errors.
-        WALReplayError`.  A missing record then raises
-        :class:`IntegrityError` (truncation), as does any per-record
-        MAC/sequence failure (tamper/reorder).
-
-        Trace contract: ``R 0 .. R count-1`` on the log region — the
-        per-record loop's order — executed as chunked range reads with one
-        ``open_many`` keystream pass per chunk.
+        Returns ``(first_sequence, count)``.  The batch is atomic with
+        respect to crashes: either every statement is covered by the head
+        commit or none is.
         """
-        committed = self.committed_count
-        if expected_count is not None and expected_count != committed:
-            raise WALReplayError(
-                f"WAL replay count mismatch: caller expects {expected_count} "
-                f"records, rollback-protected ledger committed {committed}"
-            )
-        count = expected_count if expected_count is not None else self._count
+        if not statements:
+            return self._count, 0
+        first = self._append_batch(statements)
+        return first, len(statements)
+
+    def _read_verified(self, count: int) -> list[str]:
+        """Decrypt and verify records ``[0, count)`` in chunked order."""
         statements: list[str] = []
         for start in range(0, count, _REPLAY_CHUNK):
             chunk = min(_REPLAY_CHUNK, count - start)
@@ -123,13 +168,95 @@ class WriteAheadLog:
             )
         return statements
 
+    def _scan_uncommitted_tail(self, committed: int) -> int:
+        """Count (and verify) torn records beyond the committed head.
+
+        Each trailing non-empty slot must open under its sequence AAD: a
+        record the host *claims* is a torn write but that fails its MAC is
+        tampering, not an innocent crash, and raises
+        :class:`IntegrityError`.  Scanning stops at the first empty slot —
+        appends are sequential, so a gap means no further records exist.
+        """
+        region = self._enclave.untrusted.region(self._region)
+        dropped = 0
+        sequence = committed
+        while sequence < region.capacity:
+            block = self._enclave.untrusted.read(self._region, sequence)
+            if block is None:
+                break
+            try:
+                self._enclave.open(block, self._aad(sequence))
+            except IntegrityError as cause:
+                raise IntegrityError(
+                    f"uncommitted WAL tail record {sequence} is corrupt: a "
+                    "torn write must still verify under its sequence header"
+                ) from cause
+            dropped += 1
+            sequence += 1
+        return dropped
+
+    def read_all(self, expected_count: int | None = None) -> list[str]:
+        """Decrypt and verify the committed log in order, in batched chunks.
+
+        ``expected_count`` is the committed count the caller persisted
+        (through the enclave or a rollback-protection system like ROTE); it
+        is validated against the log's ledger head *before* any record is
+        decrypted, and a mismatch raises :class:`~repro.enclave.errors.
+        WALReplayError`.  A missing record then raises
+        :class:`IntegrityError` (truncation), as does any per-record
+        MAC/sequence failure (tamper/reorder).  The record count is always
+        the rollback-protected head, never the slot contents: records beyond
+        the head are an uncommitted torn tail and are not returned.
+
+        Trace contract: ``R 0 .. R count-1`` on the log region — the
+        per-record loop's order — executed as chunked range reads with one
+        ``open_many`` keystream pass per chunk.
+        """
+        committed = self.committed_count
+        if expected_count is not None and expected_count != committed:
+            raise WALReplayError(
+                f"WAL replay count mismatch: caller expects {expected_count} "
+                f"records, rollback-protected ledger committed {committed}"
+            )
+        return self._read_verified(committed)
+
+    def read_committed(self) -> tuple[list[str], int]:
+        """The committed statements plus the verified torn-tail drop count.
+
+        The crash-recovery read path: trusts only the rollback-protected
+        head for the record count, verifies every committed record, then
+        scans past the head for torn-but-authentic trailing records (see
+        :meth:`_scan_uncommitted_tail`).  Returns ``(statements,
+        dropped_tail)``.
+        """
+        committed = self.committed_count
+        statements = self._read_verified(committed)
+        dropped = self._scan_uncommitted_tail(committed)
+        return statements, dropped
+
+    def recover_into(self, database) -> RecoveryReport:
+        """Crash-consistent replay into a fresh ``database``.
+
+        Re-executes exactly the committed prefix and reports any
+        detected-and-dropped torn tail.  Replaying into a non-empty
+        database is almost certainly a mistake, so it is rejected.
+        """
+        if database.table_names():
+            raise StorageError("refusing to replay a WAL into a non-empty database")
+        statements, dropped = self.read_committed()
+        for statement in statements:
+            database.sql(statement)
+        return RecoveryReport(replayed=len(statements), dropped_tail=dropped)
+
     def replay_into(self, database) -> int:
         """Re-execute every logged statement against ``database``.
 
         ``database`` is an :class:`~repro.engine.database.ObliDB`; returns
         the number of statements replayed.  The read side is the batched,
-        ledger-validated :meth:`read_all`; replaying into a non-empty
-        database is almost certainly a mistake, so it is rejected.
+        ledger-validated :meth:`read_all`, pinned to this instance's
+        enclave-side count — the strict variant for live (non-crash)
+        replication, where a torn tail cannot exist.  Crash recovery goes
+        through :meth:`recover_into`.
         """
         if database.table_names():
             raise StorageError("refusing to replay a WAL into a non-empty database")

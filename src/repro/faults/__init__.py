@@ -1,0 +1,23 @@
+"""Fault injection: the malicious host of Section 3, made executable.
+
+The paper's threat model gives the OS full control over everything outside
+the enclave: it can tamper with sealed blocks, add or remove them, shuffle
+them, roll them back to old copies, fail individual accesses, and kill the
+process at any instant.  This package turns each of those powers into a
+declarative :class:`FaultPlan` entry and a transparent
+:class:`FaultyUntrustedMemory` host that executes them, so any existing
+workload or test can run against the adversary by passing one constructor
+argument (``ObliDB(fault_plan=...)`` or ``Enclave(untrusted_factory=...)``).
+
+``docs/robustness.md`` maps every threat action to the fault that injects it
+and the typed error that must detect it.
+"""
+
+from .memory import FaultyUntrustedMemory
+from .plan import FaultPlan, SimulatedCrash
+
+__all__ = [
+    "FaultPlan",
+    "FaultyUntrustedMemory",
+    "SimulatedCrash",
+]

@@ -1,0 +1,321 @@
+"""A transparent adversarial host wrapping :class:`UntrustedMemory`.
+
+:class:`FaultyUntrustedMemory` executes a :class:`~repro.faults.FaultPlan`
+while preserving the honest host's observable contract exactly: when no
+fault targets an access window, every batched primitive delegates straight
+to the honest implementation; when one does, the batch decomposes into the
+per-slot scalar loop — which the data path's trace-equivalence invariant
+guarantees is observably identical — so faults can strike *inside* a batch
+at precise access indices.
+
+The ``accesses`` counter numbers every adversary-visible slot access (the
+same events the :class:`~repro.enclave.trace.AccessTrace` records), giving
+crash/transient faults a deterministic coordinate system: run a workload
+once against an empty plan to learn its total access count, then sweep
+``crash_at(k)`` over every k.
+
+Degradation contract under mid-batch faults: a crash or transient inside a
+read-modify-write pass leaves slots the pass already re-sealed alongside a
+ledger that may have advanced past slots never stored.  That state is
+*unreadable but detected* — the next open raises
+:class:`~repro.enclave.errors.RollbackError` or ``IntegrityError``, never a
+silently wrong row — and WAL replay reconstructs the committed prefix.  The
+statement-boundary retry refuses to re-run anything once a mutation has
+started (see ``RetryPolicy``), so a transient on a write pass surfaces as a
+typed statement failure, not a doubled write.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..enclave.counters import CostModel
+from ..enclave.crypto import SealedBlock
+from ..enclave.errors import StorageError, TransientStorageError
+from ..enclave.memory import UntrustedMemory
+from ..enclave.trace import AccessTrace
+from .plan import FaultPlan, SimulatedCrash
+
+
+def _corrupt(block: SealedBlock) -> SealedBlock:
+    """Flip one ciphertext bit (or a MAC bit for empty payloads)."""
+    if block.ciphertext:
+        flipped = bytes([block.ciphertext[0] ^ 0x01]) + block.ciphertext[1:]
+        return block._replace(ciphertext=flipped)
+    return block._replace(mac=bytes([block.mac[0] ^ 0x01]) + block.mac[1:])
+
+
+class FaultyUntrustedMemory(UntrustedMemory):
+    """Untrusted memory that misbehaves according to a :class:`FaultPlan`."""
+
+    def __init__(
+        self, trace: AccessTrace, cost: CostModel, plan: FaultPlan | None = None
+    ) -> None:
+        super().__init__(trace, cost)
+        self.plan = plan if plan is not None else FaultPlan()
+        #: Adversary-visible slot accesses completed or in flight; the
+        #: coordinate system for crash_at / crash_after / transient_at.
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    # Counter-fault hooks around every scalar access
+    # ------------------------------------------------------------------
+    def _before(self) -> None:
+        if self.plan.take_transient(self.accesses):
+            raise TransientStorageError(
+                f"simulated transient host failure at access {self.accesses}"
+            )
+        if self.plan.crash_before(self.accesses):
+            raise SimulatedCrash(
+                f"host killed the process before access {self.accesses}"
+            )
+
+    def _after(self) -> None:
+        completed = self.accesses
+        self.accesses += 1
+        if self.plan.crash_after_completed(completed):
+            raise SimulatedCrash(
+                f"host killed the process after access {completed}"
+            )
+
+    def _passthrough(self, region_name: str, count: int) -> bool:
+        """No fault can strike in this window: delegate to the honest host."""
+        return not self.plan.counter_fault_in(
+            self.accesses, count
+        ) and not self.plan.armed_for(region_name)
+
+    # ------------------------------------------------------------------
+    # Slot-fault application
+    # ------------------------------------------------------------------
+    def _apply_read_faults(self, region_name: str, index: int) -> None:
+        """Mutate the store as the adversary would before a read is served."""
+        region = self._regions.get(region_name)
+        if region is None or not 0 <= index < region.capacity:
+            return  # the honest access raises the bounds/region error
+        slots = region._slots
+        block = slots[index]
+        if block is not None and self.plan.take_tamper(region_name, index):
+            slots[index] = _corrupt(block)
+        stale = self.plan.take_stale_for_read(region_name, index)
+        if stale is not None:
+            slots[index] = stale  # persistent rollback: newer copy discarded
+
+    def _write_faulty(
+        self,
+        region_name: str,
+        index: int,
+        block: SealedBlock | None,
+        force_drop: bool = False,
+    ) -> None:
+        """One scalar write with drop/duplicate/stale-capture semantics."""
+        self._before()
+        region = self._regions.get(region_name)
+        prior = None
+        if region is not None and 0 <= index < region.capacity:
+            prior = region._slots[index]
+        super().write(region_name, index, block)
+        plan = self.plan
+        stale = plan.stale_armed_at(region_name, index)
+        if stale is not None and stale.saved is None and prior is not None:
+            stale.saved = prior  # the old copy the rollback will serve
+        if force_drop or plan.take_drop(region_name, index):
+            region._slots[index] = prior  # acknowledged, never stored
+        duplicate = plan.take_duplicate(region_name, index)
+        if duplicate is not None and 0 <= duplicate.to_index < region.capacity:
+            region._slots[duplicate.to_index] = block  # host-side relocation
+        self._after()
+
+    # ------------------------------------------------------------------
+    # Scalar primitives
+    # ------------------------------------------------------------------
+    def read(self, region_name: str, index: int) -> SealedBlock | None:
+        self._before()
+        self._apply_read_faults(region_name, index)
+        block = super().read(region_name, index)
+        self._after()
+        return block
+
+    def write(
+        self, region_name: str, index: int, block: SealedBlock | None
+    ) -> None:
+        self._write_faulty(region_name, index, block)
+
+    # ------------------------------------------------------------------
+    # Batched primitives: honest fast path, scalar decomposition under fire
+    # ------------------------------------------------------------------
+    def read_range(
+        self, region_name: str, start: int, count: int
+    ) -> list[SealedBlock | None]:
+        if self._passthrough(region_name, count):
+            result = super().read_range(region_name, start, count)
+            self.accesses += count
+            return result
+        return [self.read(region_name, start + offset) for offset in range(count)]
+
+    def write_range(
+        self, region_name: str, start: int, blocks: Sequence[SealedBlock | None]
+    ) -> None:
+        count = len(blocks)
+        if self._passthrough(region_name, count):
+            super().write_range(region_name, start, blocks)
+            self.accesses += count
+            return
+        torn = self.plan.take_torn(region_name)
+        for offset, block in enumerate(blocks):
+            self._write_faulty(
+                region_name,
+                start + offset,
+                block,
+                force_drop=torn is not None and offset >= torn.keep,
+            )
+
+    def read_at(
+        self, region_name: str, indices: Sequence[int]
+    ) -> list[SealedBlock | None]:
+        if self._passthrough(region_name, len(indices)):
+            result = super().read_at(region_name, indices)
+            self.accesses += len(indices)
+            return result
+        return [self.read(region_name, index) for index in indices]
+
+    def write_at(
+        self,
+        region_name: str,
+        indices: Sequence[int],
+        blocks: Sequence[SealedBlock | None],
+    ) -> None:
+        if len(blocks) != len(indices):
+            raise StorageError(
+                f"scatter write of {len(blocks)} blocks to {len(indices)} slots"
+            )
+        if self._passthrough(region_name, len(indices)):
+            super().write_at(region_name, indices, blocks)
+            self.accesses += len(indices)
+            return
+        torn = self.plan.take_torn(region_name)
+        for offset, (index, block) in enumerate(zip(indices, blocks)):
+            self._write_faulty(
+                region_name,
+                index,
+                block,
+                force_drop=torn is not None and offset >= torn.keep,
+            )
+
+    # ------------------------------------------------------------------
+    # Exchange primitives.  Under fire these simulate the batch: slot
+    # faults land before compute (a tampered/stale block reaches the
+    # enclave and fails inside compute, recording nothing — fewer
+    # adversary-visible accesses than the honest run, never more), then
+    # the documented per-slot R/W interleaving replays with counter
+    # faults live at each step.
+    # ------------------------------------------------------------------
+    def exchange_range(
+        self,
+        region_name: str,
+        start: int,
+        count: int,
+        compute: Callable[[list[SealedBlock | None]], Sequence[SealedBlock | None]],
+    ) -> None:
+        if self._passthrough(region_name, 2 * count):
+            super().exchange_range(region_name, start, count, compute)
+            self.accesses += 2 * count
+            return
+        region = self.region(region_name)
+        self._check_range(region, start, count, "range exchange")
+        for offset in range(count):
+            self._apply_read_faults(region_name, start + offset)
+        replacements = list(compute(region._slots[start : start + count]))
+        if len(replacements) != count:
+            raise StorageError(
+                f"range exchange computed {len(replacements)} blocks for "
+                f"{count} slots"
+            )
+        for offset in range(count):
+            self.read(region_name, start + offset)
+            self.write(region_name, start + offset, replacements[offset])
+
+    def exchange_pairs(
+        self,
+        region_name: str,
+        start: int,
+        half: int,
+        compute: Callable[
+            [list[SealedBlock | None], list[SealedBlock | None]],
+            tuple[Sequence[SealedBlock | None], Sequence[SealedBlock | None]],
+        ],
+    ) -> None:
+        if self._passthrough(region_name, 4 * half):
+            super().exchange_pairs(region_name, start, half, compute)
+            self.accesses += 4 * half
+            return
+        region = self.region(region_name)
+        self._check_range(region, start, 2 * half, "pair exchange")
+        for offset in range(2 * half):
+            self._apply_read_faults(region_name, start + offset)
+        mid = start + half
+        new_lows, new_highs = compute(
+            region._slots[start:mid], region._slots[mid : mid + half]
+        )
+        if len(new_lows) != half or len(new_highs) != half:
+            raise StorageError("pair exchange computed a wrong number of blocks")
+        new_lows, new_highs = list(new_lows), list(new_highs)
+        for offset in range(half):
+            self.read(region_name, start + offset)
+            self.read(region_name, mid + offset)
+            self.write(region_name, start + offset, new_lows[offset])
+            self.write(region_name, mid + offset, new_highs[offset])
+
+    def exchange_interleaved(
+        self,
+        schedule: Sequence[tuple[str, str, int]],
+        compute: Callable[[list[SealedBlock | None]], Sequence[SealedBlock | None]],
+    ) -> None:
+        region_names = {region_name for _, region_name, _ in schedule}
+        if not self.plan.counter_fault_in(self.accesses, len(schedule)) and not any(
+            self.plan.armed_for(region_name) for region_name in region_names
+        ):
+            super().exchange_interleaved(schedule, compute)
+            self.accesses += len(schedule)
+            return
+        # Validate exactly as the honest host does before touching anything.
+        reads: list[tuple[str, int]] = []
+        writes: list[tuple[str, int]] = []
+        written: set[tuple[str, int]] = set()
+        for op, region_name, index in schedule:
+            region = self.region(region_name)
+            if not 0 <= index < region.capacity:
+                raise StorageError(
+                    f"interleaved exchange out of bounds: {region_name}[{index}] "
+                    f"(capacity {region.capacity})"
+                )
+            if op == "R":
+                if (region_name, index) in written:
+                    raise StorageError(
+                        f"interleaved exchange reads {region_name}[{index}] "
+                        "after writing it; gather-then-scatter would return "
+                        "the stale block"
+                    )
+                reads.append((region_name, index))
+            elif op == "W":
+                written.add((region_name, index))
+                writes.append((region_name, index))
+            else:
+                raise StorageError(f"unknown interleaved exchange op {op!r}")
+        for region_name, index in reads:
+            self._apply_read_faults(region_name, index)
+        gathered = [
+            self.region(region_name)._slots[index] for region_name, index in reads
+        ]
+        replacements = list(compute(gathered))
+        if len(replacements) != len(writes):
+            raise StorageError(
+                f"interleaved exchange computed {len(replacements)} blocks "
+                f"for {len(writes)} write steps"
+            )
+        cursor = 0
+        for op, region_name, index in schedule:
+            if op == "R":
+                self.read(region_name, index)
+            else:
+                self.write(region_name, index, replacements[cursor])
+                cursor += 1

@@ -1,0 +1,254 @@
+"""Declarative fault plans: which adversarial actions fire, and where.
+
+A :class:`FaultPlan` is a small schedule of host misbehaviours, built with
+chainable methods and handed to :class:`~repro.faults.FaultyUntrustedMemory`.
+Faults come in two families:
+
+* **Counter faults** key on the global untrusted-access index — the k-th
+  slot access the adversary observes, across all regions.  ``crash_at(k)``
+  kills the process *before* access k takes effect (accesses ``0..k-1`` are
+  the surviving prefix); ``crash_after(k)`` kills it *after* access k lands
+  (this is how a sweep reaches the window between a WAL record write and its
+  ledger-head commit); ``transient_at(k)`` fails access k once with
+  :class:`~repro.enclave.errors.TransientStorageError` — the access does not
+  take effect and a retry succeeds.
+
+* **Slot faults** key on a (region, index) target; the region may be a
+  literal name or an ``fnmatch`` glob (``"table:t:*"``, ``"wal#*"``).
+  ``tamper`` corrupts the stored ciphertext before its next read;
+  ``serve_stale`` remembers the block a write overwrites and serves that old
+  copy (a rollback) on the next read; ``drop_write`` acknowledges a write
+  but discards it; ``duplicate_write`` additionally copies the written block
+  over another slot (a shuffle/relocation); ``torn_write`` lets only the
+  first ``keep`` writes of the next batched write pass reach storage.
+
+Every fault fires at most once (the builder can be called repeatedly to arm
+several).  Crashes raise :class:`SimulatedCrash`, which derives from
+``BaseException`` on purpose: recovery code and retry loops catch
+``Exception``-rooted library errors, and a kill must tear straight through
+them exactly like ``KeyboardInterrupt`` would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from ..enclave.crypto import SealedBlock
+
+
+class SimulatedCrash(BaseException):
+    """The host killed the process at an untrusted access.
+
+    Derives from ``BaseException`` so no library ``except Exception`` path
+    (retry, cleanup, cache invalidation) can swallow it — a real kill gives
+    the enclave no chance to run handlers either.  Enclave-private state is
+    considered lost; only untrusted region contents and the
+    rollback-protected ledger head survive into recovery.
+    """
+
+
+@dataclass
+class _Crash:
+    at: int
+    after: bool = False
+    fired: bool = False
+
+
+@dataclass
+class _Transient:
+    at: int
+    taken: bool = False
+
+
+@dataclass
+class _Tamper:
+    region: str
+    index: int
+    armed: bool = True
+
+
+@dataclass
+class _Stale:
+    region: str
+    index: int
+    saved: SealedBlock | None = None
+    armed: bool = True
+
+
+@dataclass
+class _DropWrite:
+    region: str
+    index: int
+    armed: bool = True
+
+
+@dataclass
+class _DuplicateWrite:
+    region: str
+    index: int
+    to_index: int
+    armed: bool = True
+
+
+@dataclass
+class _TornWrite:
+    region: str
+    keep: int
+    armed: bool = True
+
+
+def _match(pattern: str, region: str) -> bool:
+    return fnmatchcase(region, pattern)
+
+
+class FaultPlan:
+    """A schedule of host misbehaviours; see the module docstring."""
+
+    def __init__(self) -> None:
+        self._crashes: list[_Crash] = []
+        self._transients: list[_Transient] = []
+        self._tampers: list[_Tamper] = []
+        self._stales: list[_Stale] = []
+        self._drops: list[_DropWrite] = []
+        self._duplicates: list[_DuplicateWrite] = []
+        self._torn: list[_TornWrite] = []
+
+    # ------------------------------------------------------------------
+    # Builder API (chainable)
+    # ------------------------------------------------------------------
+    def crash_at(self, access_index: int) -> "FaultPlan":
+        """Kill the process *before* untrusted access ``access_index``."""
+        self._crashes.append(_Crash(access_index, after=False))
+        return self
+
+    def crash_after(self, access_index: int) -> "FaultPlan":
+        """Kill the process *after* access ``access_index`` takes effect."""
+        self._crashes.append(_Crash(access_index, after=True))
+        return self
+
+    def transient_at(self, access_index: int) -> "FaultPlan":
+        """Fail access ``access_index`` once, retryably (no effect taken)."""
+        self._transients.append(_Transient(access_index))
+        return self
+
+    def tamper(self, region: str, index: int) -> "FaultPlan":
+        """Corrupt the stored ciphertext of a slot before its next read."""
+        self._tampers.append(_Tamper(region, index))
+        return self
+
+    def serve_stale(self, region: str, index: int) -> "FaultPlan":
+        """Roll a slot back: serve the pre-overwrite block on its next read.
+
+        Arms on the next *write* to the slot (that is when an old copy
+        exists to keep); the following read of the slot gets the stale
+        block, persistently written back into the store — the host has
+        discarded the newer version.
+        """
+        self._stales.append(_Stale(region, index))
+        return self
+
+    def drop_write(self, region: str, index: int) -> "FaultPlan":
+        """Acknowledge the next write to a slot but discard its effect."""
+        self._drops.append(_DropWrite(region, index))
+        return self
+
+    def duplicate_write(self, region: str, index: int, to_index: int) -> "FaultPlan":
+        """Also copy the next write to a slot over ``to_index`` (a shuffle)."""
+        self._duplicates.append(_DuplicateWrite(region, index, to_index))
+        return self
+
+    def torn_write(self, region: str, keep: int) -> "FaultPlan":
+        """Tear the next batched write pass to a region after ``keep`` slots."""
+        self._torn.append(_TornWrite(region, keep))
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries used by FaultyUntrustedMemory (take_* methods disarm)
+    # ------------------------------------------------------------------
+    def counter_fault_in(self, start: int, count: int) -> bool:
+        """Any live crash/transient keyed on ``[start, start+count)``?"""
+        end = start + count
+        for crash in self._crashes:
+            if not crash.fired and start <= crash.at < end:
+                return True
+        for transient in self._transients:
+            if not transient.taken and start <= transient.at < end:
+                return True
+        return False
+
+    def take_transient(self, counter: int) -> bool:
+        for transient in self._transients:
+            if not transient.taken and transient.at == counter:
+                transient.taken = True
+                return True
+        return False
+
+    def crash_before(self, counter: int) -> bool:
+        for crash in self._crashes:
+            if not crash.fired and not crash.after and crash.at == counter:
+                crash.fired = True  # one-shot: recovery reuses the host
+                return True
+        return False
+
+    def crash_after_completed(self, counter: int) -> bool:
+        for crash in self._crashes:
+            if not crash.fired and crash.after and crash.at == counter:
+                crash.fired = True
+                return True
+        return False
+
+    def armed_for(self, region: str) -> bool:
+        """Any live slot fault targeting ``region`` (forces the scalar path)?"""
+        for fault in (
+            *self._tampers,
+            *self._stales,
+            *self._drops,
+            *self._duplicates,
+            *self._torn,
+        ):
+            if fault.armed and _match(fault.region, region):
+                return True
+        return False
+
+    def take_tamper(self, region: str, index: int) -> bool:
+        for fault in self._tampers:
+            if fault.armed and fault.index == index and _match(fault.region, region):
+                fault.armed = False
+                return True
+        return False
+
+    def stale_armed_at(self, region: str, index: int) -> _Stale | None:
+        for fault in self._stales:
+            if fault.armed and fault.index == index and _match(fault.region, region):
+                return fault
+        return None
+
+    def take_stale_for_read(self, region: str, index: int) -> SealedBlock | None:
+        """The saved old block to serve for this read, if one is ready."""
+        fault = self.stale_armed_at(region, index)
+        if fault is None or fault.saved is None:
+            return None
+        fault.armed = False
+        return fault.saved
+
+    def take_drop(self, region: str, index: int) -> bool:
+        for fault in self._drops:
+            if fault.armed and fault.index == index and _match(fault.region, region):
+                fault.armed = False
+                return True
+        return False
+
+    def take_duplicate(self, region: str, index: int) -> _DuplicateWrite | None:
+        for fault in self._duplicates:
+            if fault.armed and fault.index == index and _match(fault.region, region):
+                fault.armed = False
+                return fault
+        return None
+
+    def take_torn(self, region: str) -> _TornWrite | None:
+        for fault in self._torn:
+            if fault.armed and _match(fault.region, region):
+                fault.armed = False
+                return fault
+        return None

@@ -38,19 +38,29 @@ def oblivious_update(
     updated = 0
     if table.flat is not None:
         matcher = predicate.compile(table.schema)
-        updated = table.flat.update(matcher, assign)
+        try:
+            updated = table.flat.update(matcher, assign)
+        except BaseException:
+            # The pass may have landed a prefix of its chunks: bump the
+            # revision so no cached result survives the partial mutation.
+            table.bump_revision()
+            raise
     if table.indexed is not None:
         matcher = predicate.compile(table.schema)
         key_index = table.schema.column_index(table.indexed.key_column)
         affected = [row for row in table.indexed.linear_scan() if matcher(row)]
-        for row in affected:
-            new_row = table.schema.validate_row(assign(row))
-            if new_row[key_index] == row[key_index]:
-                table.indexed.tree.update(row[key_index], new_row)
-            else:
-                # Key changes need a delete + insert (both padded).
-                table.indexed.tree.delete(row[key_index])
-                table.indexed.tree.insert(new_row)
+        try:
+            for row in affected:
+                new_row = table.schema.validate_row(assign(row))
+                if new_row[key_index] == row[key_index]:
+                    table.indexed.tree.update(row[key_index], new_row)
+                else:
+                    # Key changes need a delete + insert (both padded).
+                    table.indexed.tree.delete(row[key_index])
+                    table.indexed.tree.insert(new_row)
+        except BaseException:
+            table.bump_revision()
+            raise
         if table.flat is None:
             updated = len(affected)
     return updated
@@ -61,7 +71,11 @@ def oblivious_delete(table: Table, predicate: Predicate) -> int:
     deleted = 0
     if table.flat is not None:
         matcher = predicate.compile(table.schema)
-        deleted = table.flat.delete(matcher)
+        try:
+            deleted = table.flat.delete(matcher)
+        except BaseException:
+            table.bump_revision()
+            raise
     if table.indexed is not None:
         matcher = predicate.compile(table.schema)
         affected_keys: list[Value] = []
@@ -69,11 +83,15 @@ def oblivious_delete(table: Table, predicate: Predicate) -> int:
         for row in table.indexed.linear_scan():
             if matcher(row):
                 affected_keys.append(row[key_index])
-        for key in affected_keys:
-            if not table.indexed.tree.delete(key):
-                raise StorageError(
-                    "index out of sync: key found by scan but not by delete"
-                )
+        try:
+            for key in affected_keys:
+                if not table.indexed.tree.delete(key):
+                    raise StorageError(
+                        "index out of sync: key found by scan but not by delete"
+                    )
+        except BaseException:
+            table.bump_revision()
+            raise
         if table.flat is None:
             deleted = len(affected_keys)
     return deleted

@@ -106,9 +106,11 @@ class ObliviousBPlusTree:
         position map per Appendix B, Ring ORAM for the ~1.5x of Section 8)
         without the tree knowing; ``oram`` passes a pre-built store."""
         if order < 4:
+            # Genuine argument validation: ``order`` is a developer-supplied
+            # tuning knob, never derived from user statements.
             raise ValueError("order must be at least 4")
         if capacity < 1:
-            raise ValueError("capacity must be positive")
+            raise StorageError("capacity must be positive")
         self._enclave = enclave
         self.schema = schema
         self.key_column = key_column

@@ -42,7 +42,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, Sequence
 
 from ..enclave.enclave import Enclave
-from ..enclave.errors import CapacityError, StorageError
+from ..enclave.errors import CapacityError, IntegrityError, RollbackError, StorageError
 from ..enclave.integrity import RevisionLedger
 from .rows import frame_dummy, frame_row_validated, is_dummy, unframe_row, unframe_rows
 from .schema import Row, Schema
@@ -65,7 +65,7 @@ class FlatStorage:
         ledger: RevisionLedger | None = None,
     ) -> None:
         if capacity < 0:
-            raise ValueError("capacity must be non-negative")
+            raise StorageError("capacity must be non-negative")
         self._enclave = enclave
         self.schema = schema
         self._region = name or enclave.fresh_region_name("flat")
@@ -101,8 +101,67 @@ class FlatStorage:
         return self._used
 
     @property
+    def fast_insert_cursor(self) -> int:
+        """Next slot the constant-time append path will write."""
+        return self._next_fast_insert
+
+    @property
     def enclave(self) -> Enclave:
         return self._enclave
+
+    # ------------------------------------------------------------------
+    # Verified decryption with rollback classification
+    # ------------------------------------------------------------------
+    def _classify_open_failure(
+        self, sealed, index: int, error: IntegrityError
+    ) -> "IntegrityError":
+        """Distinguish a rollback from arbitrary tampering, enclave-side.
+
+        The AAD binds (region, index, revision), so a validly MACed *old*
+        copy of a slot fails ``open`` exactly like corrupted bytes.  On the
+        failure path — and only there — re-verify the ciphertext against
+        every prior revision of this slot; a match means the host served
+        stale state (Section 3's rollback attack) and the caller gets the
+        more specific :class:`RollbackError`.  The classification touches no
+        untrusted memory: the ciphertext is already in hand, and MAC checks
+        are pure enclave work, so the adversary observes nothing extra
+        before detection.
+        """
+        current = self._ledger.current(self._region, index)
+        for revision in range(current):
+            aad = self._ledger.associated_data(self._region, index, revision)
+            try:
+                self._enclave.open(sealed, aad)
+            except IntegrityError:
+                continue
+            return RollbackError(
+                f"stale block served at {self._region}[{index}]: ciphertext "
+                f"verifies as revision {revision}, ledger at {current}"
+            )
+        return error
+
+    def _open_verified(
+        self, sealed: list, aads: list[bytes], indices: Sequence[int]
+    ) -> list[bytes]:
+        """Batch-open blocks of this region; classify failures per slot.
+
+        The fast path is one :meth:`~repro.enclave.enclave.Enclave.
+        open_many` pass.  If it fails, the offender is located with
+        per-block opens (still enclave-side only) so the raised error names
+        the slot and distinguishes :class:`RollbackError` from generic
+        :class:`IntegrityError`.
+        """
+        try:
+            return self._enclave.open_many(sealed, aads)
+        except IntegrityError:
+            for block, aad, index in zip(sealed, aads, indices):
+                try:
+                    self._enclave.open(block, aad)
+                except IntegrityError as cause:
+                    raise self._classify_open_failure(
+                        block, index, cause
+                    ) from cause
+            raise  # pragma: no cover - open_many failed but no block did
 
     # ------------------------------------------------------------------
     # Block-level primitives (each is one observable untrusted access)
@@ -122,7 +181,10 @@ class FlatStorage:
             raise StorageError(f"missing block {self._region}[{index}]")
         revision = self._ledger.current(self._region, index)
         aad = self._ledger.associated_data(self._region, index, revision)
-        return self._enclave.open(sealed, aad)
+        try:
+            return self._enclave.open(sealed, aad)
+        except IntegrityError as cause:
+            raise self._classify_open_failure(sealed, index, cause) from cause
 
     def read_row(self, index: int) -> Row | None:
         """Read one block; ``None`` when it holds a dummy row."""
@@ -162,7 +224,7 @@ class FlatStorage:
             if block is None:
                 raise StorageError(f"missing block {self._region}[{start + offset}]")
         aads = self._ledger.open_range(self._region, start, count)
-        return self._enclave.open_many(sealed, aads)
+        return self._open_verified(sealed, aads, range(start, start + count))
 
     def write_range_framed(self, start: int, frames: list[bytes]) -> None:
         """Seal ``frames`` into ``[start, start+len(frames))``.
@@ -214,7 +276,7 @@ class FlatStorage:
             aads, next_aads, next_revisions = ledger.advance_range(
                 region, start, count
             )
-            frames = enclave.open_many(sealed, aads)
+            frames = self._open_verified(sealed, aads, range(start, start + count))
             new_frames = [
                 transform(index, framed)
                 for index, framed in enumerate(frames, start)
@@ -251,7 +313,7 @@ class FlatStorage:
             aads, next_aads, next_revisions = ledger.advance_range(
                 region, start, count
             )
-            frames = enclave.open_many(blocks, aads)
+            frames = self._open_verified(blocks, aads, range(start, start + count))
             new_lows: list[bytes] = []
             new_highs: list[bytes] = []
             for offset in range(half):
@@ -284,7 +346,7 @@ class FlatStorage:
                 if block is None:
                     raise StorageError(f"missing block {self._region}[{index}]")
             aads = self._ledger.open_at(self._region, chunk)
-            frames.extend(self._enclave.open_many(sealed, aads))
+            frames.extend(self._open_verified(sealed, aads, chunk))
         return frames
 
     def write_at_framed(self, indices: Sequence[int], frames: Sequence[bytes]) -> None:
@@ -366,8 +428,8 @@ class FlatStorage:
                 for index, block in zip(read_indices, sealed):
                     if block is None:
                         raise StorageError(f"missing block {region}[{index}]")
-                frames = enclave.open_many(
-                    sealed, ledger.open_at(region, read_indices)
+                frames = self._open_verified(
+                    sealed, ledger.open_at(region, read_indices), read_indices
                 )
                 new_frames = transform(chunk, frames)
                 if len(new_frames) != len(write_indices):
@@ -435,7 +497,9 @@ class FlatStorage:
                     if block is None:
                         raise StorageError(f"missing block {src_region}[{src}]")
                 aads = src_ledger.open_steps(read_steps)
-                frames = enclave.open_many(sealed, aads)
+                frames = self._open_verified(
+                    sealed, aads, [src for src, _ in chunk]
+                )
                 new_frames = transform(offset, frames)
                 if len(new_frames) != len(chunk):
                     raise StorageError(

@@ -14,7 +14,7 @@ from enum import Enum
 from typing import Callable
 
 from ..enclave.enclave import Enclave
-from ..enclave.errors import StorageError
+from ..enclave.errors import CapacityError, StorageError
 from .flat import FlatStorage
 from .indexed import IndexedStorage
 from .schema import Row, Schema, Value
@@ -63,9 +63,16 @@ class Table:
             )
         if method in (StorageMethod.INDEXED, StorageMethod.BOTH):
             assert key_column is not None
-            self.indexed = IndexedStorage(
-                enclave, schema, key_column, capacity, rng=rng, oram_kind=oram_kind
-            )
+            try:
+                self.indexed = IndexedStorage(
+                    enclave, schema, key_column, capacity, rng=rng, oram_kind=oram_kind
+                )
+            except BaseException:
+                # Failed-construction cleanup: a BOTH table whose index
+                # never came up must not leak its flat scratch region.
+                if self.flat is not None:
+                    self.flat.free()
+                raise
 
     @property
     def capacity(self) -> int:
@@ -116,6 +123,24 @@ class Table:
     # Mutations: routed to every maintained representation so both stay
     # consistent (the BOTH method's cost, measured in Figure 12).
     # ------------------------------------------------------------------
+    def _precheck_flat_capacity(self, count: int, fast: bool) -> None:
+        """Raise the capacity error *before* any representation mutates.
+
+        A clean failure (validation, capacity) leaves the revision epoch
+        untouched — nothing changed, cached results stay valid.  Once a
+        storage pass has started, any failure instead bumps the epoch
+        conservatively (see the mutation wrappers below).
+        """
+        if self.flat is None:
+            return
+        if fast:
+            if self.flat.fast_insert_cursor + count > self.flat.capacity:
+                raise CapacityError(
+                    f"table {self.flat.region_name} is full for fast inserts"
+                )
+        elif self.flat.used_rows + count > self.flat.capacity:
+            raise CapacityError(f"table {self.flat.region_name} is full")
+
     def insert(self, row: Row, fast: bool = False) -> None:
         """Insert into every representation.
 
@@ -123,13 +148,21 @@ class Table:
         with few deletions, Section 3.1).
         """
         row = self.schema.validate_row(row)
-        if self.flat is not None:
-            if fast:
-                self.flat.fast_insert(row)
-            else:
-                self.flat.insert(row)
-        if self.indexed is not None:
-            self.indexed.insert(row)
+        self._precheck_flat_capacity(1, fast)
+        try:
+            if self.flat is not None:
+                if fast:
+                    self.flat.fast_insert(row)
+                else:
+                    self.flat.insert(row)
+            if self.indexed is not None:
+                self.indexed.insert(row)
+        except BaseException:
+            # The mutation may have partially landed (one representation
+            # updated, or a pass torn mid-chunk): bump so the result cache
+            # can never serve a pre-failure answer for this table.
+            self.bump_revision()
+            raise
         self.bump_revision()
 
     def insert_many(self, rows: list[Row], fast: bool = False) -> None:
@@ -145,14 +178,19 @@ class Table:
         changing the leakage).
         """
         validated = [self.schema.validate_row(row) for row in rows]
-        if self.flat is not None:
-            if fast:
-                self.flat.fast_insert_many(validated)
-            else:
-                self.flat.insert_many(validated)
-        if self.indexed is not None:
-            for row in validated:
-                self.indexed.insert(row)
+        self._precheck_flat_capacity(len(validated), fast)
+        try:
+            if self.flat is not None:
+                if fast:
+                    self.flat.fast_insert_many(validated)
+                else:
+                    self.flat.insert_many(validated)
+            if self.indexed is not None:
+                for row in validated:
+                    self.indexed.insert(row)
+        except BaseException:
+            self.bump_revision()
+            raise
         self.bump_revision()
 
     def delete_key(self, key: Value) -> int:
@@ -160,12 +198,16 @@ class Table:
         column = self.key_column or self.schema.columns[0].name
         key_index = self.schema.column_index(column)
         deleted = 0
-        if self.flat is not None:
-            deleted = self.flat.delete(lambda row: row[key_index] == key)
-        if self.indexed is not None:
-            indexed_deleted = self.indexed.delete_all(key)
-            if self.flat is None:
-                deleted = indexed_deleted
+        try:
+            if self.flat is not None:
+                deleted = self.flat.delete(lambda row: row[key_index] == key)
+            if self.indexed is not None:
+                indexed_deleted = self.indexed.delete_all(key)
+                if self.flat is None:
+                    deleted = indexed_deleted
+        except BaseException:
+            self.bump_revision()
+            raise
         self.bump_revision()
         return deleted
 
@@ -174,12 +216,16 @@ class Table:
         column = self.key_column or self.schema.columns[0].name
         key_index = self.schema.column_index(column)
         updated = 0
-        if self.flat is not None:
-            updated = self.flat.update(lambda row: row[key_index] == key, assign)
-        if self.indexed is not None:
-            indexed_updated = self.indexed.update_key(key, assign)
-            if self.flat is None:
-                updated = indexed_updated
+        try:
+            if self.flat is not None:
+                updated = self.flat.update(lambda row: row[key_index] == key, assign)
+            if self.indexed is not None:
+                indexed_updated = self.indexed.update_key(key, assign)
+                if self.flat is None:
+                    updated = indexed_updated
+        except BaseException:
+            self.bump_revision()
+            raise
         self.bump_revision()
         return updated
 

@@ -84,6 +84,131 @@ class TestWriteAheadLog:
         assert len(wal.read_all(expected_count=2)) == 2
 
 
+class TestGroupCommit:
+    def test_append_many_reads_back_in_order(self, enclave: Enclave) -> None:
+        wal = WriteAheadLog(enclave)
+        wal.append("S0")
+        first, count = wal.append_many(["S1", "S2", "S3"])
+        assert (first, count) == (1, 3)
+        assert wal.count == wal.committed_count == 4
+        assert wal.read_all() == ["S0", "S1", "S2", "S3"]
+
+    def test_append_many_empty_batch_is_a_noop(self, enclave: Enclave) -> None:
+        wal = WriteAheadLog(enclave)
+        wal.append("S0")
+        enclave.trace.clear()
+        assert wal.append_many([]) == (1, 0)
+        assert len(enclave.trace) == 0
+        assert wal.committed_count == 1
+
+    def test_append_many_is_one_sequential_range_write(
+        self, enclave: Enclave
+    ) -> None:
+        """Group commit keeps the paper's leakage argument: the batch is one
+        sequential range write (per-slot events W first..first+n-1), and the
+        single ledger-head commit is enclave-side (unobservable)."""
+        wal = WriteAheadLog(enclave)
+        wal.append("S0")
+        enclave.trace.clear()
+        wal.append_many(["S1", "S2", "S3"])
+        assert [(e.op, e.index) for e in enclave.trace.events] == [
+            ("W", 1),
+            ("W", 2),
+            ("W", 3),
+        ]
+
+
+class TestTornTail:
+    def test_crash_between_record_write_and_head_commit(
+        self, enclave: Enclave
+    ) -> None:
+        """The durability-ordering window: a record written but whose head
+        commit never ran is a detected-and-dropped torn tail, not a replayed
+        statement and not an integrity failure."""
+        wal = WriteAheadLog(enclave)
+        wal.append("S0")
+        wal.append("S1")
+        sealed = enclave.seal(b"S2", wal._aad(2))
+        enclave.untrusted.write(wal.region_name, 2, sealed)  # head: still 2
+        statements, dropped = wal.read_committed()
+        assert statements == ["S0", "S1"]
+        assert dropped == 1
+
+    def test_torn_batch_drops_whole_group(self, enclave: Enclave) -> None:
+        """A crash before a group commit's single head commit strands the
+        entire batch: recovery never sees half an ingest burst."""
+        wal = WriteAheadLog(enclave)
+        wal.append("S0")
+        sealed = enclave.seal_many(
+            [b"S1", b"S2"], [wal._aad(1), wal._aad(2)]
+        )
+        enclave.untrusted.write_range(wal.region_name, 1, sealed)
+        statements, dropped = wal.read_committed()
+        assert statements == ["S0"]
+        assert dropped == 2
+
+    def test_corrupt_tail_record_is_tampering_not_a_torn_write(
+        self, enclave: Enclave
+    ) -> None:
+        wal = WriteAheadLog(enclave)
+        wal.append("S0")
+        bogus = enclave.seal(b"S9", wal._aad(9))  # wrong sequence binding
+        enclave.untrusted.write(wal.region_name, 1, bogus)
+        with pytest.raises(IntegrityError, match="uncommitted WAL tail"):
+            wal.read_committed()
+
+    def test_read_all_never_returns_past_the_head(
+        self, enclave: Enclave
+    ) -> None:
+        wal = WriteAheadLog(enclave)
+        wal.append("S0")
+        sealed = enclave.seal(b"S1", wal._aad(1))
+        enclave.untrusted.write(wal.region_name, 1, sealed)
+        assert wal.read_all() == ["S0"]  # count is the head, never the slots
+
+    def test_recover_reports_dropped_tail(self) -> None:
+        db = ObliDB(cipher="null", wal=True, seed=9)
+        db.sql("CREATE TABLE t (x INT) CAPACITY 4")
+        db.sql("INSERT INTO t VALUES (1)")
+        wal = db.wal
+        assert wal is not None
+        stranded = db.enclave.seal(
+            b"INSERT INTO t VALUES (99)", wal._aad(wal.count)
+        )
+        db.enclave.untrusted.write(wal.region_name, wal.count, stranded)
+        recovered = ObliDB(cipher="null", seed=10)
+        report = recovered.recover(wal)
+        assert (report.replayed, report.dropped_tail) == (2, 1)
+        # The stranded statement was never acknowledged: dropping it is
+        # correct, and the recovered state shows only the committed prefix.
+        assert recovered.sql("SELECT * FROM t").rows == [(1,)]
+
+
+class TestReplayChunkBoundaries:
+    @pytest.mark.parametrize("count", [1023, 1024, 1025])
+    def test_replay_at_chunk_edges(self, fast_enclave: Enclave, count) -> None:
+        """_REPLAY_CHUNK-edge counts: order preserved, truncation and
+        MAC-tamper of the final record detected in the last chunk."""
+        wal = WriteAheadLog(fast_enclave)
+        first, appended = wal.append_many([f"S{i}" for i in range(count)])
+        assert (first, appended) == (0, count)
+        statements = wal.read_all(expected_count=count)
+        assert len(statements) == count
+        assert statements[0] == "S0"
+        assert statements[-1] == f"S{count - 1}"
+        victim = count - 1
+        block = fast_enclave.untrusted.peek(wal.region_name, victim)
+        corrupted = block._replace(
+            ciphertext=bytes([block.ciphertext[0] ^ 1]) + block.ciphertext[1:]
+        )
+        fast_enclave.untrusted.tamper(wal.region_name, victim, corrupted)
+        with pytest.raises(IntegrityError):
+            wal.read_all()
+        fast_enclave.untrusted.tamper(wal.region_name, victim, None)
+        with pytest.raises(IntegrityError, match="truncated"):
+            wal.read_all()
+
+
 class TestDatabaseIntegration:
     def test_writes_logged_reads_not(self) -> None:
         db = ObliDB(cipher="null", wal=True, seed=1)

@@ -1,0 +1,215 @@
+"""Unit tests for the fault-injection layer: every FaultPlan action fires,
+is detected by the matching typed error, and the faulty host stays
+observably identical to the honest one when no fault is armed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultPlan, ObliDB, RetryPolicy, SimulatedCrash
+from repro.enclave import (
+    Enclave,
+    IntegrityError,
+    ObliDBError,
+    RollbackError,
+    TransientStorageError,
+)
+from repro.faults import FaultyUntrustedMemory
+from repro.storage import FlatStorage
+
+
+def faulty_enclave(plan: FaultPlan, cipher: str = "authenticated") -> Enclave:
+    return Enclave(
+        oblivious_memory_bytes=1 << 24,
+        cipher=cipher,
+        untrusted_factory=lambda trace, cost: FaultyUntrustedMemory(
+            trace, cost, plan
+        ),
+    )
+
+
+def probe_db(plan: FaultPlan, retry: RetryPolicy | None = None) -> ObliDB:
+    """A small WAL-less database under the given plan (cheap cipher)."""
+    db = ObliDB(cipher="null", fault_plan=plan, retry=retry)
+    db.sql("CREATE TABLE t (id INT) CAPACITY 4 METHOD flat")
+    db.sql("INSERT INTO t VALUES (1)")
+    return db
+
+
+class TestTransparency:
+    def test_empty_plan_is_observably_identical(self, kv_schema):
+        honest = Enclave(oblivious_memory_bytes=1 << 24)
+        faulty = faulty_enclave(FaultPlan())
+        for enclave in (honest, faulty):
+            store = FlatStorage(enclave, kv_schema, 8, name="t")
+            store.insert_many([(i, f"v{i}") for i in range(6)])
+            store.update(lambda r: r[0] == 3, lambda r: (r[0], "x"))
+            store.delete(lambda r: r[0] == 1)
+            assert sorted(store.rows()) == sorted(
+                [(0, "v0"), (2, "v2"), (3, "x"), (4, "v4"), (5, "v5")]
+            )
+        honest_events = [(e.op, e.region, e.index) for e in honest.trace.events]
+        faulty_events = [(e.op, e.region, e.index) for e in faulty.trace.events]
+        assert honest_events == faulty_events
+
+    def test_access_counter_matches_trace_length(self, kv_schema):
+        faulty = faulty_enclave(FaultPlan(), cipher="null")
+        store = FlatStorage(faulty, kv_schema, 8, name="t")
+        store.insert((1, "a"))
+        store.rows()
+        assert faulty.untrusted.accesses == len(faulty.trace.events)
+
+    def test_scalar_fallback_is_observably_identical(self, kv_schema):
+        # An armed slot fault whose index never occurs forces the scalar
+        # decomposition on every batch touching the region without ever
+        # firing; trace and counter must match the honest run exactly.
+        honest = Enclave(oblivious_memory_bytes=1 << 24)
+        faulty = faulty_enclave(FaultPlan().tamper("t", 999_999))
+        for enclave in (honest, faulty):
+            store = FlatStorage(enclave, kv_schema, 8, name="t")
+            store.insert_many([(i, "v") for i in range(3)])
+            store.rows()
+        honest_events = [(e.op, e.region, e.index) for e in honest.trace.events]
+        faulty_events = [(e.op, e.region, e.index) for e in faulty.trace.events]
+        assert honest_events == faulty_events
+        assert faulty.untrusted.accesses == len(faulty_events)
+
+
+class TestSlotFaults:
+    def test_tamper_raises_integrity_error(self, kv_schema):
+        plan = FaultPlan().tamper("t", 2)
+        store = FlatStorage(faulty_enclave(plan), kv_schema, 8, name="t")
+        with pytest.raises(IntegrityError):
+            store.insert_many([(i, "v") for i in range(4)])
+            store.rows()
+
+    def test_tamper_matches_region_glob(self, kv_schema):
+        plan = FaultPlan().tamper("tab*", 0)
+        store = FlatStorage(faulty_enclave(plan), kv_schema, 4, name="table:x")
+        with pytest.raises(IntegrityError):
+            store.insert((1, "a"))
+
+    def test_serve_stale_raises_rollback_error(self, kv_schema):
+        plan = FaultPlan().serve_stale("t", 0)
+        store = FlatStorage(faulty_enclave(plan), kv_schema, 4, name="t")
+        store.insert((1, "a"))  # the overwrite arms the saved old copy
+        with pytest.raises(RollbackError, match="stale block"):
+            store.rows()
+
+    def test_serve_stale_detected_under_null_cipher(self, kv_schema):
+        # NullCipher still binds the AAD via checksum, so rollback
+        # detection holds on the cheap cipher the crash sweep uses.
+        plan = FaultPlan().serve_stale("t", 0)
+        store = FlatStorage(
+            faulty_enclave(plan, cipher="null"), kv_schema, 4, name="t"
+        )
+        store.insert((1, "a"))
+        with pytest.raises(RollbackError):
+            store.rows()
+
+    def test_drop_write_raises_rollback_error(self, kv_schema):
+        # A dropped overwrite leaves the previous revision in the slot:
+        # indistinguishable from (and classified as) a rollback.
+        plan = FaultPlan()
+        store = FlatStorage(faulty_enclave(plan), kv_schema, 4, name="t")
+        plan.drop_write("t", 1)
+        store.insert((1, "a"))  # the pass's write to slot 1 is discarded
+        with pytest.raises(RollbackError):
+            store.rows()
+
+    def test_duplicate_write_raises_integrity_error(self, kv_schema):
+        # The relocated block fails its (region, index) identity binding.
+        plan = FaultPlan()
+        store = FlatStorage(faulty_enclave(plan), kv_schema, 4, name="t")
+        plan.duplicate_write("t", 0, to_index=3)
+        store.fast_insert((1, "a"))  # the host also copies the block to slot 3
+        with pytest.raises(IntegrityError):
+            store.rows()
+
+    def test_torn_batched_write_raises_typed_error(self, kv_schema):
+        plan = FaultPlan()
+        store = FlatStorage(faulty_enclave(plan), kv_schema, 8, name="t")
+        plan.torn_write("t", keep=2)
+        with pytest.raises(ObliDBError):
+            # Only 2 of 4 appended rows reach storage: the next full read
+            # detects the rolled-back suffix slots as typed errors.
+            store.fast_insert_many([(i, "v") for i in range(4)])
+            store.rows()
+
+    def test_faults_fire_at_most_once(self, kv_schema):
+        plan = FaultPlan().tamper("t", 0)
+        store = FlatStorage(faulty_enclave(plan), kv_schema, 4, name="t")
+        with pytest.raises(IntegrityError):
+            store.insert((1, "a"))
+        assert not plan.armed_for("t")
+
+
+class TestCounterFaults:
+    def test_crash_at_raises_before_the_access(self, kv_schema):
+        plan = FaultPlan().crash_at(4)
+        enclave = faulty_enclave(plan, cipher="null")
+        store = FlatStorage(enclave, kv_schema, 4, name="t")  # 4 init writes
+        with pytest.raises(SimulatedCrash):
+            store.insert((1, "a"))
+        assert enclave.untrusted.accesses == 4  # access 4 never happened
+
+    def test_crash_after_lands_the_access_first(self, kv_schema):
+        plan = FaultPlan().crash_after(4)
+        enclave = faulty_enclave(plan, cipher="null")
+        store = FlatStorage(enclave, kv_schema, 4, name="t")
+        with pytest.raises(SimulatedCrash):
+            store.insert((1, "a"))
+        assert enclave.untrusted.accesses == 5  # access 4 took effect
+
+    def test_crash_is_not_swallowed_by_retry(self):
+        probe = probe_db(FaultPlan())
+        total = probe.enclave.untrusted.accesses
+        db = probe_db(FaultPlan())  # default retry stays ON
+        with pytest.raises(SimulatedCrash):
+            db.retry = RetryPolicy(attempts=5, sleep=lambda _: None)
+            db.enclave.untrusted.plan.crash_at(total + 1)
+            db.sql("SELECT * FROM t")
+
+    def test_transient_then_success_via_retry(self):
+        probe = probe_db(FaultPlan())
+        select_start = probe.enclave.untrusted.accesses
+        sleeps: list[float] = []
+        db = probe_db(
+            FaultPlan().transient_at(select_start),
+            retry=RetryPolicy(attempts=3, backoff_s=0.25, sleep=sleeps.append),
+        )
+        # The SELECT's first access fails transiently once; nothing has
+        # mutated, so the statement boundary retries and succeeds.
+        assert db.sql("SELECT * FROM t").rows == [(1,)]
+        assert sleeps == [0.25]
+
+    def test_transient_exhausts_retry_budget(self):
+        probe = probe_db(FaultPlan())
+        select_start = probe.enclave.untrusted.accesses
+        sleeps: list[float] = []
+        # A failed (un-applied) access does not advance the counter, so the
+        # retried SELECT starts at the same index: arm two one-shot faults.
+        plan = FaultPlan().transient_at(select_start).transient_at(select_start)
+        db = probe_db(
+            plan, retry=RetryPolicy(attempts=2, backoff_s=1.0, sleep=sleeps.append)
+        )
+        with pytest.raises(TransientStorageError):
+            db.sql("SELECT * FROM t")
+        assert sleeps == [1.0]
+
+    def test_transient_mid_mutation_is_not_retried(self):
+        probe = probe_db(FaultPlan())
+        insert_end = probe.enclave.untrusted.accesses
+        sleeps: list[float] = []
+        db = ObliDB(
+            cipher="null",
+            fault_plan=FaultPlan().transient_at(insert_end - 1),
+            retry=RetryPolicy(attempts=5, backoff_s=0.5, sleep=sleeps.append),
+        )
+        db.sql("CREATE TABLE t (id INT) CAPACITY 4 METHOD flat")
+        # The strike hits the INSERT pass's final write: the mutation has
+        # started, so it must surface unretried (a retry would re-apply
+        # the surviving prefix of the pass).
+        with pytest.raises(TransientStorageError):
+            db.sql("INSERT INTO t VALUES (1)")
+        assert sleeps == []

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.enclave import Enclave, IntegrityError, RollbackError
+from repro.enclave import (
+    Enclave,
+    IntegrityError,
+    ObliDBError,
+    RollbackError,
+    StorageError,
+)
 from repro.storage import FlatStorage, Schema
 from repro.enclave.integrity import RevisionLedger
 
@@ -186,9 +192,14 @@ class TestStepOperations:
             assert ledger.current(region, index) == revision
 
     def test_stage_steps_rejects_duplicates(self) -> None:
+        # Typed (StorageError, catchable as ObliDBError), not a bare
+        # ValueError: callers distinguish library invariants from Python
+        # argument errors.
         ledger = RevisionLedger()
-        with pytest.raises(ValueError):
+        with pytest.raises(StorageError):
             ledger.stage_steps([("a", 0), ("b", 0), ("a", 0)])
+        with pytest.raises(ObliDBError):
+            ledger.stage_at("a", [0, 0])
 
 
 class TestCompatibilityShim:
