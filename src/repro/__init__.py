@@ -22,6 +22,7 @@ from .engine.padding import PaddingConfig
 from .faults import FaultPlan, SimulatedCrash
 from .operators.aggregate import AggregateFunction, AggregateSpec
 from .operators.predicate import And, Comparison, Not, Or, TruePredicate
+from .serving import AdmissionPolicy, ObliDBServer, ServingStats
 from .storage.schema import (
     Column,
     ColumnType,
@@ -35,6 +36,7 @@ from .storage.table import StorageMethod
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionPolicy",
     "AggregateFunction",
     "AggregateSpec",
     "And",
@@ -45,11 +47,13 @@ __all__ = [
     "FaultPlan",
     "Not",
     "ObliDB",
+    "ObliDBServer",
     "Or",
     "PaddingConfig",
     "QueryResult",
     "RetryPolicy",
     "Schema",
+    "ServingStats",
     "SimulatedCrash",
     "SelectStatement",
     "StorageMethod",

@@ -134,6 +134,7 @@ class ObliDB:
         )
         self.retry = retry
         self.padding = padding
+        self.allow_continuous = allow_continuous
         self._rng = random.Random(seed)
         self._tables: dict[str, Table] = {}
         self._creation_ids = itertools.count(1)
@@ -254,12 +255,36 @@ class ObliDB:
         prescribes — one sequential log write, no new leakage.  Read-only
         statements (SELECT, EXPLAIN) are never logged.
         """
-        statement = parse(text)
+        return self.execute_sql(parse(text), text)
+
+    def execute_sql(self, statement: Statement, text: str) -> QueryResult:
+        """Execute a pre-parsed statement with SQL-surface semantics.
+
+        The WAL-logging entry point for callers that already parsed
+        ``text`` (the serving front end classifies statements before
+        admission): write statements are appended to the log *before*
+        execution exactly as :meth:`sql` would, so durability semantics do
+        not depend on which surface submitted the statement.
+        """
         if self.wal is not None and not isinstance(
             statement, (SelectStatement, ExplainStatement)
         ):
             self.wal.append(text)
         return self.execute(statement)
+
+    def revision_epochs(self, tables: list[str] | None = None) -> tuple:
+        """Snapshot of ``(name, revision)`` per table, sorted by name.
+
+        Enclave-side only — reading epochs touches no untrusted memory, so
+        the serving layer can key admission decisions on this snapshot
+        without adding anything adversary-visible.
+        """
+        names = sorted(self._tables) if tables is None else sorted(tables)
+        return tuple(
+            (name, self._tables[name].revision)
+            for name in names
+            if name in self._tables
+        )
 
     def explain(self, text: str) -> QueryPlan:
         """The compiled :class:`QueryPlan` a statement would leak, without

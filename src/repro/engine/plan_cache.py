@@ -40,6 +40,7 @@ table eagerly to keep the bounded LRU from filling with dead entries.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -99,40 +100,51 @@ class CachedResult:
 
 
 class PlanCache:
-    """Bounded LRU result cache keyed on (statement fingerprint, epochs)."""
+    """Bounded LRU result cache keyed on (statement fingerprint, epochs).
+
+    Thread-safe: the serving layer probes and stores from concurrent
+    sessions, so every LRU mutation (lookup's move-to-end and stale-entry
+    eviction included — ``OrderedDict`` is not safe to reorder under
+    concurrent iteration) happens under one reentrant lock.  Counters are
+    bumped under the same lock so ``hits + misses`` always equals the
+    number of lookups.
+    """
 
     def __init__(self, max_entries: int = 128) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: OrderedDict[str, CachedResult] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, fingerprint: str, epochs: tuple) -> CachedResult | None:
         """The cached result, if its table revisions are still current."""
-        entry = self._entries.get(fingerprint)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.epochs != epochs:
-            # The catalog moved under the entry: it can never hit again.
-            del self._entries[fingerprint]
-            self.misses += 1
-            return None
-        self._entries.move_to_end(fingerprint)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.epochs != epochs:
+                # The catalog moved under the entry: it can never hit again.
+                del self._entries[fingerprint]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return entry
 
     def store(
         self, fingerprint: str, epochs: tuple, result: QueryResult
     ) -> None:
         """Record a freshly computed read-only result (LRU-evicting)."""
         plan = result.plan
-        self._entries[fingerprint] = CachedResult(
+        entry = CachedResult(
             epochs=epochs,
             plan=plan,
             plan_key=plan.cache_key if plan is not None else "",
@@ -141,19 +153,23 @@ class PlanCache:
             column_names=list(result.column_names),
             affected=result.affected,
         )
-        self._entries.move_to_end(fingerprint)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def invalidate_table(self, table: str) -> None:
         """Drop every entry whose plan reads ``table`` (the write path)."""
-        stale = [
-            fingerprint
-            for fingerprint, entry in self._entries.items()
-            if table in entry.tables
-        ]
-        for fingerprint in stale:
-            del self._entries[fingerprint]
+        with self._lock:
+            stale = [
+                fingerprint
+                for fingerprint, entry in self._entries.items()
+                if table in entry.tables
+            ]
+            for fingerprint in stale:
+                del self._entries[fingerprint]
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

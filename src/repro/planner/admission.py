@@ -1,0 +1,89 @@
+"""Admission-key normalization for the concurrent serving layer.
+
+The serving front end (:mod:`repro.serving`) coalesces concurrent identical
+read statements onto one in-flight execution.  Its admission unit is the
+same identity the result cache and the obliviousness checker already use —
+the compiled plan (:attr:`~repro.planner.compile.QueryPlan.cache_key`) —
+but coalescing must key a request *before* anything is compiled or
+executed, because compilation itself touches untrusted memory (the
+statistics pass) and must run at most once per coalesced group.
+
+So admission keys are computed enclave-side from the **logical statement**:
+the same digest the plan-keyed result cache uses
+(:func:`~repro.engine.plan_cache.statement_fingerprint`), over a statement
+first *normalized* here.  Normalization canonicalizes representation
+choices that cannot change the compiled plan, the trace, or the result —
+today, the operand order of commutative ``AND``/``OR`` predicates — so
+``WHERE a = 1 AND b = 2`` and ``WHERE b = 2 AND a = 1`` coalesce onto one
+execution.  Anything that could change the plan (tables, columns, operator
+shape, literal parameters) stays in the key verbatim.
+
+Because compilation is deterministic given the catalog, *(admission key,
+table revision epochs)* identifies exactly one compiled plan; the serving
+layer records that plan's ``cache_key`` on each in-flight group after the
+leader compiles, keeping the mapping *(admission unit → leaked plan)*
+explicit and testable, exactly as the result cache does for its entries.
+"""
+
+from __future__ import annotations
+
+from ..engine.ast import SelectStatement
+from ..engine.plan_cache import statement_fingerprint
+from ..operators.predicate import And, Not, Or, Predicate
+
+
+def normalize_predicate(predicate: Predicate) -> Predicate:
+    """Canonical form of a predicate under commutativity of AND/OR.
+
+    Operands are normalized recursively and sorted by their canonical
+    ``repr`` (the same structural identity the fingerprint digests).
+    Unknown predicate subclasses pass through untouched — a user-defined
+    predicate without a structural repr is not coalescible anyway
+    (``statement_fingerprint`` refuses address-based reprs).
+    """
+    if isinstance(predicate, (And, Or)):
+        operands = sorted(
+            (normalize_predicate(operand) for operand in predicate.operands),
+            key=repr,
+        )
+        return type(predicate)(*operands)
+    if isinstance(predicate, Not):
+        return Not(normalize_predicate(predicate.operand))
+    return predicate
+
+
+def normalize_statement(statement: SelectStatement) -> SelectStatement:
+    """The statement with its predicate in canonical commutative order."""
+    if statement.where is None:
+        return statement
+    normalized = normalize_predicate(statement.where)
+    if normalized is statement.where or repr(normalized) == repr(statement.where):
+        return statement
+    return SelectStatement(
+        table=statement.table,
+        columns=statement.columns,
+        aggregates=statement.aggregates,
+        join=statement.join,
+        where=normalized,
+        group_by=statement.group_by,
+        order_by=statement.order_by,
+        descending=statement.descending,
+        limit=statement.limit,
+    )
+
+
+def admission_key(
+    statement: SelectStatement,
+    padding: object | None,
+    allow_continuous: bool,
+) -> str | None:
+    """The coalescing identity of a read statement (``None``: not keyable).
+
+    Two statements share an admission key iff, against the same catalog
+    epochs and engine configuration, they would compile to the same
+    :class:`~repro.planner.compile.QueryPlan` and return the same rows —
+    the condition under which answering both from one execution is safe.
+    """
+    return statement_fingerprint(
+        normalize_statement(statement), padding, allow_continuous
+    )

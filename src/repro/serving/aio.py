@@ -1,0 +1,55 @@
+"""``asyncio``-friendly facade over serving sessions.
+
+The engine is synchronous (block crypto and storage passes are CPU-bound
+Python), so the async surface is a thin bridge: each call runs the
+blocking session method on the server's shared worker pool via
+``run_in_executor`` and awaits the future.  Coalescing makes this cheap
+at scale — a thousand coroutines awaiting the same hot query occupy one
+pool worker for the leader while the rest wait on enclave-side events.
+
+Usage::
+
+    server = ObliDBServer(db)
+    session = server.async_session("tenant-a")
+    result = await session.execute("SELECT * FROM t WHERE k = 5")
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..engine.ast import QueryResult
+from ..storage.schema import Row
+from .server import ResultPage, Session
+
+
+class AsyncSession:
+    """Awaitable wrapper around one :class:`~repro.serving.server.Session`."""
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+
+    @property
+    def tenant(self) -> str:
+        return self._session.tenant
+
+    async def _run(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._session._server.pool(), fn, *args
+        )
+
+    async def execute(self, text: str) -> QueryResult:
+        return await self._run(self._session.execute, text)
+
+    async def execute_paged(
+        self, text: str, offset: int = 0, page_rows: int | None = None
+    ) -> ResultPage:
+        return await self._run(
+            self._session.execute_paged, text, offset, page_rows
+        )
+
+    async def insert_many(
+        self, table: str, rows: list[Row], fast: bool = False
+    ) -> None:
+        return await self._run(self._session.insert_many, table, rows, fast)

@@ -1,0 +1,100 @@
+"""Per-tenant admission policy for the serving front end.
+
+Admission control is the first thing a request meets: before a statement
+is classified, coalesced, queued, or executed, its tenant must have
+capacity for it.  The policy is deliberately enclave-side-only — checking
+and rejecting touches no untrusted memory, so an admission decision leaks
+nothing beyond what the adversary already observes (whether a query trace
+happens at all).
+
+Three hooks, all per tenant:
+
+* ``max_in_flight`` — total concurrently admitted statements.
+* ``class_quotas`` — per statement class (``"read"`` / ``"write"`` /
+  ``"ddl"``) concurrent admission caps; e.g. a reporting tenant can be
+  held to one in-flight write while fanning out reads.
+* ``page_rows`` — the default page size for
+  :meth:`~repro.serving.server.Session.execute_paged`: a bandwidth bound
+  on rows returned per call, *not* an execution bound (the oblivious
+  operators always do their padded full-size work; see docs/serving.md).
+
+Violations raise :class:`AdmissionError` and count in
+:class:`~repro.serving.stats.ServingStats` as ``rejected``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..enclave.errors import ObliDBError
+
+
+class AdmissionError(ObliDBError):
+    """A tenant exceeded its admission policy; the statement never ran."""
+
+
+class ServerCrashed(ObliDBError):
+    """The server observed a (simulated) host kill and refuses new work.
+
+    Raised for statements submitted after the crash; the session that
+    triggered the kill sees the original
+    :class:`~repro.faults.SimulatedCrash` instead.  Recovery goes through
+    :meth:`ObliDB.recover` on a fresh database, exactly as without the
+    serving layer.
+    """
+
+
+#: Statement classes the policy can quota individually.
+STATEMENT_CLASSES = ("read", "write", "ddl")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-tenant limits (0 means unlimited)."""
+
+    max_in_flight: int = 0
+    class_quotas: dict[str, int] = field(default_factory=dict)
+    page_rows: int = 0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.class_quotas) - set(STATEMENT_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown statement classes in quotas: {sorted(unknown)}")
+
+
+class TenantState:
+    """In-flight accounting for one tenant (internal to the server)."""
+
+    def __init__(self, name: str, policy: AdmissionPolicy) -> None:
+        self.name = name
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._by_class = dict.fromkeys(STATEMENT_CLASSES, 0)
+
+    def admit(self, statement_class: str) -> None:
+        """Reserve one admission slot or raise :class:`AdmissionError`."""
+        policy = self.policy
+        with self._lock:
+            if 0 < policy.max_in_flight <= self._in_flight:
+                raise AdmissionError(
+                    f"tenant {self.name!r}: max_in_flight="
+                    f"{policy.max_in_flight} reached"
+                )
+            quota = policy.class_quotas.get(statement_class, 0)
+            if 0 < quota <= self._by_class[statement_class]:
+                raise AdmissionError(
+                    f"tenant {self.name!r}: {statement_class} quota={quota} reached"
+                )
+            self._in_flight += 1
+            self._by_class[statement_class] += 1
+
+    def release(self, statement_class: str) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            self._by_class[statement_class] -= 1
+
+    def depth(self) -> int:
+        with self._lock:
+            return self._in_flight

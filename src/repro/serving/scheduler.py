@@ -1,0 +1,135 @@
+"""Micro-batching scheduler for compatible point lookups.
+
+A point lookup on an indexed table is a fixed-size padded ORAM burst —
+the same adversary-visible shape for every key.  When many clients issue
+point lookups against the same table at once, executing them one engine
+critical section at a time wastes the serving layer's throughput on lock
+handoffs.  The :class:`LookupBatcher` instead collects lookups that arrive
+within a short window and executes the whole batch back-to-back in **one**
+engine critical section — one padded burst per unique lookup, emitted
+contiguously, exactly the trace the same lookups would emit as a
+sequential loop (the ``insert_many`` discipline: batching amortizes
+bookkeeping, never changes the access sequence; pinned by
+``tests/serving``).
+
+Duplicate lookups inside a window (same admission key) execute once and
+fan out, like coalescing groups do for general reads.
+
+Protocol: the first lookup to arrive for a table becomes the **drainer**
+for that table's window — it sleeps out the window, takes everything that
+queued behind it, and executes the batch.  Later arrivals just enqueue and
+wait.  No background threads: the scheduler borrows the clients' own
+threads, so an idle server has no moving parts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+
+class PendingLookup:
+    """One queued point lookup waiting for its batch to execute."""
+
+    __slots__ = ("key", "statement", "text", "done", "result", "error")
+
+    def __init__(self, key: str, statement: object, text: str) -> None:
+        self.key = key
+        self.statement = statement
+        self.text = text
+        self.done = threading.Event()
+        self.result: object | None = None
+        self.error: BaseException | None = None
+
+
+class LookupBatcher:
+    """Per-table window batching of point lookups (see module docstring).
+
+    ``execute_batch`` is the server's callback: it receives the unique
+    pending lookups of one drain round, runs them in a single engine
+    critical section, and returns one outcome (a result or an exception to
+    re-raise) per entry, in order.  A :class:`BaseException` escaping the
+    callback (a simulated host kill) fails every lookup of the round.
+    """
+
+    def __init__(
+        self,
+        execute_batch: Callable[[Sequence[PendingLookup]], list[object]],
+        window_s: float = 0.002,
+        max_batch: int = 32,
+        sleep: Callable[[float], None] = time.sleep,
+        on_round: Callable[[int, int], None] | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self._execute_batch = execute_batch
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._sleep = sleep
+        self._on_round = on_round  # (queued, unique) per drain round
+        self._lock = threading.Lock()
+        self._queues: dict[str, list[PendingLookup]] = {}
+        self._draining: set[str] = set()
+
+    def depth(self, table: str) -> int:
+        with self._lock:
+            return len(self._queues.get(table, ()))
+
+    def run(self, table: str, key: str, statement: object, text: str) -> object:
+        """Submit one lookup and wait for its batch; returns its result."""
+        pending = PendingLookup(key, statement, text)
+        with self._lock:
+            self._queues.setdefault(table, []).append(pending)
+            drainer = table not in self._draining
+            if drainer:
+                self._draining.add(table)
+        if drainer:
+            try:
+                self._drain(table)
+            finally:
+                with self._lock:
+                    self._draining.discard(table)
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def _drain(self, table: str) -> None:
+        """Sleep out the window, then execute everything that queued."""
+        if self.window_s > 0:
+            self._sleep(self.window_s)
+        while True:
+            with self._lock:
+                queue = self._queues.get(table, [])
+                batch = queue[: self.max_batch]
+                del queue[: self.max_batch]
+                if not queue:
+                    self._queues.pop(table, None)
+            if not batch:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list[PendingLookup]) -> None:
+        """Run one round: unique lookups execute, duplicates fan out."""
+        unique: dict[str, PendingLookup] = {}
+        for pending in batch:
+            unique.setdefault(pending.key, pending)
+        leaders = list(unique.values())
+        try:
+            outcomes = self._execute_batch(leaders)
+        except BaseException as error:
+            for pending in batch:
+                pending.error = error
+                pending.done.set()
+            raise
+        if self._on_round is not None:
+            self._on_round(len(batch), len(leaders))
+        by_key = {leader.key: outcome for leader, outcome in zip(leaders, outcomes)}
+        for pending in batch:
+            outcome = by_key[pending.key]
+            if isinstance(outcome, BaseException):
+                pending.error = outcome
+            else:
+                pending.result = outcome
+            pending.done.set()

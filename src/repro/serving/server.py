@@ -1,0 +1,538 @@
+"""The session-based concurrent front end over one :class:`ObliDB`.
+
+Concurrency model
+-----------------
+The engine below this layer is single-caller: one enclave, one canonical
+trace, one catalog.  The server therefore funnels every engine execution
+through **one engine lock** and gets its concurrency wins *around* that
+lock, where the admission unit — the compiled plan's identity — lets it
+avoid engine work entirely:
+
+* **Reads coalesce.**  Concurrent identical read statements (same
+  admission key from :func:`repro.planner.admission.admission_key`, same
+  table revision epochs) form an in-flight group: one leader executes, the
+  followers wait enclave-side and receive copies of the leader's result —
+  zero additional engine work and zero additional untrusted-memory
+  accesses (the security suite pins this).  After the leader compiles, the
+  group records the plan's :attr:`~repro.planner.compile.QueryPlan.
+  cache_key`, making the (admission unit → leaked plan) mapping explicit.
+
+* **Point lookups micro-batch.**  Compatible point lookups arriving
+  within a window run back-to-back in one engine critical section via
+  :class:`~repro.serving.scheduler.LookupBatcher` (duplicates deduplicate
+  like coalesced reads).
+
+* **Writes serialize per table.**  Each write statement enters a FIFO
+  queue keyed on its target table before taking the engine lock, so one
+  session's writes to a table execute (and WAL-commit) in submission
+  order, and the :attr:`~repro.storage.table.Table.revision` epoch
+  advances in exactly that order.  The WAL append still precedes
+  execution inside the engine lock, so PR-6 acked-durable semantics are
+  preserved unchanged: a statement is acknowledged only after its log
+  record committed.  DDL queues on its target table like a write.
+
+Linearizability: every engine execution happens atomically under the
+engine lock, and a coalesced follower only joins a group whose epoch
+snapshot matched its own — so each request is answered by an execution
+inside its own in-flight window.
+
+Crash discipline: a :class:`~repro.faults.SimulatedCrash` (the fault
+layer's host kill) tears through the executing session, marks the server
+crashed, and every subsequent or queued statement raises
+:class:`~repro.serving.policy.ServerCrashed`.  Recovery is exactly the
+single-caller story: ``ObliDB.recover`` on a fresh database.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..enclave.errors import QueryError, StorageError
+from ..engine.ast import (
+    CreateTableStatement,
+    DeleteStatement,
+    ExplainStatement,
+    InsertStatement,
+    QueryResult,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from ..engine.database import ObliDB
+from ..engine.sql import parse
+from ..faults import SimulatedCrash
+from ..operators.predicate import Comparison
+from ..planner.admission import admission_key
+from ..storage.schema import Row
+from .policy import AdmissionError, AdmissionPolicy, ServerCrashed, TenantState
+from .scheduler import LookupBatcher, PendingLookup
+from .stats import ServingStats
+
+
+@dataclass
+class ServerHooks:
+    """Test/instrumentation seams (all optional, called enclave-side).
+
+    ``on_leader_execute(key)`` fires on a coalescing-group leader after
+    the group is registered and *before* it takes the engine lock — tests
+    park the leader here to deterministically overlap followers.
+    ``on_statement_executed(text, result)`` fires under the engine lock
+    after each execution, in serialization order — the property suite's
+    oracle replays this log.
+    """
+
+    on_leader_execute: Callable[[str], None] | None = None
+    on_statement_executed: Callable[[str, QueryResult], None] | None = None
+
+
+@dataclass
+class ResultPage:
+    """One bounded page of a read result (client-bandwidth bound only:
+    the oblivious execution underneath always did its full padded work)."""
+
+    rows: list
+    column_names: list[str]
+    offset: int
+    total_rows: int
+    has_more: bool
+
+
+class _InFlightGroup:
+    """One coalescing group: a leader execution plus waiting followers."""
+
+    __slots__ = ("done", "result", "error", "followers", "plan_key")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: QueryResult | None = None
+        self.error: BaseException | None = None
+        self.followers = 0
+        self.plan_key: str | None = None
+
+
+class _WriteQueues:
+    """Per-table FIFO admission queues for write/DDL statements."""
+
+    def __init__(self, stats: ServingStats) -> None:
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque] = {}
+        self._stats = stats
+
+    def enter(self, table: str) -> object:
+        """Queue behind earlier writes to ``table``; returns the ticket."""
+        ticket = object()
+        with self._cond:
+            queue = self._queues.setdefault(table, deque())
+            queue.append(ticket)
+            self._stats.record_write_queue_depth(len(queue))
+            while queue[0] is not ticket:
+                self._cond.wait()
+        return ticket
+
+    def leave(self, table: str, ticket: object) -> None:
+        with self._cond:
+            queue = self._queues[table]
+            assert queue[0] is ticket, "write queue corrupted"
+            queue.popleft()
+            if not queue:
+                del self._queues[table]
+            self._cond.notify_all()
+
+    def depths(self) -> dict[str, int]:
+        with self._cond:
+            return {table: len(queue) for table, queue in self._queues.items()}
+
+
+class ObliDBServer:
+    """Thread-safe multi-session front end over one database."""
+
+    def __init__(
+        self,
+        db: ObliDB,
+        policy: AdmissionPolicy | None = None,
+        tenant_policies: dict[str, AdmissionPolicy] | None = None,
+        batch_window_s: float = 0.0,
+        max_batch: int = 32,
+        max_workers: int = 8,
+        hooks: ServerHooks | None = None,
+    ) -> None:
+        self.db = db
+        self.stats = ServingStats()
+        self.hooks = hooks or ServerHooks()
+        self._default_policy = policy or AdmissionPolicy()
+        self._tenant_policies = dict(tenant_policies or {})
+        self._tenants: dict[str, TenantState] = {}
+        self._tenants_lock = threading.Lock()
+        self._engine_lock = threading.RLock()
+        self._groups: dict[tuple, _InFlightGroup] = {}
+        self._groups_lock = threading.Lock()
+        self._write_queues = _WriteQueues(self.stats)
+        self._crashed = False
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._batcher: LookupBatcher | None = (
+            LookupBatcher(
+                self._run_lookup_batch,
+                window_s=batch_window_s,
+                max_batch=max_batch,
+                on_round=self._record_batch_round,
+            )
+            if batch_window_s > 0
+            else None
+        )
+
+    def _record_batch_round(self, queued: int, unique: int) -> None:
+        self.stats.record_batch(unique)
+        for _ in range(queued - unique):  # duplicates coalesced onto leaders
+            self.stats.record_coalesced()
+
+    # ------------------------------------------------------------------
+    # Sessions and lifecycle
+    # ------------------------------------------------------------------
+    def session(self, tenant: str = "default") -> "Session":
+        return Session(self, self._tenant(tenant))
+
+    def async_session(self, tenant: str = "default"):
+        from .aio import AsyncSession
+
+        return AsyncSession(self.session(tenant))
+
+    def _tenant(self, name: str) -> TenantState:
+        with self._tenants_lock:
+            state = self._tenants.get(name)
+            if state is None:
+                policy = self._tenant_policies.get(name, self._default_policy)
+                state = self._tenants[name] = TenantState(name, policy)
+            return state
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def write_queue_depths(self) -> dict[str, int]:
+        return self._write_queues.depths()
+
+    def read_groups_in_flight(self) -> int:
+        with self._groups_lock:
+            return len(self._groups)
+
+    def pool(self) -> ThreadPoolExecutor:
+        """The shared worker pool (``submit`` / asyncio facade), lazily built."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="oblidb-serving",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "ObliDBServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Engine critical section
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _engine(self):
+        """The single-caller boundary: one statement (or batch) at a time,
+        with crash fencing on both sides."""
+        with self._engine_lock:
+            if self._crashed:
+                raise ServerCrashed("serving front end observed a host kill")
+            try:
+                yield
+            except SimulatedCrash:
+                self._crashed = True
+                self.stats.record_crash()
+                raise
+
+    def _run_engine(
+        self, statement_class: str, text: str, fn: Callable[[], QueryResult]
+    ) -> QueryResult:
+        with self._engine():
+            result = fn()
+            self.stats.record_executed(statement_class)
+            if self.hooks.on_statement_executed is not None:
+                self.hooks.on_statement_executed(text, result)
+            return result
+
+    # ------------------------------------------------------------------
+    # Statement routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def classify(statement: Statement) -> str:
+        """Statement class for quotas/queues: read, write, or ddl."""
+        if isinstance(statement, (SelectStatement, ExplainStatement)):
+            return "read"
+        if isinstance(statement, CreateTableStatement):
+            return "ddl"
+        if isinstance(
+            statement, (InsertStatement, UpdateStatement, DeleteStatement)
+        ):
+            return "write"
+        raise QueryError(f"serving layer cannot route {type(statement).__name__}")
+
+    def _execute_classified(
+        self, statement: Statement, text: str, statement_class: str
+    ) -> QueryResult:
+        if statement_class == "read":
+            return self._execute_read(statement, text)
+        # Writes and DDL: FIFO per target table, then the engine lock.
+        # The queue — not lock-acquisition luck — fixes the serialization
+        # order of same-table writes, so revision epochs and WAL order
+        # match submission order per session.
+        table = statement.table
+        ticket = self._write_queues.enter(table)
+        try:
+            return self._run_engine(
+                statement_class,
+                text,
+                lambda: self.db.execute_sql(statement, text),
+            )
+        finally:
+            self._write_queues.leave(table, ticket)
+
+    def _insert_many(self, table: str, rows: list[Row], fast: bool) -> None:
+        """Typed bulk insert: queues like a write, group-commits like one."""
+        ticket = self._write_queues.enter(table)
+        try:
+            with self._engine():
+                self.db.insert_many(table, rows, fast=fast)
+                self.stats.record_executed("write")
+                if self.hooks.on_statement_executed is not None:
+                    self.hooks.on_statement_executed(
+                        f"<insert_many {table} x{len(rows)}>",
+                        QueryResult(affected=len(rows)),
+                    )
+        finally:
+            self._write_queues.leave(table, ticket)
+
+    # ------------------------------------------------------------------
+    # Reads: coalescing and micro-batching
+    # ------------------------------------------------------------------
+    def _read_key(self, statement: Statement) -> tuple | None:
+        """(admission key, epoch snapshot) — the coalescing identity."""
+        if not isinstance(statement, SelectStatement):
+            return None
+        key = admission_key(statement, self.db.padding, self.db.allow_continuous)
+        if key is None:
+            return None
+        tables = [statement.table]
+        if statement.join is not None:
+            tables.append(statement.join.right_table)
+        return (key, self.db.revision_epochs(tables))
+
+    def _is_point_lookup(self, statement: Statement) -> bool:
+        if not isinstance(statement, SelectStatement):
+            return False
+        if (
+            statement.join is not None
+            or statement.aggregates
+            or statement.group_by is not None
+            or statement.order_by is not None
+            or statement.limit is not None
+        ):
+            return False
+        where = statement.where
+        if not isinstance(where, Comparison) or where.op != "=":
+            return False
+        try:
+            table = self.db.table(statement.table)
+        except StorageError:
+            return False
+        return table.has_index() and where.column == table.key_column
+
+    def _execute_read(self, statement: Statement, text: str) -> QueryResult:
+        key = self._read_key(statement)
+        if key is None:
+            # Not coalescible (EXPLAIN, or a predicate without structural
+            # identity): plain execution under the engine lock.
+            return self._run_engine(
+                "read", text, lambda: self.db.execute(statement)
+            )
+        if self._batcher is not None and self._is_point_lookup(statement):
+            return self._batcher.run(statement.table, key[0], statement, text)
+        return self._execute_coalesced(key, statement, text)
+
+    def _execute_coalesced(
+        self, key: tuple, statement: Statement, text: str
+    ) -> QueryResult:
+        with self._groups_lock:
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = _InFlightGroup()
+                is_leader = True
+            else:
+                group.followers += 1
+                is_leader = False
+        if is_leader:
+            return self._lead_group(key, group, statement, text)
+        # Follower: the leader's execution answers this request with zero
+        # additional engine work and zero additional untrusted accesses.
+        self.stats.record_coalesced()
+        group.done.wait()
+        if group.error is not None:
+            raise group.error
+        assert group.result is not None
+        return _copy_result(group.result)
+
+    def _lead_group(
+        self, key: tuple, group: _InFlightGroup, statement: Statement, text: str
+    ) -> QueryResult:
+        if self.hooks.on_leader_execute is not None:
+            self.hooks.on_leader_execute(key[0])
+        try:
+            result = self._run_engine(
+                "read", text, lambda: self.db.execute(statement)
+            )
+            group.plan_key = (
+                result.plan.cache_key if result.plan is not None else None
+            )
+            # Followers read a private frozen copy: the leader's caller may
+            # mutate the result it gets back.
+            group.result = _copy_result(result)
+            return result
+        except BaseException as error:
+            group.error = error
+            raise
+        finally:
+            with self._groups_lock:
+                self._groups.pop(key, None)
+            group.done.set()
+
+    def _run_lookup_batch(
+        self, leaders: Sequence[PendingLookup]
+    ) -> list[object]:
+        """One drain round of the lookup batcher: every unique lookup in
+        a single engine critical section — one contiguous padded burst."""
+        outcomes: list[object] = []
+        with self._engine():
+            for pending in leaders:
+                try:
+                    result = self.db.execute(pending.statement)
+                except SimulatedCrash:
+                    raise
+                except Exception as error:
+                    outcomes.append(error)
+                    continue
+                self.stats.record_executed("read")
+                if self.hooks.on_statement_executed is not None:
+                    self.hooks.on_statement_executed(pending.text, result)
+                outcomes.append(result)
+        return outcomes
+
+
+class Session:
+    """One client's handle on the server (cheap; create per client)."""
+
+    def __init__(self, server: ObliDBServer, tenant: TenantState) -> None:
+        self._server = server
+        self._tenant = tenant
+
+    @property
+    def tenant(self) -> str:
+        return self._tenant.name
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def execute(self, text: str) -> QueryResult:
+        """Parse, admit, and execute one SQL statement (blocking)."""
+        statement = parse(text)
+        return self.execute_statement(statement, text)
+
+    def execute_statement(
+        self, statement: Statement, text: str | None = None
+    ) -> QueryResult:
+        """Typed-statement entry point (``text`` backs WAL logging)."""
+        statement_class = ObliDBServer.classify(statement)
+        if text is None:
+            text = repr(statement)
+        self._admit(statement_class)
+        try:
+            self._server.stats.record_admitted()
+            return self._server._execute_classified(
+                statement, text, statement_class
+            )
+        finally:
+            self._tenant.release(statement_class)
+
+    def execute_paged(
+        self, text: str, offset: int = 0, page_rows: int | None = None
+    ) -> ResultPage:
+        """Execute a read and return one bounded page of its rows.
+
+        The bound comes from the argument or the tenant policy's
+        ``page_rows`` (0 = unbounded).  Purely a client-bandwidth bound:
+        the engine's padded execution below is unchanged.
+        """
+        if offset < 0:
+            raise QueryError("page offset must be non-negative")
+        result = self.execute(text)
+        size = page_rows if page_rows is not None else self._tenant.policy.page_rows
+        total = len(result.rows)
+        if size and size > 0:
+            rows = result.rows[offset : offset + size]
+        else:
+            rows = result.rows[offset:]
+        return ResultPage(
+            rows=rows,
+            column_names=list(result.column_names),
+            offset=offset,
+            total_rows=total,
+            has_more=offset + len(rows) < total,
+        )
+
+    def _admit(self, statement_class: str) -> None:
+        try:
+            self._tenant.admit(statement_class)
+        except AdmissionError:
+            self._server.stats.record_rejected()
+            raise
+
+    def insert_many(self, table: str, rows: list[Row], fast: bool = False) -> None:
+        """Bulk insert through the write queue (one group-committed batch)."""
+        self._admit("write")
+        try:
+            self._server.stats.record_admitted()
+            self._server._insert_many(table, rows, fast)
+        finally:
+            self._tenant.release("write")
+
+    # ------------------------------------------------------------------
+    # Non-blocking submission
+    # ------------------------------------------------------------------
+    def submit(self, text: str) -> Future:
+        """Run :meth:`execute` on the server's worker pool."""
+        return self._server.pool().submit(self.execute, text)
+
+
+def _copy_result(result: QueryResult) -> QueryResult:
+    """A fresh QueryResult the receiver may mutate freely.
+
+    The plan object is shared (it is immutable and is the leaked value);
+    rows/columns/cost are per-receiver copies.
+    """
+    return QueryResult(
+        rows=list(result.rows),
+        column_names=list(result.column_names),
+        affected=result.affected,
+        plans=list(result.plans),
+        cost=dict(result.cost),
+        plan=result.plan,
+    )

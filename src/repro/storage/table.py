@@ -10,6 +10,7 @@ on mixed workloads.
 from __future__ import annotations
 
 import random
+import threading
 from enum import Enum
 from typing import Callable
 
@@ -55,6 +56,10 @@ class Table:
         # which gets a fresh creation id — invalidates cached results.
         self._creation_id = creation_id
         self._mutations = 0
+        # Serving-layer sessions bump the epoch from concurrent threads;
+        # the increment must not lose updates (a lost bump could let the
+        # result cache serve a stale answer).
+        self._revision_lock = threading.Lock()
         self.flat: FlatStorage | None = None
         self.indexed: IndexedStorage | None = None
         if method in (StorageMethod.FLAT, StorageMethod.BOTH):
@@ -100,8 +105,9 @@ class Table:
     def bump_revision(self) -> None:
         """Advance the epoch after a mutation (idempotent per statement:
         an extra bump only ever invalidates, never preserves, stale cache
-        entries)."""
-        self._mutations += 1
+        entries).  Locked: concurrent sessions must never lose a bump."""
+        with self._revision_lock:
+            self._mutations += 1
 
     def has_flat(self) -> bool:
         return self.flat is not None

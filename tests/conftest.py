@@ -2,12 +2,22 @@
 
 from __future__ import annotations
 
+import hashlib
+import os
 import random
 
 import pytest
 
 from repro.enclave import Enclave
 from repro.storage import Schema, int_column, str_column
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "serving: concurrent serving-layer suite (threaded; CI can shard "
+        "it with `-m serving` / `-m 'not serving'`)",
+    )
 
 
 @pytest.fixture
@@ -47,3 +57,27 @@ def wide_schema() -> Schema:
 def rng() -> random.Random:
     """Deterministic randomness for reproducible tests."""
     return random.Random(0xDB)
+
+
+@pytest.fixture
+def schedule_rng(request) -> random.Random:
+    """Pinned per-test RNG for concurrency-test schedules.
+
+    The seed is derived from the test's node id (stable across runs and
+    machines — ``hash()`` is salted per process, so a digest is used) and
+    printed so a failing interleaving can be replayed exactly: rerun with
+    ``SCHEDULE_SEED=<seed>`` to override the derivation, or with ``-s`` to
+    watch the schedule.  Concurrency tests must draw every schedule
+    decision (client think-time, statement order, key choices) from this
+    RNG and nowhere else.
+    """
+    env = os.environ.get("SCHEDULE_SEED")
+    if env is not None:
+        seed = int(env)
+    else:
+        digest = hashlib.blake2b(
+            request.node.nodeid.encode(), digest_size=8
+        ).hexdigest()
+        seed = int(digest, 16)
+    print(f"[schedule] SCHEDULE_SEED={seed} (env SCHEDULE_SEED replays it)")
+    return random.Random(seed)

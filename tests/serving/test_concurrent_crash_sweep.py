@@ -1,0 +1,210 @@
+"""Kill-and-replay under concurrency: N live sessions, one host kill.
+
+The PR-6 crash-point sweep proved the single-caller story: kill the
+process at every untrusted-access index, recover, and the committed
+prefix survives exactly.  This suite re-runs that sweep with **four live
+sessions** writing through the serving front end concurrently.  The
+acked-durable contract must hold unchanged:
+
+* every statement a session saw acknowledged is in the committed log;
+* each session's acked statements appear in the log **in that session's
+  submission order** (the per-table FIFO queues, not scheduling luck);
+* a group-committed ``insert_many`` batch is never half-replayed;
+* recovery replays exactly the committed prefix and passes ``verify()``;
+* the recovered tables equal a sequential re-execution of the log.
+
+Under threads the global untrusted-access index at which each statement
+runs is nondeterministic, so unlike the single-caller sweep the checks
+cannot assume *which* statements committed — only that whatever committed
+is a consistent, acked-covering, order-preserving prefix.
+
+A full sweep is hundreds of crash/recover cycles with thread spawns; the
+default stride samples it, and ``FAULT_SWEEP=1`` (the CI job) samples a
+coarser grid.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro import FaultPlan, ObliDB, ObliDBServer, SimulatedCrash
+from repro.engine.database import _insert_statement_sql
+from repro.serving import ServerCrashed
+
+pytestmark = pytest.mark.serving
+
+CREATES = [
+    "CREATE TABLE t0 (id INT, name STR(8)) CAPACITY 8 METHOD flat",
+    "CREATE TABLE t1 (id INT, name STR(8)) CAPACITY 8 METHOD flat",
+    "CREATE TABLE shared (id INT, name STR(8)) CAPACITY 16 METHOD flat",
+]
+#: Session 0's trailing ingest burst — one group-committed batch.
+BATCH = [(90, "x"), (91, "y"), (92, "z")]
+BATCH_SQL = [_insert_statement_sql("t0", row) for row in BATCH]
+
+#: Per-session scripts.  Sessions 2 and 3 contend on the shared table.
+SCRIPTS = [
+    [
+        "INSERT INTO t0 VALUES (1, 'a')",
+        "UPDATE t0 SET name = 'z' WHERE id = 1",
+        "INSERT INTO t0 VALUES (2, 'b')",
+    ],
+    [
+        "INSERT INTO t1 VALUES (10, 'c')",
+        "INSERT INTO t1 VALUES (11, 'd')",
+        "DELETE FROM t1 WHERE id = 10",
+    ],
+    [
+        "INSERT INTO shared VALUES (20, 'e')",
+        "INSERT INTO shared VALUES (21, 'f')",
+        "UPDATE shared SET name = 'q' WHERE id = 20",
+    ],
+    [
+        "INSERT INTO shared VALUES (30, 'g')",
+        "DELETE FROM shared WHERE id = 30",
+        "INSERT INTO shared VALUES (31, 'h')",
+    ],
+]
+SESSIONS = len(SCRIPTS)
+
+
+def _build(plan: FaultPlan) -> ObliDB:
+    return ObliDB(cipher="null", wal=True, fault_plan=plan, retry=None)
+
+
+def _run_workload(db: ObliDB) -> tuple[list[list[str]], bool]:
+    """Run CREATEs then the four session scripts concurrently.
+
+    Returns per-session acked statement lists (submission order) and
+    whether the simulated kill fired anywhere.
+    """
+    server = ObliDBServer(db)
+    acked: list[list[str]] = [[] for _ in range(SESSIONS + 1)]
+    crashed = threading.Event()
+
+    # DDL phase (main thread, still through the server's write queues).
+    ddl = server.session("ddl")
+    try:
+        for statement in CREATES:
+            ddl.execute(statement)
+            acked[SESSIONS].append(statement)
+    except SimulatedCrash:
+        crashed.set()
+        return acked, True
+
+    def client(index: int) -> None:
+        session = server.session(f"s{index}")
+        try:
+            for statement in SCRIPTS[index]:
+                session.execute(statement)
+                acked[index].append(statement)
+            if index == 0:
+                session.insert_many("t0", list(BATCH))
+                acked[index].extend(BATCH_SQL)
+        except (SimulatedCrash, ServerCrashed):
+            crashed.set()
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(SESSIONS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not any(thread.is_alive() for thread in threads), "session hung"
+    return acked, crashed.is_set() or server.crashed
+
+
+def _total_accesses() -> int:
+    db = _build(FaultPlan())
+    acked, crashed = _run_workload(db)
+    assert not crashed
+    expected = len(CREATES) + sum(len(s) for s in SCRIPTS) + len(BATCH)
+    assert db.wal.committed_count == expected
+    return db.enclave.untrusted.accesses
+
+
+def _is_subsequence(needle: list[str], haystack: list[str]) -> bool:
+    it = iter(haystack)
+    return all(any(item == x for x in it) for item in needle)
+
+
+@pytest.mark.parametrize("mode", ["at", "after"])
+def test_concurrent_crash_point_sweep(mode):
+    total = _total_accesses()
+    if os.environ.get("FAULT_SWEEP") == "1":
+        stride = max(1, total // 20)
+    else:
+        stride = max(1, total // 60)
+    saw_crash = False
+    for k in range(0, total, stride):
+        plan = FaultPlan()
+        plan.crash_at(k) if mode == "at" else plan.crash_after(k)
+        db = _build(plan)
+        acked, crashed = _run_workload(db)
+        saw_crash = saw_crash or crashed
+        committed_statements, _ = db.wal.read_committed()
+        committed = db.wal.committed_count
+        assert committed == len(committed_statements)
+
+        # Durability: everything any session saw acknowledged is in the
+        # committed log, in that session's own submission order.
+        for index, session_acked in enumerate(acked):
+            assert _is_subsequence(session_acked, committed_statements), (
+                f"k={k}: session {index} acked statements missing or "
+                f"reordered in the committed log"
+            )
+        # Group commit is atomic: the ingest batch is all-in or all-out.
+        batch_present = sum(
+            1 for s in BATCH_SQL if s in committed_statements
+        )
+        assert batch_present in (0, len(BATCH)), (
+            f"k={k}: group-committed batch split ({batch_present})"
+        )
+
+        # Recovery replays exactly the committed prefix.
+        recovered = ObliDB(cipher="null")
+        report = recovered.recover(db.wal)
+        assert report.replayed == committed, f"k={k}"
+        check = recovered.verify()
+        assert check.ok, f"k={k}: {check.issues}"
+
+        # The recovered state equals a sequential re-execution of the log
+        # through a completely separate (non-recovery, non-serving) path.
+        reference = ObliDB(cipher="null")
+        for statement in committed_statements:
+            reference.sql(statement)
+        for create in CREATES:
+            if create not in committed_statements:
+                continue
+            table = create.split()[2]
+            assert sorted(
+                recovered.sql(f"SELECT * FROM {table}").rows
+            ) == sorted(reference.sql(f"SELECT * FROM {table}").rows), (
+                f"k={k}: {table} diverged after recovery"
+            )
+    # The sweep grid must actually have produced kills (k=0 always kills).
+    assert saw_crash
+
+
+def test_crash_fences_subsequent_statements():
+    """After the kill, every later statement on any session raises
+    ServerCrashed — the front end never hands a half-dead engine out."""
+    plan = FaultPlan()
+    plan.crash_after(40)
+    db = _build(plan)
+    server = ObliDBServer(db)
+    session = server.session()
+    with pytest.raises((SimulatedCrash, ServerCrashed)):
+        for statement in CREATES + SCRIPTS[0]:
+            session.execute(statement)
+    assert server.crashed
+    with pytest.raises(ServerCrashed):
+        session.execute("SELECT * FROM t0 WHERE id = 1")
+    with pytest.raises(ServerCrashed):
+        server.session("other").execute("INSERT INTO t0 VALUES (7, 'n')")
+    assert server.stats.crashes == 1
