@@ -23,6 +23,7 @@ from .faults import FaultPlan, SimulatedCrash
 from .operators.aggregate import AggregateFunction, AggregateSpec
 from .operators.predicate import And, Comparison, Not, Or, TruePredicate
 from .serving import AdmissionPolicy, ObliDBServer, ServingStats
+from .shard import ShardedTable, ShardPool, ShardSpec
 from .storage.schema import (
     Column,
     ColumnType,
@@ -54,6 +55,9 @@ __all__ = [
     "RetryPolicy",
     "Schema",
     "ServingStats",
+    "ShardPool",
+    "ShardSpec",
+    "ShardedTable",
     "SimulatedCrash",
     "SelectStatement",
     "StorageMethod",

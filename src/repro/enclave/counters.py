@@ -118,6 +118,20 @@ class CostModel:
         delta.comparisons = self.comparisons - snapshot["comparisons"]
         return delta
 
+    def absorb(self, other: "CostModel") -> None:
+        """Add another model's counters into this one.
+
+        Sharded pipelines record each shard's work into a per-shard model so
+        the critical-path cost (the slowest shard) can be measured; absorbing
+        the per-shard models afterwards keeps the enclave's end-to-end totals
+        identical to a sequential run.
+        """
+        self.untrusted_reads += other.untrusted_reads
+        self.untrusted_writes += other.untrusted_writes
+        self.oram_accesses += other.oram_accesses
+        self.ocalls += other.ocalls
+        self.comparisons += other.comparisons
+
     def reset(self) -> None:
         """Zero every counter (weights are preserved)."""
         self.untrusted_reads = 0

@@ -180,19 +180,31 @@ class AuthenticatedCipher:
     # Batch API: one nonce draw and pre-bound lookups for a run of blocks
     # ------------------------------------------------------------------
     def seal_many(
-        self, plaintexts: Sequence[bytes], associated_data: Sequence[bytes]
+        self,
+        plaintexts: Sequence[bytes],
+        associated_data: Sequence[bytes],
+        nonces: Sequence[bytes] | None = None,
     ) -> list[SealedBlock]:
+        """Batch seal; ``nonces`` (one 12-byte value per plaintext) lets a
+        deterministic caller — a shard worker drawing from its per-shard PRF
+        stream, which must never touch ``os.urandom`` — replace the random
+        draw.  Uniqueness is the caller's obligation, exactly as for any
+        nonce-based AE scheme."""
         count = len(plaintexts)
         if len(associated_data) != count:
             raise ValueError("seal_many needs one associated_data per plaintext")
-        nonces = os.urandom(_NONCE_SIZE * count)
+        if nonces is None:
+            drawn = os.urandom(_NONCE_SIZE * count)
+            nonces = [
+                drawn[offset : offset + _NONCE_SIZE]
+                for offset in range(0, _NONCE_SIZE * count, _NONCE_SIZE)
+            ]
+        elif len(nonces) != count:
+            raise ValueError("seal_many needs one nonce per plaintext")
         stream_xor = self._stream_xor
         compute_mac = self._mac
         out: list[SealedBlock] = []
-        offset = 0
-        for plaintext, aad in zip(plaintexts, associated_data):
-            nonce = nonces[offset : offset + _NONCE_SIZE]
-            offset += _NONCE_SIZE
+        for plaintext, aad, nonce in zip(plaintexts, associated_data, nonces):
             ciphertext = stream_xor(plaintext, nonce)
             out.append(SealedBlock(nonce, ciphertext, compute_mac(nonce, ciphertext, aad)))
         return out
@@ -238,8 +250,13 @@ class NullCipher:
         return block.ciphertext
 
     def seal_many(
-        self, plaintexts: Sequence[bytes], associated_data: Sequence[bytes]
+        self,
+        plaintexts: Sequence[bytes],
+        associated_data: Sequence[bytes],
+        nonces: Sequence[bytes] | None = None,
     ) -> list[SealedBlock]:
+        # ``nonces`` accepted for interface parity with AuthenticatedCipher;
+        # the null scheme has no nonce so the values are ignored.
         if len(associated_data) != len(plaintexts):
             raise ValueError("seal_many needs one associated_data per plaintext")
         blake2b = hashlib.blake2b

@@ -34,9 +34,11 @@ from ..enclave.errors import (
     StorageError,
     TransientStorageError,
 )
+from ..enclave.integrity import RevisionLedger
 from ..faults import FaultPlan, FaultyUntrustedMemory
 from ..operators.predicate import Predicate
 from ..planner.compile import QueryPlan
+from ..shard import ShardedTable, ShardPool
 from ..storage.schema import Column, ColumnType, Row, Schema, Value
 from ..storage.table import StorageMethod, Table
 from .ast import (
@@ -118,6 +120,8 @@ class ObliDB:
         result_cache_entries: int = 0,
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = _DEFAULT_RETRY,
+        shards: int = 0,
+        shard_backend: str = "auto",
     ) -> None:
         # ``fault_plan`` swaps the honest untrusted host for the adversarial
         # one (tests and the crash sweep); ``retry=None`` disables the
@@ -146,12 +150,30 @@ class ObliDB:
         self.result_cache: PlanCache | None = (
             PlanCache(result_cache_entries) if result_cache_entries > 0 else None
         )
+        # ``shards=N`` opts into the parallel execution subsystem: a
+        # deterministic worker pool (transparently fanning out every large
+        # seal/open batch), shard-aware planner cost inputs, and the
+        # partition_table / sharded_* surface below.
+        self.shard_pool: ShardPool | None = None
+        if shards > 0:
+            self.shard_pool = ShardPool(
+                shards,
+                self.enclave.cipher_kind,
+                self.enclave.root_key or b"",
+                backend=shard_backend,
+            )
+            self.enclave.attach_shard_pool(self.shard_pool)
+        self._sharded: dict[str, ShardedTable] = {}
+        # One composite ledger view absorbing every shard's ledger segment,
+        # so a single enclave-side walk covers all sharded regions.
+        self._shard_ledger = RevisionLedger()
         self._executor = Executor(
             self._tables,
             padding=padding,
             allow_continuous=allow_continuous,
             rng=self._rng,
             result_cache=self.result_cache,
+            shards=max(1, shards),
         )
         # Optional write-ahead log (the Section 3 durability extension):
         # every DDL/write statement is sealed and appended before it runs.
@@ -209,6 +231,72 @@ class ObliDB:
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Sharded tables (repro.shard)
+    # ------------------------------------------------------------------
+    def partition_table(
+        self,
+        name: str,
+        kind: str = "hash",
+        shards: int | None = None,
+        bounds: tuple[Value, ...] | None = None,
+    ) -> ShardedTable:
+        """Repartition a catalog table into N independent shard regions.
+
+        The source table is scanned once, its rows split by the
+        deterministic partitioner over the key column, and its storage
+        freed; thereafter the table lives as a :class:`ShardedTable`
+        reachable via :meth:`sharded_table` and the ``sharded_*``
+        pipelines.  ``shards`` defaults to the pool's worker count (2
+        without a pool).
+        """
+        if name in self._sharded:
+            raise StorageError(f"table {name!r} is already sharded")
+        table = self.table(name)
+        if shards is None:
+            shards = self.shard_pool.shards if self.shard_pool is not None else 2
+        sharded = ShardedTable.from_table(
+            table,
+            kind=kind,
+            shards=shards,
+            bounds=bounds,
+            composite_ledger=self._shard_ledger,
+        )
+        del self._tables[name]
+        if self.result_cache is not None:
+            self.result_cache.invalidate_table(name)
+        table.free()
+        self._sharded[name] = sharded
+        return sharded
+
+    def sharded_table(self, name: str) -> ShardedTable:
+        try:
+            return self._sharded[name]
+        except KeyError:
+            raise StorageError(f"no sharded table named {name!r}") from None
+
+    def sharded_table_names(self) -> list[str]:
+        return sorted(self._sharded)
+
+    def sharded_scan(
+        self, name: str, where: Callable[[Row], bool] | None = None
+    ) -> list[Row]:
+        """Shard-parallel full-table scan/select front."""
+        return self.sharded_table(name).scan_rows(pool=self.shard_pool, where=where)
+
+    def sharded_shuffle(self, name: str) -> None:
+        """Shard-parallel oblivious shuffle of every shard region."""
+        self.sharded_table(name).shuffle(pool=self.shard_pool)
+
+    def sharded_compact(self, name: str) -> int:
+        """Shard-parallel oblivious compaction; returns total keepers."""
+        return self.sharded_table(name).compact(pool=self.shard_pool)
+
+    def close(self) -> None:
+        """Shut down the shard pool (workers are daemons, but be tidy)."""
+        if self.shard_pool is not None:
+            self.shard_pool.close()
 
     # ------------------------------------------------------------------
     # Statements
@@ -405,6 +493,22 @@ class ObliDB:
                             f"table {name!r}: index holds {len(index_rows)} "
                             f"rows, metadata says {table.indexed.used_rows}"
                         )
+        for name in self.sharded_table_names():
+            sharded = self._sharded[name]
+            tables_checked += 1
+            try:
+                counts = sharded.verify_shards()
+                blocks_verified += sharded.capacity
+            except ObliDBError as error:
+                issues.append(
+                    f"sharded table {name!r}: verification failed: {error}"
+                )
+            else:
+                if sum(counts) != sharded.used_rows:
+                    issues.append(
+                        f"sharded table {name!r}: shards hold {sum(counts)} "
+                        f"rows, metadata says {sharded.used_rows}"
+                    )
         if self.wal is not None:
             if self.wal.committed_count != self.wal.count:
                 issues.append(

@@ -150,10 +150,12 @@ class PlanRunner:
         padding: PaddingConfig | None = None,
         allow_continuous: bool = True,
         rng: random.Random | None = None,
+        shards: int = 1,
     ) -> None:
         self._padding = padding
         self._allow_continuous = allow_continuous
         self._rng = rng if rng is not None else random.Random()
+        self._shards = max(1, shards)
 
     # -- entry ----------------------------------------------------------
     def run(self, compiled: CompiledQuery) -> QueryResult:
@@ -241,6 +243,7 @@ class PlanRunner:
                     where,
                     padding=self._padding,
                     allow_continuous=self._allow_continuous,
+                    shards=self._shards,
                 )
                 return (*self._execute_selection(planned, source, where), planned)
             if select.padded:
@@ -478,13 +481,16 @@ class Executor:
         allow_continuous: bool = True,
         rng: random.Random | None = None,
         result_cache: PlanCache | None = None,
+        shards: int = 1,
     ) -> None:
         self._tables = tables
         self._padding = padding
         self._allow_continuous = allow_continuous
         self._cache = result_cache
+        self._shards = max(1, shards)
         self._runner = PlanRunner(
-            padding=padding, allow_continuous=allow_continuous, rng=rng
+            padding=padding, allow_continuous=allow_continuous, rng=rng,
+            shards=self._shards,
         )
 
     # ------------------------------------------------------------------
@@ -509,6 +515,7 @@ class Executor:
             statement,
             padding=self._padding,
             allow_continuous=self._allow_continuous,
+            shards=self._shards,
         )
 
     # ------------------------------------------------------------------

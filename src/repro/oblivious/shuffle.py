@@ -168,6 +168,10 @@ def oblivious_shuffle(
     table: FlatStorage,
     rng: random.Random | None = None,
     name: str | None = None,
+    pool=None,
+    scratch_name: str | None = None,
+    cipher_label: str | None = None,
+    output_ledger: RevisionLedger | None = None,
 ) -> FlatStorage:
     """Return a new table holding ``table``'s blocks in secret random order.
 
@@ -182,10 +186,29 @@ def oblivious_shuffle(
     bucket, ``R`` its contiguous scratch range then ``W`` its contiguous
     output segment.  Enforced against a per-row reference loop by the
     trace-equivalence tests.
+
+    With a :class:`~repro.shard.pool.ShardPool` the clean-up pass runs
+    grouped: buckets are processed ``pool.shards`` at a time — the parent
+    reads each bucket of the group (ascending), workers filter/sort/re-seal
+    off the trace, the parent writes each segment (ascending).  The grouped
+    trace is still a pure function of ``(n, pool.shards)``, and a group size
+    of 1 reproduces the sequential trace exactly.
+
+    Sharded callers pass ``scratch_name`` (a deterministic per-shard region
+    name), ``cipher_label`` (the output's derived cipher stream), and
+    ``output_ledger`` (the shard's ledger segment, keeping the replacement
+    region inside the composite ledger the database verifies).
     """
     enclave = table.enclave
     if table.capacity == 0:
-        return FlatStorage(enclave, table.schema, 0, name=name)
+        return FlatStorage(
+            enclave,
+            table.schema,
+            0,
+            name=name,
+            ledger=output_ledger,
+            cipher_label=cipher_label,
+        )
     geometry = shuffle_geometry(table.capacity)
     rng = rng if rng is not None else random.Random()
     perm, cells = plan_shuffle(geometry, rng)
@@ -196,7 +219,7 @@ def oblivious_shuffle(
     resident_rows = max(2 * geometry.chunk_rows, geometry.bucket_slots)
     buffer_bytes = resident_rows * entry_bytes + _POSITION_BYTES * geometry.n
 
-    scratch_region = enclave.fresh_region_name("shuffle")
+    scratch_region = scratch_name or enclave.fresh_region_name("shuffle")
     enclave.untrusted.allocate_region(scratch_region, geometry.scratch_capacity)
     ledger = RevisionLedger()
     try:
@@ -223,33 +246,21 @@ def oblivious_shuffle(
 
             # Pass 2: clean up.  One batched bucket read and one batched
             # segment write per bucket; fillers die inside the enclave.
-            output = FlatStorage(enclave, table.schema, geometry.n, name=name)
-            header = _ENTRY_HEADER
-            for bucket in range(geometry.buckets):
-                base = bucket * geometry.bucket_slots
-                sealed = enclave.untrusted.read_range(
-                    scratch_region, base, geometry.bucket_slots
+            output = FlatStorage(
+                enclave,
+                table.schema,
+                geometry.n,
+                name=name,
+                ledger=output_ledger,
+                cipher_label=cipher_label,
+            )
+            if pool is not None:
+                _cleanup_grouped(
+                    enclave, pool, geometry, scratch_region, ledger, output
                 )
-                for offset, block in enumerate(sealed):
-                    if block is None:
-                        raise StorageError(
-                            f"missing block {scratch_region}[{base + offset}]"
-                        )
-                aads = ledger.open_range(scratch_region, base, geometry.bucket_slots)
-                entries_out = []
-                for plaintext in enclave.open_many(sealed, aads):
-                    (target,) = header.unpack_from(plaintext, 0)
-                    if target >= 0:
-                        entries_out.append((target, plaintext[header.size :]))
-                entries_out.sort(key=lambda entry: entry[0])
-                seg_start, seg_stop = geometry.segment(bucket)
-                if len(entries_out) != seg_stop - seg_start:
-                    raise StorageError(
-                        f"shuffle bucket {bucket} holds {len(entries_out)} rows "
-                        f"for a segment of {seg_stop - seg_start}"
-                    )
-                output.write_range_framed(
-                    seg_start, [frame for _, frame in entries_out]
+            else:
+                _cleanup_sequential(
+                    enclave, geometry, scratch_region, ledger, output
                 )
     finally:
         enclave.untrusted.free_region(scratch_region)
@@ -259,3 +270,93 @@ def oblivious_shuffle(
     # Free slots are now scattered: block the sequential fast-insert path.
     output._next_fast_insert = output.capacity
     return output
+
+
+def _cleanup_sequential(
+    enclave, geometry: ShuffleGeometry, scratch_region: str, ledger, output
+) -> None:
+    """Legacy clean-up: per bucket, read its scratch range, write its segment."""
+    header = _ENTRY_HEADER
+    for bucket in range(geometry.buckets):
+        base = bucket * geometry.bucket_slots
+        sealed = enclave.untrusted.read_range(
+            scratch_region, base, geometry.bucket_slots
+        )
+        for offset, block in enumerate(sealed):
+            if block is None:
+                raise StorageError(f"missing block {scratch_region}[{base + offset}]")
+        aads = ledger.open_range(scratch_region, base, geometry.bucket_slots)
+        entries_out = []
+        for plaintext in enclave.open_many(sealed, aads):
+            (target,) = header.unpack_from(plaintext, 0)
+            if target >= 0:
+                entries_out.append((target, plaintext[header.size :]))
+        entries_out.sort(key=lambda entry: entry[0])
+        seg_start, seg_stop = geometry.segment(bucket)
+        if len(entries_out) != seg_stop - seg_start:
+            raise StorageError(
+                f"shuffle bucket {bucket} holds {len(entries_out)} rows "
+                f"for a segment of {seg_stop - seg_start}"
+            )
+        output.write_range_framed(seg_start, [frame for _, frame in entries_out])
+
+
+def _cleanup_grouped(
+    enclave, pool, geometry: ShuffleGeometry, scratch_region: str, ledger, output
+) -> None:
+    """Pool clean-up: groups of ``pool.shards`` buckets, workers off-trace.
+
+    Per group the parent reads each bucket's scratch range (ascending bucket
+    order) and ships the sealed entries plus AADs to one worker per bucket;
+    workers open/filter/sort/re-seal; the parent then writes each bucket's
+    output segment (ascending) and commits its staged revisions.  The parent
+    performs every untrusted access, so the trace — ``R`` group's buckets,
+    ``W`` group's segments — is a pure function of ``(n, pool.shards)``;
+    ``pool.shards == 1`` degenerates to the sequential per-bucket trace.
+    """
+    header = _ENTRY_HEADER
+    out_region = output.region_name
+    out_ledger = output._ledger
+    # The scratch is sealed under the enclave root cipher — label "" lets a
+    # worker holding the root key re-derive it; the output seals under the
+    # table's derived stream when it has one.
+    open_label = ""
+    seal_label = output.cipher_label or ""
+    group = pool.shards
+    try:
+        for group_start in range(0, geometry.buckets, group):
+            group_stop = min(group_start + group, geometry.buckets)
+            handles = []
+            staged: list[tuple[int, list[int]]] = []
+            for bucket in range(group_start, group_stop):
+                base = bucket * geometry.bucket_slots
+                sealed = enclave.untrusted.read_range(
+                    scratch_region, base, geometry.bucket_slots
+                )
+                for offset, block in enumerate(sealed):
+                    if block is None:
+                        raise StorageError(
+                            f"missing block {scratch_region}[{base + offset}]"
+                        )
+                open_aads = ledger.open_range(
+                    scratch_region, base, geometry.bucket_slots
+                )
+                seg_start, seg_stop = geometry.segment(bucket)
+                revisions, seal_aads = out_ledger.stage_range(
+                    out_region, seg_start, seg_stop - seg_start
+                )
+                handles.append(
+                    pool.submit(
+                        bucket - group_start,
+                        "shuffle_cleanup",
+                        (open_label, sealed, open_aads, seal_label, seal_aads,
+                         header.size),
+                    )
+                )
+                staged.append((seg_start, revisions))
+            for handle, (seg_start, revisions) in zip(handles, staged):
+                sealed_out = pool.collect(handle)
+                enclave.untrusted.write_range(out_region, seg_start, sealed_out)
+                out_ledger.commit_range(out_region, seg_start, revisions)
+    finally:
+        pool.drain()  # abandon the group's in-flight buckets on error

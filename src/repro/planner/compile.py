@@ -537,6 +537,7 @@ def plan_selection_node(
     *,
     padding: PaddingConfig | None = None,
     allow_continuous: bool = True,
+    shards: int = 1,
 ) -> PlanNode:
     """Choose the selection subtree over a materialized source.
 
@@ -556,7 +557,7 @@ def plan_selection_node(
             padded=True,
         )
     decision: SelectDecision = plan_select(
-        storage, predicate, allow_continuous=allow_continuous
+        storage, predicate, allow_continuous=allow_continuous, shards=shards
     )
     node = SelectNode(
         source=source_node,
@@ -614,6 +615,7 @@ def compile_statement(
     *,
     padding: PaddingConfig | None = None,
     allow_continuous: bool = True,
+    shards: int = 1,
 ) -> CompiledQuery:
     """Compile one logical statement into a :class:`CompiledQuery`."""
     # Imported lazily: repro.engine imports repro.planner at module load,
@@ -625,7 +627,7 @@ def compile_statement(
         UpdateStatement,
     )
 
-    compiler = _Compiler(tables, padding, allow_continuous)
+    compiler = _Compiler(tables, padding, allow_continuous, shards)
     if isinstance(statement, SelectStatement):
         return compiler.compile_select(statement)
     if isinstance(statement, InsertStatement):
@@ -643,10 +645,12 @@ class _Compiler:
         tables: dict[str, Table],
         padding: PaddingConfig | None,
         allow_continuous: bool,
+        shards: int = 1,
     ) -> None:
         self._tables = tables
         self._padding = padding
         self._allow_continuous = allow_continuous
+        self._shards = max(1, shards)
 
     def _table(self, name: str) -> Table:
         try:
@@ -771,6 +775,7 @@ class _Compiler:
             where,
             padding=self._padding,
             allow_continuous=self._allow_continuous,
+            shards=self._shards,
         )
 
     def _source_rows(self, source: PlanNode, compiled: CompiledQuery) -> int | None:

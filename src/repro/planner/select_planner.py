@@ -52,12 +52,17 @@ def plan_select(
     allow_continuous: bool = True,
     force: SelectAlgorithm | None = None,
     access_method: AccessMethod = AccessMethod.FLAT_SCAN,
+    shards: int = 1,
 ) -> SelectDecision:
     """Run the statistics pass and choose a SELECT algorithm.
 
     ``allow_continuous=False`` disables the Continuous algorithm (its choice
     leaks result adjacency; Section 7.1 disables it against Opaque).
     ``force`` overrides the decision, as the paper allows users to do.
+    ``shards`` is the engine's parallel width: scan-shaped cost terms divide
+    across shards (the critical path is the slowest shard's slice), while
+    result-sized terms — buffered output writes — remain serial.  At the
+    default ``shards=1`` every expression reduces to the sequential model.
     """
     stats = scan_statistics(table, predicate)
     enclave = table.enclave
@@ -68,7 +73,7 @@ def plan_select(
     if force is not None:
         algorithm = force
     else:
-        algorithm = _choose(stats, buffer_rows, allow_continuous)
+        algorithm = _choose(stats, buffer_rows, allow_continuous, shards)
 
     plan = PhysicalPlan(
         operator="select",
@@ -86,7 +91,10 @@ def plan_select(
 
 
 def _choose(
-    stats: SelectionStats, buffer_rows: int, allow_continuous: bool
+    stats: SelectionStats,
+    buffer_rows: int,
+    allow_continuous: bool,
+    shards: int = 1,
 ) -> SelectAlgorithm:
     """Threshold-gated cost comparison (Section 5).
 
@@ -94,6 +102,12 @@ def _choose(
     of the table, Continuous only when matches are adjacent (and allowed) —
     and block-access cost expressions pick the cheapest applicable
     algorithm.  Hash and Small are always applicable.
+
+    With ``shards > 1`` the N-proportional scan terms are priced at the
+    per-shard slice ``ceil(N / shards)`` (shards scan concurrently; the
+    modeled cost is the critical path).  The Small algorithm's R-sized
+    output writes stay serial, which is what shifts the decision boundary:
+    sharding makes scan-heavy algorithms relatively cheaper.
     """
     n = stats.input_capacity
     r = stats.matching_rows
@@ -101,15 +115,17 @@ def _choose(
         # Empty output: every algorithm degenerates to one scan; Hash keeps
         # the pattern identical to the general case.
         return SelectAlgorithm.HASH
+    shards = max(1, shards)
+    slice_n = (n + shards - 1) // shards
     passes = (r + buffer_rows - 1) // buffer_rows
     costs: dict[SelectAlgorithm, int] = {
-        SelectAlgorithm.SMALL: n * passes + r,
-        SelectAlgorithm.HASH: 21 * n,
+        SelectAlgorithm.SMALL: slice_n * passes + r,
+        SelectAlgorithm.HASH: 21 * slice_n,
     }
     if stats.continuous and allow_continuous:
-        costs[SelectAlgorithm.CONTINUOUS] = 3 * n
+        costs[SelectAlgorithm.CONTINUOUS] = 3 * slice_n
     if stats.selectivity >= LARGE_SELECTIVITY_THRESHOLD:
-        costs[SelectAlgorithm.LARGE] = 4 * n
+        costs[SelectAlgorithm.LARGE] = 4 * slice_n
     return min(costs, key=lambda algorithm: costs[algorithm])
 
 

@@ -17,6 +17,10 @@ Three hooks, all per tenant:
   :meth:`~repro.serving.server.Session.execute_paged`: a bandwidth bound
   on rows returned per call, *not* an execution bound (the oblivious
   operators always do their padded full-size work; see docs/serving.md).
+* ``admission_timeout_s`` — how long an over-quota request may *block*
+  waiting for a slot before giving up.  The default (0) keeps the
+  historical fail-fast behaviour; a positive timeout turns rejection into
+  bounded queueing, which is what batch clients usually want.
 
 Violations raise :class:`AdmissionError` and count in
 :class:`~repro.serving.stats.ServingStats` as ``rejected``.
@@ -25,6 +29,7 @@ Violations raise :class:`AdmissionError` and count in
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from ..enclave.errors import ObliDBError
@@ -56,11 +61,14 @@ class AdmissionPolicy:
     max_in_flight: int = 0
     class_quotas: dict[str, int] = field(default_factory=dict)
     page_rows: int = 0
+    admission_timeout_s: float = 0.0
 
     def __post_init__(self) -> None:
         unknown = set(self.class_quotas) - set(STATEMENT_CLASSES)
         if unknown:
             raise ValueError(f"unknown statement classes in quotas: {sorted(unknown)}")
+        if self.admission_timeout_s < 0:
+            raise ValueError("admission_timeout_s must be non-negative")
 
 
 class TenantState:
@@ -69,32 +77,45 @@ class TenantState:
     def __init__(self, name: str, policy: AdmissionPolicy) -> None:
         self.name = name
         self.policy = policy
-        self._lock = threading.Lock()
+        self._slots = threading.Condition(threading.Lock())
         self._in_flight = 0
         self._by_class = dict.fromkeys(STATEMENT_CLASSES, 0)
 
-    def admit(self, statement_class: str) -> None:
-        """Reserve one admission slot or raise :class:`AdmissionError`."""
+    def _blocked_by(self, statement_class: str) -> str | None:
+        """The limit currently blocking this class, or None if admissible."""
         policy = self.policy
-        with self._lock:
-            if 0 < policy.max_in_flight <= self._in_flight:
-                raise AdmissionError(
-                    f"tenant {self.name!r}: max_in_flight="
-                    f"{policy.max_in_flight} reached"
-                )
-            quota = policy.class_quotas.get(statement_class, 0)
-            if 0 < quota <= self._by_class[statement_class]:
-                raise AdmissionError(
-                    f"tenant {self.name!r}: {statement_class} quota={quota} reached"
-                )
+        if 0 < policy.max_in_flight <= self._in_flight:
+            return f"max_in_flight={policy.max_in_flight} reached"
+        quota = policy.class_quotas.get(statement_class, 0)
+        if 0 < quota <= self._by_class[statement_class]:
+            return f"{statement_class} quota={quota} reached"
+        return None
+
+    def admit(self, statement_class: str) -> None:
+        """Reserve one admission slot or raise :class:`AdmissionError`.
+
+        With ``admission_timeout_s > 0`` an over-quota request blocks until
+        a slot frees (``release`` wakes waiters) or the deadline passes —
+        the timeout error names the limit still blocking at expiry.
+        """
+        with self._slots:
+            reason = self._blocked_by(statement_class)
+            if reason is not None:
+                deadline = time.monotonic() + self.policy.admission_timeout_s
+                while reason is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._slots.wait(remaining):
+                        raise AdmissionError(f"tenant {self.name!r}: {reason}")
+                    reason = self._blocked_by(statement_class)
             self._in_flight += 1
             self._by_class[statement_class] += 1
 
     def release(self, statement_class: str) -> None:
-        with self._lock:
+        with self._slots:
             self._in_flight -= 1
             self._by_class[statement_class] -= 1
+            self._slots.notify_all()
 
     def depth(self) -> int:
-        with self._lock:
+        with self._slots:
             return self._in_flight

@@ -1,0 +1,38 @@
+"""Sharded parallel execution: region partitioning, worker pools, traces.
+
+The subsystem splits a table into independent untrusted-memory regions
+(:mod:`repro.shard.partition`), runs oblivious pipelines shard-parallel on
+deterministic worker processes (:mod:`repro.shard.pool`), and composes the
+per-shard access recordings back into one canonical trace
+(:mod:`repro.shard.trace`) so sharded and sequential executions stay
+bit-identical to the adversary.
+"""
+
+from .partition import (
+    ShardedTable,
+    ShardSpec,
+    encode_key,
+    partition_rows,
+)
+from .pool import (
+    CRYPTO_FANOUT_MIN,
+    ShardPool,
+    WorkerContext,
+    derive_shard_key,
+    derive_shard_seed,
+)
+from .trace import ShardTraceRecorder, compose
+
+__all__ = [
+    "CRYPTO_FANOUT_MIN",
+    "ShardPool",
+    "ShardSpec",
+    "ShardTraceRecorder",
+    "ShardedTable",
+    "WorkerContext",
+    "compose",
+    "derive_shard_key",
+    "derive_shard_seed",
+    "encode_key",
+    "partition_rows",
+]

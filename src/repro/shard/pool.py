@@ -1,0 +1,517 @@
+"""Shard worker pool: process-parallel enclave compute, deterministic seeds.
+
+The simulator's enclave-side work — MAC verification, keystream crypto, row
+decode, the shuffle's entry bookkeeping — is pure CPU and embarrassingly
+parallel across independent blocks, but until now every batched pipeline ran
+it on one core.  :class:`ShardPool` runs that compute on ``shards`` worker
+processes while the *parent* keeps performing every untrusted-memory access
+itself, in the canonical order the trace contracts pin.  The division of
+labour is the security argument:
+
+* **Workers are enclave threads.**  They hold the enclave root key (handed
+  to them at fork, exactly like SGX threads sharing sealed state) and only
+  ever see plaintexts, AADs, and sealed blocks shipped over a private pipe —
+  never the untrusted store.  Nothing a worker does is adversary-visible.
+* **The parent owns the trace.**  All reads and writes of untrusted memory
+  happen in the parent, in a deterministic schedule, so the observable
+  access sequence is a pure function of public sizes — independent of
+  worker timing, scheduling, or even which backend runs the compute.
+
+Determinism (the ``SCHEDULE_SEED`` convention of ``tests/conftest.py``,
+applied to shards): every per-shard PRF — derived cipher keys, seal nonces,
+per-shard permutation seeds — is derived from the enclave root key plus a
+shard label.  Workers never call ``os.urandom``; the pool prints its
+``SHARD_SEED`` once so a failing run can be replayed exactly (set the
+``SHARD_SEED`` environment variable to pin it).
+
+Backends: ``"process"`` (``multiprocessing`` fork workers, one duplex pipe
+each), ``"inline"`` (the same task registry executed in-process — the
+fallback for tests and platforms without fork), ``"auto"`` (process when
+fork is available, else inline).  A worker process dying mid-task is
+surfaced as :class:`~repro.faults.SimulatedCrash` — the same
+tear-through-everything kill semantics the fault harness uses, so the
+recovery path (`ObliDB.recover` + ``verify()``) is identical whether the
+host killed the enclave or one of its shard workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import threading
+from typing import Any, Callable, Sequence
+
+from ..enclave.crypto import AuthenticatedCipher, NullCipher, SealedBlock
+from ..enclave.errors import (
+    CapacityError,
+    IntegrityError,
+    ObliDBError,
+    RollbackError,
+    StorageError,
+    TransientStorageError,
+)
+from ..faults import SimulatedCrash
+from ..storage.rows import is_dummy, unframe_rows
+
+_NONCE_SIZE = 12
+
+#: Batches below this size are cheaper to run in-process than to ship.
+CRYPTO_FANOUT_MIN = 256
+
+#: Worker-raised exception types reconstructed by name in the parent.
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    cls.__name__: cls
+    for cls in (
+        ObliDBError,
+        IntegrityError,
+        RollbackError,
+        StorageError,
+        TransientStorageError,
+        CapacityError,
+        ValueError,
+    )
+}
+
+
+def derive_shard_key(root_key: bytes, label: str) -> bytes:
+    """The cipher key a shard label owns: ``label == ""`` is the root itself.
+
+    Region-labelled keys are domain-separated BLAKE2b derivations of the
+    root, so each shard's sealed blocks form an independent cipher stream
+    (compromising one shard's working key reveals nothing about another's)
+    while any enclave thread holding the root can re-derive every stream.
+    """
+    if not label:
+        return root_key
+    return hashlib.blake2b(
+        b"shard-key:" + label.encode(), key=root_key[:64], digest_size=32
+    ).digest()
+
+
+def derive_shard_seed(shard_root: bytes, label: str) -> int:
+    """Deterministic PRF seed for a shard label (permutations, schedules)."""
+    digest = hashlib.blake2b(
+        b"shard-seed:" + label.encode(), key=shard_root[:64], digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class WorkerContext:
+    """Per-worker enclave state: derived ciphers and deterministic nonces.
+
+    One instance lives in each worker process (and one in the parent for
+    the inline backend).  Nonce streams are keyed per (worker, label) from
+    the shard root, so re-running the same deterministic task schedule
+    reproduces every ciphertext bit-for-bit — and ``os.urandom`` is never
+    touched inside a worker.
+    """
+
+    def __init__(
+        self, worker_index: int, cipher_kind: str, root_key: bytes, shard_root: bytes
+    ) -> None:
+        self.worker_index = worker_index
+        self.cipher_kind = cipher_kind
+        self.root_key = root_key
+        self.shard_root = shard_root
+        self._ciphers: dict[str, Any] = {}
+        self._nonce_states: dict[str, list] = {}
+
+    def cipher(self, label: str):
+        cipher = self._ciphers.get(label)
+        if cipher is None:
+            if self.cipher_kind == "null":
+                cipher = NullCipher()
+            else:
+                cipher = AuthenticatedCipher(derive_shard_key(self.root_key, label))
+            self._ciphers[label] = cipher
+        return cipher
+
+    def nonces(self, label: str, count: int) -> list[bytes]:
+        state = self._nonce_states.get(label)
+        if state is None:
+            seed = hashlib.blake2b(
+                b"shard-nonce:%d:" % self.worker_index + label.encode(),
+                key=self.shard_root[:64],
+                digest_size=32,
+            ).digest()
+            state = self._nonce_states[label] = [seed, 0]
+        seed, counter = state
+        blake2b = hashlib.blake2b
+        out = [
+            blake2b(
+                (counter + offset).to_bytes(8, "little"),
+                key=seed,
+                digest_size=_NONCE_SIZE,
+            ).digest()
+            for offset in range(count)
+        ]
+        state[1] = counter + count
+        return out
+
+
+# ----------------------------------------------------------------------
+# Task registry: pure enclave compute, shared by both backends
+# ----------------------------------------------------------------------
+def _task_open_many(ctx: WorkerContext, payload) -> list[bytes]:
+    label, blocks, aads = payload
+    return ctx.cipher(label).open_many(blocks, aads)
+
+
+def _task_seal_many(ctx: WorkerContext, payload) -> list[SealedBlock]:
+    label, frames, aads = payload
+    cipher = ctx.cipher(label)
+    if isinstance(cipher, NullCipher):
+        return cipher.seal_many(frames, aads)
+    return cipher.seal_many(frames, aads, nonces=ctx.nonces(label, len(frames)))
+
+
+def _task_open_rows(ctx: WorkerContext, payload):
+    """Open + decode one chunk: the scan front's per-shard compute."""
+    label, blocks, aads, schema = payload
+    return unframe_rows(schema, ctx.cipher(label).open_many(blocks, aads))
+
+
+def _task_mark_rows(ctx: WorkerContext, payload) -> list[bool]:
+    """Open one chunk and return its keeper flags (compaction marking)."""
+    label, blocks, aads = payload
+    return [not is_dummy(f) for f in ctx.cipher(label).open_many(blocks, aads)]
+
+
+def _task_shuffle_cleanup(ctx: WorkerContext, payload) -> list[SealedBlock]:
+    """One bucket's clean-up: open entries, drop filler, sort, re-seal."""
+    open_label, blocks, open_aads, seal_label, seal_aads, header_size = payload
+    header = struct.Struct("<q")
+    entries = []
+    for plaintext in ctx.cipher(open_label).open_many(blocks, open_aads):
+        (target,) = header.unpack_from(plaintext, 0)
+        if target >= 0:
+            entries.append((target, plaintext[header_size:]))
+    if len(entries) != len(seal_aads):
+        raise StorageError(
+            f"shuffle bucket holds {len(entries)} rows for a segment of "
+            f"{len(seal_aads)}"
+        )
+    entries.sort(key=lambda entry: entry[0])
+    return _task_seal_many(
+        ctx, (seal_label, [frame for _, frame in entries], seal_aads)
+    )
+
+
+TASKS: dict[str, Callable[[WorkerContext, Any], Any]] = {
+    "open_many": _task_open_many,
+    "seal_many": _task_seal_many,
+    "open_rows": _task_open_rows,
+    "mark_rows": _task_mark_rows,
+    "shuffle_cleanup": _task_shuffle_cleanup,
+}
+
+
+def _worker_main(
+    conn, worker_index: int, cipher_kind: str, root_key: bytes, shard_root: bytes
+) -> None:  # pragma: no cover - runs in the child process
+    ctx = WorkerContext(worker_index, cipher_kind, root_key, shard_root)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        task, payload = message
+        try:
+            result = TASKS[task](ctx, payload)
+        except BaseException as error:
+            conn.send(("error", type(error).__name__, str(error)))
+        else:
+            conn.send(("ok", result))
+
+
+class _Handle:
+    """One in-flight task: (worker index, or an inline-computed outcome)."""
+
+    __slots__ = ("worker", "outcome")
+
+    def __init__(self, worker: int, outcome: tuple | None = None) -> None:
+        self.worker = worker
+        self.outcome = outcome
+
+
+class ShardPool:
+    """``shards`` deterministic enclave-compute workers.
+
+    ``submit``/``collect`` pipeline one task per worker (the epoch pattern:
+    dispatch every shard's step, then collect in shard order); ``run`` is
+    the synchronous convenience; ``crypto_many`` slices one large
+    seal/open batch across all workers (the transparent fan-out
+    :class:`~repro.enclave.enclave.Enclave` applies to every batched pass).
+    All entry points hold one lock — the engine is single-caller, and the
+    serving layer's engine lock already serializes pipelines, so the lock
+    only guards against misuse.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        cipher_kind: str,
+        root_key: bytes,
+        shard_root: bytes | None = None,
+        backend: str = "auto",
+        quiet: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("a shard pool needs at least one worker")
+        if cipher_kind not in ("authenticated", "null"):
+            raise ValueError(f"unknown cipher kind {cipher_kind!r}")
+        self.shards = shards
+        self.cipher_kind = cipher_kind
+        self._root_key = root_key
+        env = os.environ.get("SHARD_SEED")
+        if shard_root is None:
+            if env is not None:
+                shard_root = int(env, 16).to_bytes(32, "little")
+            else:
+                shard_root = hashlib.blake2b(
+                    b"shard-root", key=root_key[:64], digest_size=32
+                ).digest()
+        self.shard_root = shard_root
+        self.backend = self._resolve_backend(backend)
+        self._lock = threading.RLock()
+        self._closed = False
+        self._busy: list[_Handle | None] = [None] * shards
+        if self.backend == "process":
+            self._start_workers()
+        else:
+            self._inline_ctx = [
+                WorkerContext(i, cipher_kind, root_key, self.shard_root)
+                for i in range(shards)
+            ]
+            self._killed = [False] * shards
+        if not quiet:
+            print(
+                f"[shard] SHARD_SEED={int.from_bytes(self.shard_root, 'little'):x} "
+                f"workers={shards} backend={self.backend} "
+                "(env SHARD_SEED replays it)"
+            )
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_backend(backend: str) -> str:
+        if backend == "inline":
+            return "inline"
+        if backend in ("auto", "process"):
+            import multiprocessing
+
+            try:
+                multiprocessing.get_context("fork")
+                return "process"
+            except ValueError:
+                if backend == "process":
+                    raise
+                return "inline"
+        raise ValueError(f"unknown shard backend {backend!r}")
+
+    def _start_workers(self) -> None:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        self._pipes = []
+        self._procs = []
+        for index in range(self.shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            proc = context.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    index,
+                    self.cipher_kind,
+                    self._root_key,
+                    self.shard_root,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._pipes.append(parent_conn)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    # Task API
+    # ------------------------------------------------------------------
+    def seed_for(self, label: str) -> int:
+        """Deterministic PRF seed for a shard label (see module docstring)."""
+        return derive_shard_seed(self.shard_root, label)
+
+    def submit(self, worker: int, task: str, payload) -> _Handle:
+        """Dispatch one task to ``worker``; does not wait for the result."""
+        with self._lock:
+            self._check_open()
+            worker %= self.shards
+            if self._busy[worker] is not None:
+                raise StorageError(
+                    f"shard worker {worker} already has a task in flight"
+                )
+            if self.backend == "inline":
+                if self._killed[worker]:
+                    handle = _Handle(worker, ("crash", None, None))
+                else:
+                    try:
+                        result = TASKS[task](self._inline_ctx[worker], payload)
+                    except SimulatedCrash:
+                        raise
+                    except BaseException as error:
+                        handle = _Handle(
+                            worker, ("error", type(error).__name__, str(error))
+                        )
+                    else:
+                        handle = _Handle(worker, ("ok", result))
+            else:
+                try:
+                    self._pipes[worker].send((task, payload))
+                except (BrokenPipeError, OSError):
+                    handle = _Handle(worker, ("crash", None, None))
+                else:
+                    handle = _Handle(worker)
+            self._busy[worker] = handle
+            return handle
+
+    def collect(self, handle: _Handle):
+        """Wait for one task; re-raise worker errors, crash on worker death."""
+        with self._lock:
+            self._check_open()
+            if self._busy[handle.worker] is not handle:
+                raise StorageError("collect on a task that is not in flight")
+            self._busy[handle.worker] = None
+            outcome = handle.outcome
+            if outcome is None:
+                try:
+                    outcome = self._pipes[handle.worker].recv()
+                except (EOFError, OSError):
+                    outcome = ("crash", None, None)
+            if outcome[0] == "ok":
+                return outcome[1]
+            if outcome[0] == "crash":
+                raise SimulatedCrash(
+                    f"shard worker {handle.worker} died mid-pipeline"
+                )
+            _, name, message = outcome
+            raise _ERROR_TYPES.get(name, StorageError)(message)
+
+    def run(self, worker: int, task: str, payload):
+        """Synchronous submit + collect on one worker."""
+        return self.collect(self.submit(worker, task, payload))
+
+    def crypto_many(
+        self, task: str, label: str, items: Sequence, aads: Sequence[bytes]
+    ) -> list:
+        """Slice one seal/open batch across every worker and reconcatenate.
+
+        Slices are contiguous, so the concatenated result preserves batch
+        order exactly; errors from any slice re-raise with their original
+        type (a tampered block in slice 2 still surfaces as
+        :class:`IntegrityError`).
+        """
+        with self._lock:
+            count = len(items)
+            per = (count + self.shards - 1) // self.shards
+            handles = []
+            for worker in range(self.shards):
+                start = worker * per
+                if start >= count:
+                    break
+                stop = min(start + per, count)
+                handles.append(
+                    self.submit(
+                        worker, task, (label, list(items[start:stop]), list(aads[start:stop]))
+                    )
+                )
+            out: list = []
+            first_error: BaseException | None = None
+            for handle in handles:
+                try:
+                    out.extend(self.collect(handle))
+                except BaseException as error:  # drain every slice, raise once
+                    if first_error is None:
+                        first_error = error
+            if first_error is not None:
+                raise first_error
+            return out
+
+    def drain(self) -> None:
+        """Collect and discard every in-flight task (error-path cleanup).
+
+        When a pipeline unwinds with an error mid-dispatch, its remaining
+        handles would leave workers "busy" and the pool unusable; drain
+        swallows those leftover results (including worker errors and even
+        worker deaths — the caller is already raising its own error) and
+        returns the pool to an idle, reusable state.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            for handle in list(self._busy):
+                if handle is None:
+                    continue
+                try:
+                    self.collect(handle)
+                except (SimulatedCrash, ObliDBError, ValueError):
+                    pass
+
+    def wants_crypto(self, count: int) -> bool:
+        """Whether a batch of ``count`` blocks is worth fanning out."""
+        return (
+            not self._closed and self.shards > 1 and count >= CRYPTO_FANOUT_MIN
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle and fault injection
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("shard pool is closed")
+
+    def kill_worker(self, worker: int) -> None:
+        """Kill one worker (tests: the adversary kills an enclave thread).
+
+        The next ``collect`` touching it raises :class:`SimulatedCrash`;
+        both backends honour the kill so fault tests run without fork.
+        """
+        worker %= self.shards
+        if self.backend == "process":
+            self._procs[worker].terminate()
+            self._procs[worker].join()
+        else:
+            self._killed[worker] = True
+
+    def close(self) -> None:
+        """Shut down every worker; the pool cannot be reused."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self.backend == "process":
+                for pipe in self._pipes:
+                    try:
+                        pipe.send(None)
+                    except (BrokenPipeError, OSError):
+                        pass
+                for proc in self._procs:
+                    proc.join(timeout=5)
+                    if proc.is_alive():  # pragma: no cover - stuck worker
+                        proc.terminate()
+                for pipe in self._pipes:
+                    pipe.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -63,6 +63,7 @@ class FlatStorage:
         capacity: int,
         name: str | None = None,
         ledger: RevisionLedger | None = None,
+        cipher_label: str | None = None,
     ) -> None:
         if capacity < 0:
             raise StorageError("capacity must be non-negative")
@@ -70,6 +71,15 @@ class FlatStorage:
         self.schema = schema
         self._region = name or enclave.fresh_region_name("flat")
         self._ledger = ledger if ledger is not None else RevisionLedger()
+        # ``cipher_label`` scopes this table to a derived cipher stream
+        # (sharded tables label each shard with its region name, so a shard
+        # worker holding the root key re-derives the same cipher from the
+        # label alone).  Unlabelled tables use the enclave's root cipher,
+        # which is also the path that fans crypto out across a shard pool.
+        self._cipher_label = cipher_label
+        self._cipher = (
+            enclave.derived_cipher(cipher_label) if cipher_label is not None else None
+        )
         enclave.untrusted.allocate_region(self._region, capacity)
         self._freed = False
         # Enclave-side metadata: number of in-use rows and the fast-insert
@@ -109,6 +119,35 @@ class FlatStorage:
     def enclave(self) -> Enclave:
         return self._enclave
 
+    @property
+    def cipher_label(self) -> str | None:
+        """The derived-cipher label this table seals under (None = root)."""
+        return self._cipher_label
+
+    # ------------------------------------------------------------------
+    # Cipher dispatch: the table's derived cipher when labelled, else the
+    # enclave (whose batch path also fans out across a shard pool)
+    # ------------------------------------------------------------------
+    def _seal(self, frame: bytes, aad: bytes):
+        if self._cipher is not None:
+            return self._cipher.seal(frame, aad)
+        return self._enclave.seal(frame, aad)
+
+    def _open(self, block, aad: bytes) -> bytes:
+        if self._cipher is not None:
+            return self._cipher.open(block, aad)
+        return self._enclave.open(block, aad)
+
+    def _seal_many(self, frames: Sequence[bytes], aads: Sequence[bytes]) -> list:
+        if self._cipher is not None:
+            return self._cipher.seal_many(frames, aads)
+        return self._enclave.seal_many(frames, aads)
+
+    def _open_many(self, blocks: Sequence, aads: Sequence[bytes]) -> list[bytes]:
+        if self._cipher is not None:
+            return self._cipher.open_many(blocks, aads)
+        return self._enclave.open_many(blocks, aads)
+
     # ------------------------------------------------------------------
     # Verified decryption with rollback classification
     # ------------------------------------------------------------------
@@ -131,7 +170,7 @@ class FlatStorage:
         for revision in range(current):
             aad = self._ledger.associated_data(self._region, index, revision)
             try:
-                self._enclave.open(sealed, aad)
+                self._open(sealed, aad)
             except IntegrityError:
                 continue
             return RollbackError(
@@ -152,11 +191,11 @@ class FlatStorage:
         :class:`IntegrityError`.
         """
         try:
-            return self._enclave.open_many(sealed, aads)
+            return self._open_many(sealed, aads)
         except IntegrityError:
             for block, aad, index in zip(sealed, aads, indices):
                 try:
-                    self._enclave.open(block, aad)
+                    self._open(block, aad)
                 except IntegrityError as cause:
                     raise self._classify_open_failure(
                         block, index, cause
@@ -170,7 +209,7 @@ class FlatStorage:
         """Seal ``framed`` bytes into one block (one observable write)."""
         revision = self._ledger.next_revision(self._region, index)
         aad = self._ledger.associated_data(self._region, index, revision)
-        sealed = self._enclave.seal(framed, aad)
+        sealed = self._seal(framed, aad)
         self._enclave.untrusted.write(self._region, index, sealed)
         self._ledger.commit(self._region, index, revision)
 
@@ -182,7 +221,7 @@ class FlatStorage:
         revision = self._ledger.current(self._region, index)
         aad = self._ledger.associated_data(self._region, index, revision)
         try:
-            return self._enclave.open(sealed, aad)
+            return self._open(sealed, aad)
         except IntegrityError as cause:
             raise self._classify_open_failure(sealed, index, cause) from cause
 
@@ -226,6 +265,25 @@ class FlatStorage:
         aads = self._ledger.open_range(self._region, start, count)
         return self._open_verified(sealed, aads, range(start, start + count))
 
+    def read_range_sealed(
+        self, start: int, count: int
+    ) -> tuple[list, list[bytes]]:
+        """Read blocks ``[start, start+count)`` still sealed, with their AADs.
+
+        Same trace contract as :meth:`read_range_framed` — the read pass is
+        identical; only where the decrypt happens differs.  This is the
+        primitive sharded pipelines use to ship a chunk's ciphertexts to a
+        worker: the parent performs the observable read, the worker (an
+        enclave thread holding the derived key) opens and processes the
+        blocks off the trace.
+        """
+        sealed = self._enclave.untrusted.read_range(self._region, start, count)
+        for offset, block in enumerate(sealed):
+            if block is None:
+                raise StorageError(f"missing block {self._region}[{start + offset}]")
+        aads = self._ledger.open_range(self._region, start, count)
+        return sealed, aads
+
     def write_range_framed(self, start: int, frames: list[bytes]) -> None:
         """Seal ``frames`` into ``[start, start+len(frames))``.
 
@@ -240,7 +298,7 @@ class FlatStorage:
             revisions, aads = self._ledger.stage_range(
                 self._region, chunk_start, len(chunk)
             )
-            sealed = self._enclave.seal_many(chunk, aads)
+            sealed = self._seal_many(chunk, aads)
             self._enclave.untrusted.write_range(self._region, chunk_start, sealed)
             self._ledger.commit_range(self._region, chunk_start, revisions)
 
@@ -281,7 +339,7 @@ class FlatStorage:
                 transform(index, framed)
                 for index, framed in enumerate(frames, start)
             ]
-            resealed = enclave.seal_many(new_frames, next_aads)
+            resealed = self._seal_many(new_frames, next_aads)
             ledger.commit_range(region, start, next_revisions)
             return resealed
 
@@ -320,7 +378,7 @@ class FlatStorage:
                 low, high = decide(offset, frames[offset], frames[half + offset])
                 new_lows.append(low)
                 new_highs.append(high)
-            resealed = enclave.seal_many(new_lows + new_highs, next_aads)
+            resealed = self._seal_many(new_lows + new_highs, next_aads)
             ledger.commit_range(region, start, next_revisions)
             return resealed[:half], resealed[half:]
 
@@ -368,7 +426,7 @@ class FlatStorage:
             chunk = list(indices[offset : offset + _CHUNK_BLOCKS])
             chunk_frames = list(frames[offset : offset + _CHUNK_BLOCKS])
             revisions, aads = self._ledger.stage_at(self._region, chunk)
-            sealed = self._enclave.seal_many(chunk_frames, aads)
+            sealed = self._seal_many(chunk_frames, aads)
             self._enclave.untrusted.write_at(self._region, chunk, sealed)
             self._ledger.commit_at(self._region, chunk, revisions)
 
@@ -439,7 +497,7 @@ class FlatStorage:
                     )
                 revisions, aads = ledger.stage_at(region, write_indices)
                 staged[:] = revisions
-                return enclave.seal_many(new_frames, aads)
+                return self._seal_many(new_frames, aads)
 
             enclave.untrusted.exchange_interleaved(full_schedule, compute)
             # Commit only after the blocks are stored (atomic chunk).
@@ -507,7 +565,7 @@ class FlatStorage:
                         f"frames for {len(chunk)} pairs"
                     )
                 revisions, next_aads = dst_ledger.stage_steps(write_steps)
-                resealed = enclave.seal_many(new_frames, next_aads)
+                resealed = target._seal_many(new_frames, next_aads)
                 staged[:] = revisions
                 return resealed
 
@@ -710,7 +768,12 @@ class FlatStorage:
         if new_capacity < self.capacity:
             raise StorageError("copy_to target must not be smaller")
         target = FlatStorage(
-            self._enclave, self.schema, new_capacity, name=name, ledger=self._ledger
+            self._enclave,
+            self.schema,
+            new_capacity,
+            name=name,
+            ledger=self._ledger,
+            cipher_label=self._cipher_label,
         )
         self.interleave_to(
             target,

@@ -1,0 +1,94 @@
+"""Admission timeout: over-quota requests block with a deadline.
+
+``admission_timeout_s=0`` keeps the historical fail-fast rejection; a
+positive timeout turns rejection into bounded queueing — the request
+succeeds if a slot frees within the deadline and raises
+:class:`AdmissionError` naming the blocking limit otherwise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.policy import AdmissionError, AdmissionPolicy, TenantState
+
+
+def test_zero_timeout_fails_fast():
+    tenant = TenantState("t", AdmissionPolicy(max_in_flight=1))
+    tenant.admit("read")
+    start = time.monotonic()
+    with pytest.raises(AdmissionError, match="max_in_flight=1"):
+        tenant.admit("read")
+    assert time.monotonic() - start < 0.2
+
+
+def test_blocked_admit_succeeds_when_slot_frees():
+    tenant = TenantState("t", AdmissionPolicy(max_in_flight=1, admission_timeout_s=5.0))
+    tenant.admit("read")
+
+    releaser = threading.Timer(0.05, tenant.release, args=("read",))
+    releaser.start()
+    try:
+        tenant.admit("read")  # blocks until the timer releases the slot
+    finally:
+        releaser.join()
+    assert tenant.depth() == 1
+    tenant.release("read")
+
+
+def test_timeout_expires_with_blocking_reason():
+    tenant = TenantState("t", AdmissionPolicy(max_in_flight=1, admission_timeout_s=0.1))
+    tenant.admit("write")
+    start = time.monotonic()
+    with pytest.raises(AdmissionError, match="max_in_flight=1 reached"):
+        tenant.admit("read")
+    elapsed = time.monotonic() - start
+    assert elapsed >= 0.1
+    # The blocked attempt must not have leaked an admission slot.
+    assert tenant.depth() == 1
+
+
+def test_class_quota_timeout_path():
+    policy = AdmissionPolicy(class_quotas={"write": 1}, admission_timeout_s=0.05)
+    tenant = TenantState("t", policy)
+    tenant.admit("write")
+    # Reads are not quota'd: they admit instantly despite the busy write.
+    tenant.admit("read")
+    with pytest.raises(AdmissionError, match="write quota=1 reached"):
+        tenant.admit("write")
+    # Free the write slot; the next write admits again.
+    tenant.release("write")
+    tenant.admit("write")
+
+
+def test_release_wakes_all_waiters():
+    tenant = TenantState("t", AdmissionPolicy(max_in_flight=2, admission_timeout_s=5.0))
+    tenant.admit("read")
+    tenant.admit("read")
+    outcomes: list[str] = []
+
+    def contend():
+        try:
+            tenant.admit("read")
+            outcomes.append("admitted")
+        except AdmissionError:
+            outcomes.append("rejected")
+
+    waiters = [threading.Thread(target=contend) for _ in range(2)]
+    for w in waiters:
+        w.start()
+    time.sleep(0.05)
+    tenant.release("read")
+    tenant.release("read")
+    for w in waiters:
+        w.join(timeout=5.0)
+    assert outcomes == ["admitted", "admitted"]
+    assert tenant.depth() == 2
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        AdmissionPolicy(admission_timeout_s=-1.0)

@@ -1,0 +1,114 @@
+"""Sharded pipelines under faults: worker death, recovery, verification.
+
+A shard worker dying mid-pipeline must surface as the same
+:class:`SimulatedCrash` a host kill produces, and a fresh database must
+recover the WAL'd statements and be re-shardable — partitioning itself is
+derived state (not WAL-logged), so recovery restores the flat table and
+the operator re-partitions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import ObliDB, SimulatedCrash
+
+ROWS = [(i, f"name{i}") for i in range(64)]
+
+
+def build_db(backend):
+    db = ObliDB(wal=True, shards=2, shard_backend=backend)
+    db.sql("CREATE TABLE t (id INT, name STR(12)) CAPACITY 128 METHOD flat KEY id")
+    db.insert_many("t", ROWS)
+    return db
+
+
+@pytest.mark.parametrize("backend", ["inline", "process"])
+def test_worker_death_surfaces_and_recovery_restores(backend):
+    db = build_db(backend)
+    try:
+        db.partition_table("t", shards=2)
+        assert Counter(db.sharded_scan("t")) == Counter(ROWS)
+        assert db.verify().ok
+
+        db.shard_pool.kill_worker(0)
+        with pytest.raises(SimulatedCrash, match="died mid-pipeline"):
+            db.sharded_scan("t")
+    finally:
+        db.close()
+
+    # Crash-consistent recovery: a fresh database replays the WAL (table
+    # creation + inserts), verifies clean, and can be re-partitioned.
+    recovered = ObliDB(wal=True, shards=2, shard_backend=backend)
+    try:
+        report = recovered.recover(db.wal)
+        assert report.replayed > 0
+        assert recovered.verify().ok
+        recovered.partition_table("t", shards=2)
+        assert Counter(recovered.sharded_scan("t")) == Counter(ROWS)
+        assert recovered.verify().ok
+    finally:
+        recovered.close()
+
+
+@pytest.mark.parametrize("backend", ["inline", "process"])
+def test_sharded_pipelines_keep_verify_green(backend):
+    db = build_db(backend)
+    try:
+        db.partition_table("t")
+        db.sharded_shuffle("t")
+        assert db.sharded_compact("t") == len(ROWS)
+        assert Counter(db.sharded_scan("t")) == Counter(ROWS)
+        report = db.verify()
+        assert report.ok, report.issues
+        assert report.tables_checked >= 1
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("backend", ["inline", "process"])
+def test_pool_reusable_after_mid_scan_error(backend):
+    """A worker error mid-pipeline must not leave tasks in flight.
+
+    Tampering with one shard block makes a pooled scan raise
+    IntegrityError from whichever worker opens it; the unwind must drain
+    the other workers' in-flight chunks so the pool (and the table) stay
+    usable — the next scan after repair succeeds.
+    """
+    from repro.enclave.errors import IntegrityError
+
+    db = build_db(backend)
+    try:
+        db.partition_table("t", shards=4)
+        table = db.sharded_table("t")
+        region = table.region_names()[1]
+        slots = db.enclave.untrusted._regions[region]._slots
+        good = slots[0]
+        bad = bytearray(good.ciphertext)
+        bad[0] ^= 0xFF
+        slots[0] = good._replace(ciphertext=bytes(bad))
+        with pytest.raises(IntegrityError):
+            db.sharded_scan("t")
+        slots[0] = good
+        assert Counter(db.sharded_scan("t")) == Counter(ROWS)
+        assert db.verify().ok
+    finally:
+        db.close()
+
+
+def test_partition_table_guards():
+    db = ObliDB()
+    db.sql("CREATE TABLE t (id INT, name STR(12)) CAPACITY 32 METHOD flat KEY id")
+    db.insert_many("t", ROWS[:8])
+    db.partition_table("t", shards=2)
+    assert db.sharded_table_names() == ["t"]
+    assert "t" not in db.table_names()
+    from repro.enclave.errors import StorageError
+
+    with pytest.raises(StorageError, match="already sharded"):
+        db.partition_table("t")
+    with pytest.raises(StorageError, match="no table named"):
+        db.partition_table("missing")
+    db.close()

@@ -1,0 +1,194 @@
+"""ShardPool unit tests: determinism, fan-out, error and crash semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave.crypto import AuthenticatedCipher
+from repro.enclave.enclave import Enclave
+from repro.enclave.errors import IntegrityError, StorageError
+from repro.faults import SimulatedCrash
+from repro.shard import (
+    CRYPTO_FANOUT_MIN,
+    ShardPool,
+    WorkerContext,
+    derive_shard_key,
+    derive_shard_seed,
+)
+
+ROOT = b"\x07" * 32
+
+
+def make_pool(shards=4, backend="inline", **kwargs):
+    return ShardPool(shards, "authenticated", ROOT, backend=backend, quiet=True, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Key and seed derivation
+# ----------------------------------------------------------------------
+def test_empty_label_is_root_key():
+    assert derive_shard_key(ROOT, "") == ROOT
+
+
+def test_labelled_keys_are_distinct_and_deterministic():
+    a = derive_shard_key(ROOT, "table:t:shard0")
+    b = derive_shard_key(ROOT, "table:t:shard1")
+    assert a != b != ROOT
+    assert a == derive_shard_key(ROOT, "table:t:shard0")
+
+
+def test_seed_derivation_deterministic():
+    assert derive_shard_seed(ROOT, "x") == derive_shard_seed(ROOT, "x")
+    assert derive_shard_seed(ROOT, "x") != derive_shard_seed(ROOT, "y")
+
+
+def test_worker_nonce_streams_deterministic_and_disjoint():
+    a = WorkerContext(0, "authenticated", ROOT, ROOT)
+    a2 = WorkerContext(0, "authenticated", ROOT, ROOT)
+    b = WorkerContext(1, "authenticated", ROOT, ROOT)
+    assert a.nonces("L", 4) == a2.nonces("L", 4)
+    assert a2.nonces("L", 2) != a2.nonces("L", 2)  # stream advances
+    assert WorkerContext(0, "authenticated", ROOT, ROOT).nonces("L", 4) != b.nonces(
+        "L", 4
+    )
+
+
+def test_shard_seed_env_replay(monkeypatch):
+    pool = make_pool()
+    monkeypatch.setenv(
+        "SHARD_SEED", f"{int.from_bytes(pool.shard_root, 'little'):x}"
+    )
+    replay = make_pool()
+    assert replay.shard_root == pool.shard_root
+    assert replay.seed_for("s0") == pool.seed_for("s0")
+
+
+def test_pool_prints_shard_seed(capsys):
+    ShardPool(2, "authenticated", ROOT, backend="inline")
+    out = capsys.readouterr().out
+    assert "SHARD_SEED=" in out and "backend=inline" in out
+
+
+# ----------------------------------------------------------------------
+# crypto_many fan-out
+# ----------------------------------------------------------------------
+def test_crypto_many_round_trip_preserves_order():
+    pool = make_pool()
+    frames = [bytes([i % 256]) * 32 for i in range(CRYPTO_FANOUT_MIN + 50)]
+    aads = [b"aad%d" % i for i in range(len(frames))]
+    sealed = pool.crypto_many("seal_many", "", frames, aads)
+    # Label "" is the root cipher: a direct root cipher opens every block.
+    direct = AuthenticatedCipher(ROOT)
+    assert [direct.open(s, a) for s, a in zip(sealed, aads)] == frames
+    opened = pool.crypto_many("open_many", "", sealed, aads)
+    assert opened == frames
+
+
+def test_crypto_many_propagates_typed_errors():
+    pool = make_pool(shards=2)
+    frames = [b"x" * 16] * 8
+    aads = [b"a"] * 8
+    sealed = pool.crypto_many("seal_many", "", frames, aads)
+    bad = list(sealed)
+    bad[5] = AuthenticatedCipher(b"\x99" * 32).seal(b"x" * 16, b"a")
+    with pytest.raises(IntegrityError):
+        pool.crypto_many("open_many", "", bad, aads)
+
+
+def test_inline_equals_process_ciphertexts():
+    frames = [b"f%03d" % i for i in range(300)]
+    aads = [b"a%03d" % i for i in range(300)]
+    inline = make_pool(shards=3, backend="inline")
+    process = make_pool(shards=3, backend="process")
+    try:
+        assert inline.crypto_many(
+            "seal_many", "lbl", frames, aads
+        ) == process.crypto_many("seal_many", "lbl", frames, aads)
+    finally:
+        process.close()
+
+
+def test_enclave_fanout_transparent():
+    enclave = Enclave(cipher="authenticated", key=ROOT, keep_trace_events=False)
+    pool = make_pool()
+    enclave.attach_shard_pool(pool)
+    frames = [b"p" * 24] * (CRYPTO_FANOUT_MIN + 4)
+    aads = [b"d%d" % i for i in range(len(frames))]
+    sealed = enclave.seal_many(frames, aads)
+    assert enclave.open_many(sealed, aads) == frames
+    # Small batches stay in-process but give identical plaintexts back.
+    small = enclave.seal_many(frames[:4], aads[:4])
+    assert enclave.open_many(small, aads[:4]) == frames[:4]
+
+
+def test_wants_crypto_thresholds():
+    pool = make_pool(shards=4)
+    assert pool.wants_crypto(CRYPTO_FANOUT_MIN)
+    assert not pool.wants_crypto(CRYPTO_FANOUT_MIN - 1)
+    single = make_pool(shards=1)
+    assert not single.wants_crypto(10_000)
+    pool.close()
+    assert not pool.wants_crypto(10_000)
+
+
+# ----------------------------------------------------------------------
+# Submit/collect discipline, crash and lifecycle semantics
+# ----------------------------------------------------------------------
+def test_one_task_in_flight_per_worker():
+    pool = make_pool(shards=2)
+    handle = pool.submit(0, "seal_many", ("", [b"x"], [b"a"]))
+    with pytest.raises(StorageError, match="in flight"):
+        pool.submit(0, "seal_many", ("", [b"y"], [b"a"]))
+    pool.collect(handle)
+    with pytest.raises(StorageError, match="not in flight"):
+        pool.collect(handle)
+
+
+@pytest.mark.parametrize("backend", ["inline", "process"])
+def test_killed_worker_surfaces_as_simulated_crash(backend):
+    pool = make_pool(shards=2, backend=backend)
+    try:
+        pool.kill_worker(0)
+        handle = pool.submit(0, "seal_many", ("", [b"x"], [b"a"]))
+        with pytest.raises(SimulatedCrash, match="died mid-pipeline"):
+            pool.collect(handle)
+        # The other worker keeps serving.
+        assert pool.run(1, "open_many", ("", *split_seal(pool))) == [b"ok"]
+    finally:
+        pool.close()
+
+
+def split_seal(pool):
+    sealed = pool.run(1, "seal_many", ("", [b"ok"], [b"a"]))
+    return sealed, [b"a"]
+
+
+@pytest.mark.parametrize("backend", ["inline", "process"])
+def test_enclave_crypto_degrades_on_worker_death(backend):
+    """Worker death must not take root-cipher crypto down with it.
+
+    The transparent seal/open fan-out is purely an optimization; the
+    enclave still holds the key, so on SimulatedCrash it detaches the
+    pool and finishes in-process (explicit pipeline dispatch through
+    pool.submit keeps its crash semantics — covered above).
+    """
+    enclave = Enclave(cipher="authenticated", key=ROOT, keep_trace_events=False)
+    pool = make_pool(backend=backend)
+    try:
+        enclave.attach_shard_pool(pool)
+        frames = [b"w" * 24] * (CRYPTO_FANOUT_MIN + 4)
+        aads = [b"d%d" % i for i in range(len(frames))]
+        sealed = enclave.seal_many(frames, aads)
+        pool.kill_worker(2)
+        assert enclave.open_many(sealed, aads) == frames
+        assert enclave.shard_pool is None  # degraded: pool detached
+        assert enclave.open_many(sealed, aads) == frames
+    finally:
+        pool.close()
+
+
+def test_closed_pool_rejects_work():
+    pool = make_pool(shards=2)
+    pool.close()
+    with pytest.raises(StorageError, match="closed"):
+        pool.submit(0, "seal_many", ("", [b"x"], [b"a"]))

@@ -1,0 +1,232 @@
+"""Shard trace composition: canonical order, backend equivalence, ledgers.
+
+The security contract of the shard subsystem is that the *composed*
+observable trace of a sharded pipeline is a pure function of public sizes
+— independent of worker timing, backend, and permutation seeds.  These
+tests pin that contract: per-shard recordings compose round-robin by
+epoch, and the sharded scan / shuffle / compact traces are bit-identical
+whether run without a pool, on the inline executor, or on real worker
+processes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.enclave.counters import CostModel
+from repro.enclave.enclave import Enclave
+from repro.enclave.errors import StorageError
+from repro.enclave.integrity import RevisionLedger
+from repro.enclave.trace import AccessTrace
+from repro.shard import ShardedTable, ShardPool, ShardSpec, ShardTraceRecorder, compose
+from repro.storage.schema import Schema, int_column, str_column
+
+ROOT = b"\x2a" * 32
+SCHEMA = Schema([int_column("key"), str_column("value", 12)])
+ROWS = [(i * 13 % 257, f"r{i}") for i in range(180)]
+
+
+# ----------------------------------------------------------------------
+# compose() unit behaviour
+# ----------------------------------------------------------------------
+def test_compose_round_robin_by_epoch():
+    a = ShardTraceRecorder(0)
+    b = ShardTraceRecorder(1)
+    a.record_range("R", "s0", 0, 2)
+    a.end_epoch()
+    a.record_range("W", "s0", 0, 2)
+    b.record_range("R", "s1", 0, 3)
+    b.end_epoch()
+    b.record_range("W", "s1", 0, 3)
+
+    composed = AccessTrace()
+    compose(composed, [a, b])
+
+    # Epoch 0 of every shard, then epoch 1 of every shard.
+    reference = AccessTrace()
+    reference.record_range("R", "s0", 0, 2)
+    reference.record_range("R", "s1", 0, 3)
+    reference.record_range("W", "s0", 0, 2)
+    reference.record_range("W", "s1", 0, 3)
+    assert composed.matches(reference)
+
+
+def test_compose_uneven_epoch_depths():
+    a = ShardTraceRecorder(0)
+    b = ShardTraceRecorder(1)
+    a.record("R", "s0", 0)
+    a.end_epoch()
+    a.record("R", "s0", 1)
+    b.record("R", "s1", 0)  # single epoch: contributes nothing later
+
+    composed = AccessTrace()
+    compose(composed, [a, b])
+    reference = AccessTrace()
+    for op, region, index in (("R", "s0", 0), ("R", "s1", 0), ("R", "s0", 1)):
+        reference.record(op, region, index)
+    assert composed.matches(reference)
+
+
+def test_compose_absorbs_costs():
+    # The memory layer feeds each recorder's CostModel while the region is
+    # attached; compose() adds those per-shard counters into the target.
+    recorders = []
+    for i in range(3):
+        rec = ShardTraceRecorder(i)
+        rec.cost.record_read(5 * (i + 1))
+        rec.cost.record_write(2)
+        recorders.append(rec)
+    total = CostModel()
+    compose(AccessTrace(), recorders, cost=total)
+    assert total.untrusted_reads == 5 + 10 + 15
+    assert total.untrusted_writes == 6
+
+
+def test_compose_deterministic():
+    def build():
+        rec = ShardTraceRecorder(0)
+        rec.record_rw_range("s0", 0, 4)
+        rec.record_pair_exchanges("s0", 0, 2)
+        rec.record_at("R", "s0", [3, 1, 2])
+        trace = AccessTrace()
+        compose(trace, [rec])
+        return trace
+
+    assert build().matches(build())
+
+
+def test_replay_segment_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown trace segment"):
+        AccessTrace().replay_segment(("record_bogus", "R", "s0", 0))
+
+
+# ----------------------------------------------------------------------
+# Region recorder attach/detach discipline
+# ----------------------------------------------------------------------
+def test_region_recorder_attach_detach_errors():
+    enclave = Enclave(cipher="null", keep_trace_events=False)
+    trace, cost = AccessTrace(keep_events=False), CostModel()
+    enclave.untrusted.attach_region_recorder("r", trace, cost)
+    with pytest.raises(StorageError, match="already has a recorder"):
+        enclave.untrusted.attach_region_recorder("r", trace, cost)
+    enclave.untrusted.detach_region_recorder("r")
+    with pytest.raises(StorageError, match="has no recorder"):
+        enclave.untrusted.detach_region_recorder("r")
+
+
+# ----------------------------------------------------------------------
+# End-to-end backend equivalence on the sharded pipelines
+# ----------------------------------------------------------------------
+def run_pipeline(backend, pool_shards=4, with_shuffle=True):
+    """Build the same sharded table and run scan(+shuffle)+compact on it.
+
+    ``backend`` is None (no pool: the per-shard sequential path) or a
+    ShardPool backend name.  Returns (digest, length, rows, counters).
+    """
+    enclave = Enclave(cipher="authenticated", key=ROOT, keep_trace_events=False)
+    pool = None
+    if backend is not None:
+        pool = ShardPool(pool_shards, "authenticated", ROOT, backend=backend, quiet=True)
+        enclave.attach_shard_pool(pool)
+    spec = ShardSpec("hash", 4, "key")
+    table = ShardedTable(enclave, "t", SCHEMA, spec, ROWS)
+    try:
+        rows = table.scan_rows(pool=pool)
+        if with_shuffle:
+            table.shuffle(pool=pool, rng=random.Random(0xC0FFEE))
+        table.compact(pool=pool)
+        after = table.scan_rows(pool=pool)
+        assert Counter(after) == Counter(ROWS)
+        return (
+            enclave.trace.digest(),
+            len(enclave.trace),
+            rows,
+            enclave.cost.snapshot(),
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+
+
+def test_scan_compact_traces_identical_across_backends():
+    """Scan and compact traces are bit-identical: no-pool vs both backends."""
+    sequential = run_pipeline(None, with_shuffle=False)
+    inline = run_pipeline("inline", with_shuffle=False)
+    process = run_pipeline("process", with_shuffle=False)
+    assert inline == sequential
+    assert process == sequential
+
+
+def test_full_pipeline_trace_identical_inline_vs_process():
+    """The sharded reference composition is backend-independent.
+
+    The inline executor runs every task sequentially in-process, so it *is*
+    the sequential reference composition of the grouped pipeline; the
+    process backend must reproduce its observable trace bit for bit.
+    """
+    inline = run_pipeline("inline")
+    process = run_pipeline("process")
+    assert process[:2] == inline[:2]
+    assert process[3] == inline[3]
+    # Same rows in the same (shard-major) order regardless of backend.
+    assert process[2] == inline[2]
+
+
+def test_group_of_one_shuffle_cleanup_equals_sequential():
+    """A pool with one worker degrades to the legacy per-bucket order.
+
+    The grouped shuffle clean-up trace is a pure function of (n, group);
+    with group=1 it must match the unpooled sequential cleanup exactly,
+    which pins the pool path as a strict generalisation, not a new shape.
+    """
+    sequential = run_pipeline(None)
+    grouped_one = run_pipeline("inline", pool_shards=1)
+    assert grouped_one[:2] == sequential[:2]
+    assert grouped_one[3] == sequential[3]
+
+
+def test_scan_trace_matches_manual_composition():
+    """A pooled scan's composed trace equals compose() over its recorders."""
+    enclave = Enclave(cipher="authenticated", key=ROOT, keep_trace_events=False)
+    with ShardPool(3, "authenticated", ROOT, backend="inline", quiet=True) as pool:
+        table = ShardedTable(enclave, "t", SCHEMA, ShardSpec("hash", 3, "key"), ROWS)
+        before = len(enclave.trace)
+        table.scan_rows(pool=pool)
+        scan_len = len(enclave.trace) - before
+
+        rebuilt = AccessTrace(keep_events=False)
+        compose(rebuilt, table.last_recorders)
+        assert len(rebuilt) == scan_len
+        # And composing twice is stable.
+        again = AccessTrace(keep_events=False)
+        compose(again, table.last_recorders)
+        assert rebuilt.matches(again)
+
+
+# ----------------------------------------------------------------------
+# Region-scoped ledger segments
+# ----------------------------------------------------------------------
+def test_ledger_absorb_region_shares_by_reference():
+    shard = RevisionLedger()
+    composite = RevisionLedger()
+    shard.commit("r", 0, 1)
+    composite.absorb_region(shard, "r")
+    assert composite.region_revisions("r") == shard.region_revisions("r")
+    # Later commits through the shard ledger are visible to the composite.
+    shard.commit("r", 1, 1)
+    assert composite.region_revisions("r") == shard.region_revisions("r")
+    # region_revisions returns a copy, not the live dict.
+    copy = composite.region_revisions("r")
+    copy[99] = 7
+    assert 99 not in composite.region_revisions("r")
+
+
+def test_ledger_double_absorb_rejected():
+    shard = RevisionLedger()
+    composite = RevisionLedger()
+    composite.absorb_region(shard, "r")
+    with pytest.raises(StorageError, match="already tracks region"):
+        composite.absorb_region(shard, "r")
