@@ -1,31 +1,33 @@
-"""Scaling benchmark for the sharded parallel execution subsystem.
+"""Scaling benchmarks for the sharded parallel execution subsystem.
 
-Partitions one table into W shard regions and runs the
-scan + shuffle + compact composite at W = 1, 2, 4(, 8) workers.  Results
-go to ``BENCH_shard.json`` at the repository root.
+Three composites, all writing into ``BENCH_shard.json`` at the repository
+root (full runs only; ``BENCH_SMOKE=1`` shrinks workloads and never
+touches the JSON):
 
-Two numbers per worker count:
+* **composite** — partitions one table into W shard regions and runs the
+  scan + shuffle + compact composite at W = 1, 2, 4(, 8) workers.
+* **transport_microbench** — round-trips 1k ~0.5 KB sealed blocks through
+  a worker process over the legacy pickle pipe and over the shared-memory
+  block transport; the shm path must be ≥ 3× faster (asserted in full
+  runs — the tentpole acceptance of the transport).
+* **sharded_join** — the shard-parallel hash join over a co-partitioned
+  pair at W = 1, 2, 4 workers, on real worker processes.
+
+Two kinds of numbers:
 
 * **modeled speedup** — the comparison basis, as everywhere in this repo
-  (pure-Python wall-clock does not transfer; this host has
-  ``os.cpu_count()`` cores and CI runners often expose one, so real
-  parallel wall-clock is not reproducible either).  The subsystem records
-  each shard's work into its own :class:`ShardTraceRecorder` cost model,
-  so the parallel critical path is directly measurable:
+  (pure-Python wall-clock does not transfer).  The subsystem records each
+  shard's work into its own :class:`ShardTraceRecorder` cost model, so
+  the parallel critical path is directly measurable:
   ``parallel = serial_part + max(per-shard modeled)`` where
   ``serial_part`` is whatever the composing parent did outside the shard
   regions.  Speedup is sequential modeled time (= the sum, which is what
-  one worker pays) over that critical path.  Near-linear scaling means
-  speedup ≈ W minus partition imbalance.
+  one worker pays) over that critical path.
 * **wall-clock seconds** — recorded honestly for regression tracking,
-  with the core count alongside so a 1-core runner's flat wall-clock is
-  not mistaken for a scaling failure.
-
-The headline acceptance (asserted, not just recorded): the 4-worker
-composite achieves ≥ 2.5× modeled speedup over sequential execution of
-the same sharded work.
-
-``BENCH_SMOKE=1`` shrinks the workload and skips the JSON update.
+  with the host core count alongside so a 1-core runner's flat
+  wall-clock is not mistaken for a scaling failure.  The measured
+  sharded-join wall speedup is asserted ≥ 1.5× only when the host
+  actually has ≥ 2 cores.
 """
 
 from __future__ import annotations
@@ -35,8 +37,18 @@ import os
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.enclave import Enclave
-from repro.shard import ShardPool, ShardSpec, ShardedTable
+from repro.enclave.crypto import SealedBlock
+from repro.shard import (
+    SHM_AVAILABLE,
+    ShardPool,
+    ShardSpec,
+    ShardedTable,
+    critical_path_ms,
+    sharded_hash_join,
+)
 from repro.storage import Schema
 from repro.storage.schema import float_column, int_column, str_column
 
@@ -58,8 +70,40 @@ SCHEMA = Schema(
     ]
 )
 
+RIGHT_SCHEMA = Schema(
+    [
+        int_column("rid"),
+        str_column("rpayload", 120),
+        float_column("rscore"),
+    ]
+)
+
 N = 256 if BENCH_SMOKE else 2048
 WORKER_COUNTS = (1, 2, 4) if BENCH_SMOKE else (1, 2, 4, 8)
+JOIN_WORKERS = (1, 2, 4)
+TRANSPORT_BLOCKS = 256 if BENCH_SMOKE else 1024
+TRANSPORT_REPS = 3 if BENCH_SMOKE else 12
+
+
+def _update_results(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_shard.json (full runs only)."""
+    try:
+        results = json.loads(RESULT_PATH.read_text())
+        if results.get("benchmark") != "shard_subsystem":
+            results = {}
+    except (FileNotFoundError, json.JSONDecodeError):
+        results = {}
+    results.update(
+        {
+            "benchmark": "shard_subsystem",
+            "cipher": "authenticated",
+            "host_cores": os.cpu_count(),
+            "comparison_basis": "modeled time (critical path = serial part "
+            "+ slowest shard); wall seconds recorded honestly alongside",
+        }
+    )
+    results[section] = payload
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
 def _row(i: int) -> tuple:
@@ -73,6 +117,10 @@ def _row(i: int) -> tuple:
     )
 
 
+def _right_row(i: int) -> tuple:
+    return (i, "z" * 100, float(i) * 0.25)
+
+
 def _measure_op(enclave, table, fn):
     """Run one sharded op; return (sequential_ms, parallel_ms).
 
@@ -83,9 +131,7 @@ def _measure_op(enclave, table, fn):
     snapshot = enclave.cost.snapshot()
     fn()
     total_ms = enclave.cost.delta_since(snapshot).modeled_time_ms()
-    per_shard = [rec.cost.modeled_time_ms() for rec in table.last_recorders]
-    serial_ms = max(0.0, total_ms - sum(per_shard))
-    return total_ms, serial_ms + max(per_shard)
+    return total_ms, critical_path_ms(total_ms, table.last_recorders)
 
 
 def _composite(workers: int):
@@ -156,25 +202,16 @@ class TestShardScaling:
         )
 
         if not BENCH_SMOKE:
-            RESULT_PATH.write_text(
-                json.dumps(
-                    {
-                        "benchmark": "shard_scaling",
-                        "cipher": "authenticated",
-                        "rows": N,
-                        "schema_row_bytes": SCHEMA.row_size,
-                        "partitioner": "hash",
-                        "pool_backend": "inline",
-                        "host_cores": os.cpu_count(),
-                        "comparison_basis": "modeled time (critical path "
-                        "= serial part + slowest shard)",
-                        "results": {str(w): m for w, m in by_workers.items()},
-                        "headline_modeled_speedup_at_4_workers": headline,
-                    },
-                    indent=2,
-                    sort_keys=True,
-                )
-                + "\n"
+            _update_results(
+                "composite",
+                {
+                    "rows": N,
+                    "schema_row_bytes": SCHEMA.row_size,
+                    "partitioner": "hash",
+                    "pool_backend": "inline",
+                    "results": {str(w): m for w, m in by_workers.items()},
+                    "headline_modeled_speedup_at_4_workers": headline,
+                },
             )
 
         # Acceptance: near-linear scaling — the 4-worker composite must be
@@ -185,3 +222,172 @@ class TestShardScaling:
         # Scaling is monotone in workers.
         speedups = [by_workers[w]["modeled_speedup"] for w in WORKER_COUNTS]
         assert speedups == sorted(speedups)
+
+
+class TestShardTransport:
+    def test_transport_microbench(self) -> None:
+        """Pipe/pickle vs shared-memory framing on the same echo task."""
+        if not SHM_AVAILABLE:
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        blocks = [
+            SealedBlock(
+                nonce=bytes([i % 251]) * 12,
+                ciphertext=bytes([i % 249]) * 480,
+                mac=bytes([i % 247]) * 16,
+            )
+            for i in range(TRANSPORT_BLOCKS)
+        ]
+        payload_bytes = TRANSPORT_BLOCKS * (12 + 480 + 16)
+        # Interleave the reps so background-load spikes hit both transports
+        # equally; min-of-reps is the standard latency estimator.
+        pools = {
+            transport: ShardPool(
+                2,
+                "authenticated",
+                ROOT_KEY,
+                backend="process",
+                transport=transport,
+                quiet=True,
+            )
+            for transport in ("pipe", "shm")
+        }
+        times: dict[str, list[float]] = {"pipe": [], "shm": []}
+        try:
+            for pool in pools.values():
+                assert pool.run(0, "echo_blocks", ("", blocks)) == blocks
+            for _ in range(TRANSPORT_REPS):
+                for transport, pool in pools.items():
+                    start = time.perf_counter()
+                    pool.run(0, "echo_blocks", ("", blocks))
+                    times[transport].append(time.perf_counter() - start)
+        finally:
+            for pool in pools.values():
+                pool.close()
+        best = {transport: min(reps) for transport, reps in times.items()}
+
+        speedup = best["pipe"] / best["shm"]
+        print_table(
+            f"Shard transport round-trip ({TRANSPORT_BLOCKS} sealed blocks, "
+            f"{payload_bytes / 1024:.0f} KiB, min of {TRANSPORT_REPS})",
+            ["transport", "ms", "speedup"],
+            [
+                ["pipe (pickle)", round(best["pipe"] * 1e3, 3), "1.00x"],
+                ["shm (framed)", round(best["shm"] * 1e3, 3), f"{speedup:.2f}x"],
+            ],
+        )
+
+        if not BENCH_SMOKE:
+            _update_results(
+                "transport_microbench",
+                {
+                    "task": "echo_blocks",
+                    "blocks": TRANSPORT_BLOCKS,
+                    "payload_bytes": payload_bytes,
+                    "reps": TRANSPORT_REPS,
+                    "pipe_ms": round(best["pipe"] * 1e3, 3),
+                    "shm_ms": round(best["shm"] * 1e3, 3),
+                    "shm_speedup": round(speedup, 2),
+                },
+            )
+            # Tentpole acceptance: the shared-memory transport moves 1k
+            # half-KB sealed blocks at least 3x faster than pickle-over-pipe.
+            assert speedup >= 3.0, f"shm transport speedup {speedup:.2f} < 3.0"
+
+
+def _join_composite(workers: int):
+    """The sharded hash join at ``workers`` shards on worker processes."""
+    enclave = Enclave(
+        oblivious_memory_bytes=1 << 26,
+        cipher="authenticated",
+        key=ROOT_KEY,
+        keep_trace_events=False,
+    )
+    spec = ShardSpec("hash", workers, "id")
+    right_spec = ShardSpec("hash", workers, "rid")
+    left = ShardedTable(
+        enclave, "l", SCHEMA, spec, [_row(i) for i in range(N)]
+    )
+    right = ShardedTable(
+        enclave,
+        "r",
+        RIGHT_SCHEMA,
+        right_spec,
+        [_right_row(i) for i in range(0, N, 2)],
+    )
+    with ShardPool(
+        workers, "authenticated", ROOT_KEY, backend="process", quiet=True
+    ) as pool:
+        snapshot = enclave.cost.snapshot()
+        wall_start = time.perf_counter()
+        rows = sharded_hash_join(
+            left, right, "id", "rid", enclave.oblivious.free_bytes, pool=pool
+        )
+        wall_s = time.perf_counter() - wall_start
+        total_ms = enclave.cost.delta_since(snapshot).modeled_time_ms()
+        transport = pool.transport
+    assert len(rows) == N // 2
+    parallel_ms = critical_path_ms(total_ms, left.last_recorders)
+    return {
+        "sequential_modeled_ms": round(total_ms, 3),
+        "parallel_modeled_ms": round(parallel_ms, 3),
+        "modeled_speedup": round(total_ms / parallel_ms, 2),
+        "wall_seconds": round(wall_s, 3),
+        "transport": transport,
+    }
+
+
+class TestShardedJoin:
+    def test_sharded_join_scaling(self) -> None:
+        by_workers = {w: _join_composite(w) for w in JOIN_WORKERS}
+        wall_speedup = round(
+            by_workers[1]["wall_seconds"]
+            / max(1e-9, by_workers[JOIN_WORKERS[-1]]["wall_seconds"]),
+            2,
+        )
+
+        print_table(
+            f"Sharded hash join scaling (|T1|={N}, |T2|={N // 2}, "
+            "co-partitioned, process pool)",
+            ["workers", "seq modeled ms", "parallel modeled ms", "speedup", "wall s"],
+            [
+                [
+                    w,
+                    m["sequential_modeled_ms"],
+                    m["parallel_modeled_ms"],
+                    f"{m['modeled_speedup']:.2f}x",
+                    m["wall_seconds"],
+                ]
+                for w, m in by_workers.items()
+            ],
+        )
+        cores = os.cpu_count() or 1
+        print(
+            f"measured wall speedup at {JOIN_WORKERS[-1]} workers: "
+            f"{wall_speedup:.2f}x (host cores: {cores})"
+        )
+
+        if not BENCH_SMOKE:
+            _update_results(
+                "sharded_join",
+                {
+                    "t1_rows": N,
+                    "t2_rows": N // 2,
+                    "partitioner": "hash (join key)",
+                    "pool_backend": "process",
+                    "transport": by_workers[JOIN_WORKERS[-1]]["transport"],
+                    "results": {str(w): m for w, m in by_workers.items()},
+                    "measured_wall_speedup_at_max_workers": wall_speedup,
+                },
+            )
+
+        headline = by_workers[4]["modeled_speedup"]
+        assert headline >= 2.5, f"4-worker modeled join speedup {headline} < 2.5"
+        speedups = [by_workers[w]["modeled_speedup"] for w in JOIN_WORKERS]
+        assert speedups == sorted(speedups)
+        # Measured wall-clock only means something with real parallelism on
+        # offer; a 1-core runner's flat wall-clock is expected, not a bug.
+        if cores >= 2 and not BENCH_SMOKE:
+            assert wall_speedup >= 1.5, (
+                f"measured wall speedup {wall_speedup:.2f} < 1.5 "
+                f"on a {cores}-core host"
+            )

@@ -218,10 +218,12 @@ class AuthenticatedCipher:
         compute_mac = self._mac
         compare = hmac.compare_digest
         out: list[bytes] = []
-        for block, aad in zip(blocks, associated_data):
-            if not compare(compute_mac(block.nonce, block.ciphertext, aad), block.mac):
+        # Positional unpacking: accepts any (nonce, ciphertext, mac) triple,
+        # including the structural tuples the shard transport hands workers.
+        for (nonce, ciphertext, mac), aad in zip(blocks, associated_data):
+            if not compare(compute_mac(nonce, ciphertext, aad), mac):
                 raise IntegrityError("block MAC verification failed")
-            out.append(stream_xor(block.ciphertext, block.nonce))
+            out.append(stream_xor(ciphertext, nonce))
         return out
 
 
@@ -277,10 +279,9 @@ class NullCipher:
         blake2b = hashlib.blake2b
         compare = hmac.compare_digest
         out: list[bytes] = []
-        for block, aad in zip(blocks, associated_data):
-            ciphertext = block.ciphertext
+        for (_nonce, ciphertext, mac), aad in zip(blocks, associated_data):
             expected = blake2b(aad + b"\x00" + ciphertext, digest_size=_MAC_SIZE).digest()
-            if not compare(expected, block.mac):
+            if not compare(expected, mac):
                 raise IntegrityError("block checksum verification failed")
             out.append(ciphertext)
         return out

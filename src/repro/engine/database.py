@@ -38,12 +38,13 @@ from ..enclave.integrity import RevisionLedger
 from ..faults import FaultPlan, FaultyUntrustedMemory
 from ..operators.predicate import Predicate
 from ..planner.compile import QueryPlan
-from ..shard import ShardedTable, ShardPool
+from ..shard import ShardedTable, ShardPool, ShardSpec, sharded_hash_join
 from ..storage.schema import Column, ColumnType, Row, Schema, Value
 from ..storage.table import StorageMethod, Table
 from .ast import (
     CreateTableStatement,
     ExplainStatement,
+    PartitionStatement,
     QueryResult,
     SelectStatement,
     Statement,
@@ -70,6 +71,28 @@ def _sql_literal(value: Value) -> str:
 def _insert_statement_sql(table: str, row: Row) -> str:
     """The replayable SQL form of one typed insert (for WAL logging)."""
     return f"INSERT INTO {table} VALUES ({', '.join(_sql_literal(v) for v in row)})"
+
+
+def _partition_statement_sql(
+    name: str,
+    kind: str,
+    key_column: str,
+    shards: int,
+    bounds: tuple[Value, ...] | None,
+    generation: int,
+) -> str:
+    """The replayable SQL form of one table partitioning (for WAL logging).
+
+    Every parameter is spelled out — including the resolved defaults and
+    the sharding generation — so replay reproduces the exact shard layout
+    and region names without consulting any post-crash state.
+    """
+    text = f"PARTITION TABLE {name} BY {kind.upper()} ({key_column}) SHARDS {shards}"
+    if bounds is not None:
+        text += f" BOUNDS ({', '.join(_sql_literal(v) for v in bounds)})"
+    if generation:
+        text += f" GENERATION {generation}"
+    return text
 
 
 @dataclass
@@ -174,6 +197,7 @@ class ObliDB:
             rng=self._rng,
             result_cache=self.result_cache,
             shards=max(1, shards),
+            sharded_tables=self._sharded,
         )
         # Optional write-ahead log (the Section 3 durability extension):
         # every DDL/write statement is sealed and appended before it runs.
@@ -241,6 +265,7 @@ class ObliDB:
         kind: str = "hash",
         shards: int | None = None,
         bounds: tuple[Value, ...] | None = None,
+        key_column: str | None = None,
     ) -> ShardedTable:
         """Repartition a catalog table into N independent shard regions.
 
@@ -249,19 +274,60 @@ class ObliDB:
         freed; thereafter the table lives as a :class:`ShardedTable`
         reachable via :meth:`sharded_table` and the ``sharded_*``
         pipelines.  ``shards`` defaults to the pool's worker count (2
-        without a pool).
+        without a pool); ``key_column`` to the table's index key (first
+        column otherwise).
+
+        With WAL enabled, the fully-resolved ``PARTITION TABLE`` statement
+        is appended *before* the repartition runs — the spec is validated
+        dry first so the log never holds an unreplayable statement — and
+        :meth:`recover` re-shards automatically during replay.
         """
+        spec, table = self._resolve_partition(name, kind, shards, bounds, key_column)
+        if self.wal is not None:
+            self.wal.append(
+                _partition_statement_sql(
+                    name, spec.kind, spec.key_column, spec.shards, spec.bounds, 0
+                )
+            )
+        return self._partition_table_impl(name, table, spec, generation=0)
+
+    def _resolve_partition(
+        self,
+        name: str,
+        kind: str,
+        shards: int | None,
+        bounds: tuple[Value, ...] | None,
+        key_column: str | None,
+    ) -> tuple[ShardSpec, Table]:
+        """Resolve defaults and validate a partition request without
+        touching storage (so WAL logging can precede execution safely)."""
         if name in self._sharded:
             raise StorageError(f"table {name!r} is already sharded")
         table = self.table(name)
         if shards is None:
             shards = self.shard_pool.shards if self.shard_pool is not None else 2
+        if key_column is None:
+            key_column = table.key_column or table.schema.columns[0].name
+        spec = ShardSpec(
+            kind,
+            shards,
+            key_column,
+            tuple(bounds) if bounds is not None else None,
+        )
+        table.schema.column_index(key_column)  # raises on unknown column
+        return spec, table
+
+    def _partition_table_impl(
+        self, name: str, table: Table, spec: ShardSpec, generation: int
+    ) -> ShardedTable:
         sharded = ShardedTable.from_table(
             table,
-            kind=kind,
-            shards=shards,
-            bounds=bounds,
+            kind=spec.kind,
+            shards=spec.shards,
+            bounds=spec.bounds,
             composite_ledger=self._shard_ledger,
+            key_column=spec.key_column,
+            generation=generation,
         )
         del self._tables[name]
         if self.result_cache is not None:
@@ -269,6 +335,63 @@ class ObliDB:
         table.free()
         self._sharded[name] = sharded
         return sharded
+
+    def _partition_from_statement(self, statement: PartitionStatement) -> QueryResult:
+        """Execute a parsed ``PARTITION TABLE`` (the WAL-replay path).
+
+        Does **not** log: :meth:`execute_sql` already appended the
+        statement text before dispatching here, and replay must not
+        re-log what it replays.
+        """
+        spec, table = self._resolve_partition(
+            statement.table,
+            statement.kind,
+            statement.shards,
+            statement.bounds,
+            statement.column,
+        )
+        self._partition_table_impl(
+            statement.table, table, spec, generation=statement.generation
+        )
+        return QueryResult(affected=0)
+
+    def partition_pair(
+        self,
+        left: str,
+        right: str,
+        left_column: str,
+        right_column: str,
+        kind: str = "hash",
+        shards: int | None = None,
+    ) -> tuple[ShardedTable, ShardedTable]:
+        """Co-partition two tables on their join columns (same partitioner
+        both sides), the precondition for :meth:`sharded_join`.  Each side
+        is WAL-logged like :meth:`partition_table`, so the co-partitioned
+        pair — and with it the sharded join — survives recovery."""
+        left_sharded = self.partition_table(
+            left, kind=kind, shards=shards, key_column=left_column
+        )
+        right_sharded = self.partition_table(
+            right,
+            kind=kind,
+            shards=shards if shards is not None else left_sharded.shards,
+            key_column=right_column,
+        )
+        return left_sharded, right_sharded
+
+    def sharded_join(
+        self, left: str, right: str, left_column: str, right_column: str
+    ) -> list[Row]:
+        """Shard-parallel oblivious hash join over a co-partitioned pair
+        (see :func:`repro.shard.partition.sharded_hash_join`)."""
+        return sharded_hash_join(
+            self.sharded_table(left),
+            self.sharded_table(right),
+            left_column,
+            right_column,
+            self.enclave.oblivious.free_bytes,
+            pool=self.shard_pool,
+        )
 
     def sharded_table(self, name: str) -> ShardedTable:
         try:
@@ -312,6 +435,8 @@ class ObliDB:
         """
         if isinstance(statement, CreateTableStatement):
             return self._create_from_statement(statement)
+        if isinstance(statement, PartitionStatement):
+            return self._partition_from_statement(statement)
         if isinstance(statement, ExplainStatement):
             return self._explain_result(statement.target)
         policy = self.retry
@@ -383,6 +508,8 @@ class ObliDB:
             statement = statement.target
         if isinstance(statement, CreateTableStatement):
             raise QueryError("CREATE TABLE has no physical plan to explain")
+        if isinstance(statement, PartitionStatement):
+            raise QueryError("PARTITION TABLE has no physical plan to explain")
         return self._executor.explain(statement)
 
     def _explain_result(self, target: Statement) -> QueryResult:
@@ -390,6 +517,8 @@ class ObliDB:
         plan line, nothing executed."""
         if isinstance(target, CreateTableStatement):
             raise QueryError("CREATE TABLE has no physical plan to explain")
+        if isinstance(target, PartitionStatement):
+            raise QueryError("PARTITION TABLE has no physical plan to explain")
         plan = self._executor.explain(target)
         return QueryResult(
             rows=[(line,) for line in plan.describe().splitlines()],
@@ -526,7 +655,7 @@ class ObliDB:
                         f"WAL holds {dropped} uncommitted trailing record(s)"
                     )
         for region_name in untrusted.region_names():
-            if region_name.startswith(("flat#", "shuffle#")):
+            if region_name.startswith(("flat#", "shuffle#", "join#")):
                 issues.append(f"leaked scratch region {region_name}")
         return VerifyReport(
             issues=issues,

@@ -112,8 +112,14 @@ def run_join_algorithm(
     algorithm: JoinAlgorithm,
     oblivious_memory_bytes: int,
     compact_output: bool = False,
+    output_name: str | None = None,
 ) -> FlatStorage:
-    """Invoke one Section 4.3 join operator with planned sizes."""
+    """Invoke one Section 4.3 join operator with planned sizes.
+
+    ``output_name`` pre-names the hash join's output region (the sharded
+    join path); the sort-merge joins build their output through scratch
+    tables and ignore it.
+    """
     if algorithm is JoinAlgorithm.HASH:
         return hash_join(
             left,
@@ -122,6 +128,7 @@ def run_join_algorithm(
             right_column,
             oblivious_memory_bytes,
             compact_output=compact_output,
+            output_name=output_name,
         )
     if algorithm is JoinAlgorithm.OPAQUE:
         return opaque_join(
@@ -482,8 +489,10 @@ class Executor:
         rng: random.Random | None = None,
         result_cache: PlanCache | None = None,
         shards: int = 1,
+        sharded_tables: dict | None = None,
     ) -> None:
         self._tables = tables
+        self._sharded = sharded_tables if sharded_tables is not None else {}
         self._padding = padding
         self._allow_continuous = allow_continuous
         self._cache = result_cache
@@ -507,6 +516,11 @@ class Executor:
         try:
             return self._tables[name]
         except KeyError:
+            if name in self._sharded:
+                raise QueryError(
+                    f"table {name!r} is partitioned into shards; use the "
+                    "sharded surface (scan_rows/sharded_join) or reassemble()"
+                ) from None
             raise QueryError(f"no table named {name!r}") from None
 
     def _compile(self, statement: Statement) -> CompiledQuery:

@@ -99,6 +99,7 @@ def hash_join(
     column2: str,
     oblivious_memory_bytes: int,
     compact_output: bool = False,
+    output_name: str | None = None,
 ) -> FlatStorage:
     """Oblivious hash join (Figure 3 "Hash Join").
 
@@ -107,6 +108,9 @@ def hash_join(
     ``compact_output=True`` tightens the chunks-by-|T2| probe output to the
     foreign-key bound |T2| through the oblivious compaction network (the
     planner path enables it; direct callers keep the raw shape).
+    ``output_name`` names the output region explicitly — the sharded join
+    pre-allocates per-shard output names so shard trace recorders can be
+    attached before the join runs.
     """
     enclave = table1.enclave
     key1 = table1.schema.column_index(column1)
@@ -117,7 +121,9 @@ def hash_join(
     chunk_rows = max(1, oblivious_memory_bytes // row_bytes)
     num_chunks = (table1.capacity + chunk_rows - 1) // chunk_rows
 
-    output = FlatStorage(enclave, out_schema, num_chunks * table2.capacity)
+    output = FlatStorage(
+        enclave, out_schema, num_chunks * table2.capacity, name=output_name
+    )
     dummy = frame_dummy(out_schema)
     schema2 = table2.schema
     matched = 0

@@ -271,6 +271,7 @@ class JoinNode(PlanNode):
     t2: int
     oblivious_rows: int
     oblivious_bytes: int
+    shards: int = 1
 
     kind = "join"
 
@@ -278,7 +279,7 @@ class JoinNode(PlanNode):
         return (self.left, self.right)
 
     def public_fields(self) -> dict[str, object]:
-        return {
+        fields: dict[str, object] = {
             "algorithm": self.algorithm.value,
             "on": f"{self.left_column}={self.right_column}",
             "t1": self.t1,
@@ -286,6 +287,9 @@ class JoinNode(PlanNode):
             "oblivious_rows": self.oblivious_rows,
             "oblivious_bytes": self.oblivious_bytes,
         }
+        if self.shards > 1:
+            fields["shards"] = self.shards
+        return fields
 
     def physical_plan(self) -> PhysicalPlan | None:
         return PhysicalPlan(
@@ -852,7 +856,9 @@ class _Compiler:
         right = self._flat_view_node(right_table, compiled)
         left_storage = compiled.bindings[id(left)].storage
         right_storage = compiled.bindings[id(right)].storage
-        decision: JoinDecision = plan_join(left_storage, right_storage)
+        decision: JoinDecision = plan_join(
+            left_storage, right_storage, shards=self._shards
+        )
         node = JoinNode(
             left=left,
             right=right,
@@ -863,6 +869,7 @@ class _Compiler:
             t2=right_storage.capacity,
             oblivious_rows=decision.plan.sizes["oblivious_rows"],
             oblivious_bytes=decision.oblivious_memory_bytes,
+            shards=self._shards,
         )
         # Tighten to the |T2| foreign-key bound via the oblivious
         # compaction network when a downstream ORDER BY will sort the

@@ -42,14 +42,25 @@ def _log2_sq(x: float) -> float:
 
 
 def estimate_join_costs(
-    n1: int, n2: int, oblivious_rows: int
+    n1: int, n2: int, oblivious_rows: int, shards: int = 1
 ) -> dict[JoinAlgorithm, float]:
-    """Modeled block-access cost of each join algorithm."""
+    """Modeled block-access cost of each join algorithm.
+
+    With ``shards > 1`` the hash join runs as W independent per-shard
+    joins over a co-partitioned pair (:func:`repro.shard.partition.
+    sharded_hash_join`), so its critical-path cost uses the per-shard
+    sizes ``ceil(N/W)`` and ``ceil(M/W)``; the sort-merge joins have no
+    sharded form and keep their sequential costs.  ``shards=1`` is
+    exactly the classic formula.
+    """
     union = max(2, n1 + n2)
     s = max(1, oblivious_rows)
-    chunks = math.ceil(max(1, n1) / s)
+    w = max(1, shards)
+    n1_part = -(-n1 // w) if w > 1 else n1
+    n2_part = -(-n2 // w) if w > 1 else n2
+    chunks = math.ceil(max(1, n1_part) / s)
     return {
-        JoinAlgorithm.HASH: n1 + chunks * n2 * 3.0,
+        JoinAlgorithm.HASH: n1_part + chunks * n2_part * 3.0,
         JoinAlgorithm.OPAQUE: union * _log2_sq(union / s) * 4.0 + 2 * union,
         JoinAlgorithm.ZERO_OM: union * _log2_sq(union) * 2.0 + 2 * union,
     }
@@ -59,11 +70,14 @@ def plan_join(
     table1: FlatStorage,
     table2: FlatStorage,
     force: JoinAlgorithm | None = None,
+    shards: int = 1,
 ) -> JoinDecision:
     """Choose a join algorithm from sizes and the oblivious-memory budget.
 
     Reads only the two tables' recorded sizes — no data access at all, so
     join planning leaks nothing beyond the final algorithm choice.
+    ``shards`` feeds the shard-aware hash cost (see
+    :func:`estimate_join_costs`); it never changes the answer at 1.
     """
     enclave = table1.enclave
     oblivious_bytes = enclave.oblivious.free_bytes
@@ -79,7 +93,7 @@ def plan_join(
     elif oblivious_rows < 2:
         algorithm = JoinAlgorithm.ZERO_OM
     else:
-        costs = estimate_join_costs(n1, n2, oblivious_rows)
+        costs = estimate_join_costs(n1, n2, oblivious_rows, shards=shards)
         # The 0-OM join exists for enclaves with no oblivious memory; with
         # any OM available the Opaque join dominates it (Section 7.2).
         algorithm = min(

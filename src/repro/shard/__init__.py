@@ -2,8 +2,9 @@
 
 The subsystem splits a table into independent untrusted-memory regions
 (:mod:`repro.shard.partition`), runs oblivious pipelines shard-parallel on
-deterministic worker processes (:mod:`repro.shard.pool`), and composes the
-per-shard access recordings back into one canonical trace
+deterministic worker processes (:mod:`repro.shard.pool`) over a
+shared-memory block transport (:mod:`repro.shard.transport`), and composes
+the per-shard access recordings back into one canonical trace
 (:mod:`repro.shard.trace`) so sharded and sequential executions stay
 bit-identical to the adversary.
 """
@@ -12,7 +13,9 @@ from .partition import (
     ShardedTable,
     ShardSpec,
     encode_key,
+    partition_pair,
     partition_rows,
+    sharded_hash_join,
 )
 from .pool import (
     CRYPTO_FANOUT_MIN,
@@ -21,18 +24,24 @@ from .pool import (
     derive_shard_key,
     derive_shard_seed,
 )
-from .trace import ShardTraceRecorder, compose
+from .trace import ShardTraceRecorder, compose, critical_path_ms
+from .transport import MIN_SEGMENT_BYTES, SHM_AVAILABLE
 
 __all__ = [
     "CRYPTO_FANOUT_MIN",
+    "MIN_SEGMENT_BYTES",
+    "SHM_AVAILABLE",
     "ShardPool",
     "ShardSpec",
     "ShardTraceRecorder",
     "ShardedTable",
     "WorkerContext",
     "compose",
+    "critical_path_ms",
     "derive_shard_key",
     "derive_shard_seed",
     "encode_key",
+    "partition_pair",
     "partition_rows",
+    "sharded_hash_join",
 ]

@@ -41,6 +41,7 @@ from ..enclave.errors import StorageError
 from ..enclave.integrity import RevisionLedger
 from ..oblivious.compact import oblivious_compact
 from ..oblivious.shuffle import oblivious_shuffle
+from ..operators.join import hash_join
 from ..storage.flat import _CHUNK_BLOCKS, FlatStorage
 from ..storage.rows import unframe_rows
 from ..storage.schema import Row, Schema, Value
@@ -144,13 +145,14 @@ class ShardedTable:
         rows: Sequence[Row],
         capacity: int | None = None,
         composite_ledger: RevisionLedger | None = None,
+        generation: int = 0,
     ) -> None:
         self.enclave = enclave
         self.name = name
         self.schema = schema
         self.spec = spec
         self._composite = composite_ledger
-        self._generation = [0] * spec.shards
+        self._generation = [generation] * spec.shards
         self.last_recorders: list[ShardTraceRecorder] = []
         parts = partition_rows(spec, schema, rows)
         # Uniform per-shard capacity: the max partition load, floored by an
@@ -186,16 +188,20 @@ class ShardedTable:
         shards: int = 2,
         bounds: Sequence[Value] | None = None,
         composite_ledger: RevisionLedger | None = None,
+        key_column: str | None = None,
+        generation: int = 0,
     ) -> "ShardedTable":
         """Partition a catalog :class:`~repro.storage.table.Table`.
 
-        The key column defaults to the table's index key (first column
-        otherwise); the source table is read with one full oblivious scan
-        and left untouched — callers drop or free it once the sharded copy
-        is live.
+        ``key_column`` overrides the partition key (e.g. a join column for
+        co-partitioned pairs); it defaults to the table's index key (first
+        column otherwise).  The source table is read with one full
+        oblivious scan and left untouched — callers drop or free it once
+        the sharded copy is live.
         """
         flat = table.require_flat()
-        key_column = table.key_column or table.schema.columns[0].name
+        if key_column is None:
+            key_column = table.key_column or table.schema.columns[0].name
         spec = ShardSpec(
             kind,
             shards,
@@ -210,6 +216,7 @@ class ShardedTable:
             flat.rows(),
             capacity=flat.capacity,
             composite_ledger=composite_ledger,
+            generation=generation,
         )
 
     # ------------------------------------------------------------------
@@ -273,13 +280,13 @@ class ShardedTable:
 
         Epoch-pipelined: each round dispatches one chunk per shard — the
         parent reads the chunk's sealed blocks (recorded into the shard's
-        recorder), a worker opens and decodes them off the trace — then
-        collects in shard order.  Composed trace: round-robin over shards,
-        ``R`` one chunk each — a pure function of ``(capacity, shards)``
-        and identical with ``pool=None`` (where the parent decodes).
-        ``where`` runs in the parent (predicates are closures; they never
-        cross the pipe).  Rows come back shard-major, scan order within
-        each shard.
+        recorder), a worker opens them off the trace, the parent decodes
+        the returned frames — then collects in shard order.  Composed
+        trace: round-robin over shards, ``R`` one chunk each — a pure
+        function of ``(capacity, shards)`` and identical with
+        ``pool=None`` (where the parent opens and decodes).  ``where``
+        runs in the parent (predicates are closures; they never cross the
+        pipe).  Rows come back shard-major, scan order within each shard.
         """
         regions = [[flat.region_name] for flat in self._flats]
         recorders = self._attach(regions)
@@ -288,7 +295,9 @@ class ShardedTable:
         def drain(entry: tuple[int, object]) -> None:
             index, handle = entry
             per_shard_rows[index].extend(
-                row for row in pool.collect(handle) if row is not None
+                row
+                for row in unframe_rows(self.schema, pool.collect(handle))
+                if row is not None
             )
 
         try:
@@ -315,8 +324,8 @@ class ShardedTable:
                             index,
                             pool.submit(
                                 worker,
-                                "open_rows",
-                                (flat.cipher_label or "", sealed, aads, self.schema),
+                                "open_many",
+                                (flat.cipher_label or "", sealed, aads),
                             ),
                         )
                     else:
@@ -448,3 +457,119 @@ class ShardedTable:
             flat.free()
             if self._composite is not None:
                 self._composite.forget_region(region)
+
+
+# ----------------------------------------------------------------------
+# Co-partitioned pairs and the shard-parallel hash join
+# ----------------------------------------------------------------------
+def partition_pair(
+    left_table,
+    right_table,
+    column1: str,
+    column2: str,
+    kind: str = "hash",
+    shards: int = 2,
+    bounds: Sequence[Value] | None = None,
+    composite_ledger: RevisionLedger | None = None,
+) -> tuple[ShardedTable, ShardedTable]:
+    """Partition two catalog tables on their join columns with one
+    partitioner, so shard ``i`` of each side holds exactly the rows whose
+    join key lands in shard ``i`` — the precondition for
+    :func:`sharded_hash_join`.  ``encode_key`` is type-tagged, so
+    same-typed join columns (a join requirement anyway) hash identically
+    on both sides."""
+    left = ShardedTable.from_table(
+        left_table,
+        kind=kind,
+        shards=shards,
+        bounds=bounds,
+        composite_ledger=composite_ledger,
+        key_column=column1,
+    )
+    right = ShardedTable.from_table(
+        right_table,
+        kind=kind,
+        shards=shards,
+        bounds=bounds,
+        composite_ledger=composite_ledger,
+        key_column=column2,
+    )
+    return left, right
+
+
+def sharded_hash_join(
+    left: ShardedTable,
+    right: ShardedTable,
+    column1: str,
+    column2: str,
+    oblivious_memory_bytes: int,
+    pool=None,
+) -> list[Row]:
+    """Shard-parallel oblivious hash join over a co-partitioned pair.
+
+    Both sides are partitioned on their join columns by the same
+    partitioner, so every joinable pair of rows lives in the same shard
+    index and the logical join is exactly the union of ``shards``
+    independent :func:`~repro.operators.join.hash_join` runs.  Each shard
+    joins as one epoch with the shard's recorder attached to its left,
+    right, and output regions; composition is therefore the plain
+    concatenation of the per-shard join pipelines — bit-identical to
+    running the same ``hash_join`` calls sequentially (the trace-compose
+    tests pin this, with and without a pool).
+
+    ``pool`` (or the enclave's attached pool) takes each shard's crypto
+    batches through the transparent root and labelled-cipher fan-outs;
+    nothing about the observable sequence depends on it.  Returns the
+    matched rows, shard-major, each row left columns then right columns
+    (:func:`~repro.operators.join.joined_schema`).
+    """
+    if left.enclave is not right.enclave:
+        raise StorageError("sharded join requires both tables in one enclave")
+    lspec, rspec = left.spec, right.spec
+    if (
+        lspec.kind != rspec.kind
+        or lspec.shards != rspec.shards
+        or lspec.bounds != rspec.bounds
+    ):
+        raise StorageError(
+            "sharded hash join requires co-partitioned inputs: "
+            f"{lspec.kind}/{lspec.shards} shards vs "
+            f"{rspec.kind}/{rspec.shards} shards"
+        )
+    if lspec.key_column != column1 or rspec.key_column != column2:
+        raise StorageError(
+            "sharded hash join requires partitioning on the join columns: "
+            f"partitioned on ({lspec.key_column!r}, {rspec.key_column!r}), "
+            f"joining on ({column1!r}, {column2!r})"
+        )
+    enclave = left.enclave
+    out_regions = [enclave.fresh_region_name("join") for _ in range(lspec.shards)]
+    regions = [
+        [left.shard(i).region_name, right.shard(i).region_name, out_regions[i]]
+        for i in range(lspec.shards)
+    ]
+    attached = None
+    if pool is not None and enclave.shard_pool is None:
+        enclave.attach_shard_pool(pool)
+        attached = pool
+    recorders = left._attach(regions)
+    rows: list[Row] = []
+    try:
+        for index in range(lspec.shards):
+            output = hash_join(
+                left.shard(index),
+                right.shard(index),
+                column1,
+                column2,
+                oblivious_memory_bytes,
+                output_name=out_regions[index],
+            )
+            rows.extend(output.rows())
+            output.free()
+            recorders[index].end_epoch()
+    finally:
+        left._detach_and_compose(recorders, regions)
+        right.last_recorders = recorders
+        if attached is not None and enclave.shard_pool is attached:
+            enclave.attach_shard_pool(None)
+    return rows

@@ -32,6 +32,16 @@ surfaced as :class:`~repro.faults.SimulatedCrash` — the same
 tear-through-everything kill semantics the fault harness uses, so the
 recovery path (`ObliDB.recover` + ``verify()``) is identical whether the
 host killed the enclave or one of its shard workers.
+
+Transports (process backend only): ``"shm"`` moves bulk payload fields —
+sealed blocks, frames, AADs, flags — through per-worker shared-memory
+segments with the pipe carrying only tiny descriptors
+(:mod:`repro.shard.transport`); ``"pipe"`` is the original pickle-over-
+pipe path; ``"auto"`` reads the ``SHARD_TRANSPORT`` environment variable
+(default ``shm``, degrading to ``pipe`` where shared memory is
+unavailable).  Both transports run the identical task registry and the
+parent still performs every untrusted access, so the observable trace is
+transport-independent.
 """
 
 from __future__ import annotations
@@ -52,7 +62,15 @@ from ..enclave.errors import (
     TransientStorageError,
 )
 from ..faults import SimulatedCrash
-from ..storage.rows import is_dummy, unframe_rows
+from ..storage.rows import is_dummy
+from .transport import (
+    SHM_AVAILABLE,
+    SegmentClient,
+    WorkerSegment,
+    encode_field,
+    encode_payload,
+    read_fields,
+)
 
 _NONCE_SIZE = 12
 
@@ -166,10 +184,10 @@ def _task_seal_many(ctx: WorkerContext, payload) -> list[SealedBlock]:
     return cipher.seal_many(frames, aads, nonces=ctx.nonces(label, len(frames)))
 
 
-def _task_open_rows(ctx: WorkerContext, payload):
-    """Open + decode one chunk: the scan front's per-shard compute."""
-    label, blocks, aads, schema = payload
-    return unframe_rows(schema, ctx.cipher(label).open_many(blocks, aads))
+def _task_echo_blocks(ctx: WorkerContext, payload) -> list[SealedBlock]:
+    """Round-trip a block list untouched (the transport microbenchmark)."""
+    _label, blocks = payload
+    return list(blocks)
 
 
 def _task_mark_rows(ctx: WorkerContext, payload) -> list[bool]:
@@ -201,30 +219,64 @@ def _task_shuffle_cleanup(ctx: WorkerContext, payload) -> list[SealedBlock]:
 TASKS: dict[str, Callable[[WorkerContext, Any], Any]] = {
     "open_many": _task_open_many,
     "seal_many": _task_seal_many,
-    "open_rows": _task_open_rows,
+    "echo_blocks": _task_echo_blocks,
     "mark_rows": _task_mark_rows,
     "shuffle_cleanup": _task_shuffle_cleanup,
 }
+
+
+def _encode_result(shm, seg_size: int, result) -> tuple:
+    """Frame a task result into the segment's result half when it fits."""
+    try:
+        meta, data = encode_field(result)
+    except Exception:  # pragma: no cover - defensive: fall back to pickle
+        return ("ok", result)
+    if meta[0] == "P":
+        return ("ok", result)
+    base = seg_size // 2
+    if len(data) > seg_size - base:
+        return ("ok", result)
+    if data:
+        shm.buf[base : base + len(data)] = data
+    return ("okd", (meta, base, len(data)))
 
 
 def _worker_main(
     conn, worker_index: int, cipher_kind: str, root_key: bytes, shard_root: bytes
 ) -> None:  # pragma: no cover - runs in the child process
     ctx = WorkerContext(worker_index, cipher_kind, root_key, shard_root)
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            return
-        if message is None:
-            return
-        task, payload = message
-        try:
-            result = TASKS[task](ctx, payload)
-        except BaseException as error:
-            conn.send(("error", type(error).__name__, str(error)))
-        else:
-            conn.send(("ok", result))
+    client = SegmentClient()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message is None:
+                return
+            if len(message) == 5 and message[0] == "t":
+                # Shared-memory descriptor: bulk fields live in the segment.
+                _, task, seg_name, seg_size, wire = message
+                try:
+                    shm = client.attach(seg_name)
+                    # wrap_blocks=False: tasks unpack blocks positionally,
+                    # so skip the per-block SealedBlock construction here.
+                    payload = read_fields(shm.buf, wire, wrap_blocks=False)
+                    result = TASKS[task](ctx, payload)
+                except BaseException as error:
+                    conn.send(("error", type(error).__name__, str(error)))
+                else:
+                    conn.send(_encode_result(shm, seg_size, result))
+                continue
+            task, payload = message
+            try:
+                result = TASKS[task](ctx, payload)
+            except BaseException as error:
+                conn.send(("error", type(error).__name__, str(error)))
+            else:
+                conn.send(("ok", result))
+    finally:
+        client.close()
 
 
 class _Handle:
@@ -257,6 +309,7 @@ class ShardPool:
         root_key: bytes,
         shard_root: bytes | None = None,
         backend: str = "auto",
+        transport: str = "auto",
         quiet: bool = False,
     ) -> None:
         if shards < 1:
@@ -276,6 +329,13 @@ class ShardPool:
                 ).digest()
         self.shard_root = shard_root
         self.backend = self._resolve_backend(backend)
+        self.transport = (
+            self._resolve_transport(transport)
+            if self.backend == "process"
+            else "inline"
+        )
+        #: Dispatch counters: how many tasks rode each transport path.
+        self.transport_stats = {"shm_tasks": 0, "pipe_tasks": 0}
         self._lock = threading.RLock()
         self._closed = False
         self._busy: list[_Handle | None] = [None] * shards
@@ -288,9 +348,12 @@ class ShardPool:
             ]
             self._killed = [False] * shards
         if not quiet:
+            transport_note = (
+                f" transport={self.transport}" if self.backend == "process" else ""
+            )
             print(
                 f"[shard] SHARD_SEED={int.from_bytes(self.shard_root, 'little'):x} "
-                f"workers={shards} backend={self.backend} "
+                f"workers={shards} backend={self.backend}{transport_note} "
                 "(env SHARD_SEED replays it)"
             )
 
@@ -313,12 +376,26 @@ class ShardPool:
                 return "inline"
         raise ValueError(f"unknown shard backend {backend!r}")
 
+    @staticmethod
+    def _resolve_transport(transport: str) -> str:
+        if transport == "auto":
+            transport = os.environ.get("SHARD_TRANSPORT", "shm")
+        if transport not in ("shm", "pipe"):
+            raise ValueError(f"unknown shard transport {transport!r}")
+        if transport == "shm" and not SHM_AVAILABLE:
+            return "pipe"
+        return transport
+
     def _start_workers(self) -> None:
         import multiprocessing
 
         context = multiprocessing.get_context("fork")
         self._pipes = []
         self._procs = []
+        self._segments: list[WorkerSegment | None] = [
+            WorkerSegment() if self.transport == "shm" else None
+            for _ in range(self.shards)
+        ]
         for index in range(self.shards):
             parent_conn, child_conn = context.Pipe(duplex=True)
             proc = context.Process(
@@ -369,13 +446,30 @@ class ShardPool:
                         handle = _Handle(worker, ("ok", result))
             else:
                 try:
-                    self._pipes[worker].send((task, payload))
+                    self._pipes[worker].send(self._encode_task(worker, task, payload))
                 except (BrokenPipeError, OSError):
                     handle = _Handle(worker, ("crash", None, None))
                 else:
                     handle = _Handle(worker)
             self._busy[worker] = handle
             return handle
+
+    def _encode_task(self, worker: int, task: str, payload) -> tuple:
+        """The pipe message for one task: shm descriptor or legacy pickle."""
+        if self.transport == "shm":
+            segment = self._segments[worker]
+            if segment is not None and not segment.closed and type(payload) is tuple:
+                try:
+                    metas, datas, total = encode_payload(payload)
+                    if any(meta[0] != "P" for meta in metas):
+                        segment.ensure(total)
+                        wire = segment.write_request(metas, datas)
+                        self.transport_stats["shm_tasks"] += 1
+                        return ("t", task, segment.name, segment.size, wire)
+                except OSError:  # pragma: no cover - segment growth failed
+                    pass
+        self.transport_stats["pipe_tasks"] += 1
+        return (task, payload)
 
     def collect(self, handle: _Handle):
         """Wait for one task; re-raise worker errors, crash on worker death."""
@@ -392,7 +486,18 @@ class ShardPool:
                     outcome = ("crash", None, None)
             if outcome[0] == "ok":
                 return outcome[1]
+            if outcome[0] == "okd":
+                segment = self._segments[handle.worker]
+                if segment is None or segment.closed:
+                    # The worker replied just before a kill tore down its
+                    # segment; the result bytes are gone with it.
+                    raise SimulatedCrash(
+                        f"shard worker {handle.worker} died mid-pipeline"
+                    )
+                meta, offset, nbytes = outcome[1]
+                return segment.read_result(meta, offset, nbytes)
             if outcome[0] == "crash":
+                self._release_segment(handle.worker)
                 raise SimulatedCrash(
                     f"shard worker {handle.worker} died mid-pipeline"
                 )
@@ -465,6 +570,14 @@ class ShardPool:
             not self._closed and self.shards > 1 and count >= CRYPTO_FANOUT_MIN
         )
 
+    def idle(self) -> bool:
+        """True when no task is in flight on any worker.
+
+        The labelled-cipher fan-out (:mod:`repro.storage.flat`) fires only
+        on an idle pool: a pipelined task already owns its worker slot.
+        """
+        return all(handle is None for handle in self._busy)
+
     # ------------------------------------------------------------------
     # Lifecycle and fault injection
     # ------------------------------------------------------------------
@@ -472,16 +585,27 @@ class ShardPool:
         if self._closed:
             raise StorageError("shard pool is closed")
 
+    def _release_segment(self, worker: int) -> None:
+        """Unlink one worker's segment (crash path / kill / close)."""
+        if self.backend != "process":
+            return
+        segment = self._segments[worker]
+        if segment is not None:
+            segment.close()
+
     def kill_worker(self, worker: int) -> None:
         """Kill one worker (tests: the adversary kills an enclave thread).
 
         The next ``collect`` touching it raises :class:`SimulatedCrash`;
         both backends honour the kill so fault tests run without fork.
+        The worker's shared-memory segment is unlinked immediately — a
+        dead worker must leave nothing in ``/dev/shm``.
         """
         worker %= self.shards
         if self.backend == "process":
             self._procs[worker].terminate()
             self._procs[worker].join()
+            self._release_segment(worker)
         else:
             self._killed[worker] = True
 
@@ -503,6 +627,8 @@ class ShardPool:
                         proc.terminate()
                 for pipe in self._pipes:
                     pipe.close()
+                for worker in range(self.shards):
+                    self._release_segment(worker)
 
     def __enter__(self) -> "ShardPool":
         return self

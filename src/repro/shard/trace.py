@@ -115,3 +115,20 @@ def compose(
     if cost is not None:
         for rec in recorders:
             cost.absorb(rec.cost)
+
+
+def critical_path_ms(
+    total_ms: float, recorders: Sequence[ShardTraceRecorder]
+) -> float:
+    """Modeled parallel wall-clock of one sharded pipeline.
+
+    ``total_ms`` is the pipeline's full modeled time (what a sequential
+    run pays); the parallel model keeps the serial remainder — everything
+    the composing parent did outside the shard recorders — plus the
+    slowest shard: ``serial + max(per-shard)``.
+    """
+    per_shard = [rec.cost.modeled_time_ms() for rec in recorders]
+    if not per_shard:
+        return total_ms
+    serial = max(0.0, total_ms - sum(per_shard))
+    return serial + max(per_shard)

@@ -1,0 +1,374 @@
+"""Shared-memory block transport for the shard pool.
+
+The process backend's constant factor was dominated by pickling
+:class:`~repro.enclave.crypto.SealedBlock` objects through
+``multiprocessing.Pipe``.  This module replaces the payload path with
+per-worker ``multiprocessing.shared_memory`` segments: the parent writes
+each task's bulk fields (sealed blocks, byte frames, AADs, keeper flags)
+into the worker's segment as flat framed bytes, and the pipe carries only
+a tiny descriptor — task name, segment name and size, and per-field
+``(meta, offset, nbytes)`` entries.  No ``SealedBlock`` is ever pickled.
+
+Framing layout (one precompiled ``struct`` per shape, no per-block
+headers in the uniform case):
+
+* ``("B", count, n, c, m)`` — sealed blocks, all with nonce/ciphertext/mac
+  lengths ``(n, c, m)``: the segment holds ``count`` back-to-back
+  ``nonce ‖ ciphertext ‖ mac`` records decoded with one cached
+  ``struct.Struct("<{n}s{c}s{m}s").iter_unpack`` pass.
+* ``("BR", count)`` — ragged sealed blocks: an ``array("I")`` header of
+  ``3 * count`` lengths, then the concatenated records.
+* ``("Y", count, size)`` / ``("YR", count)`` — a list of ``bytes``
+  (frames, AADs): uniform ``size``-byte records, or a length header plus
+  concatenated data.
+* ``("F", count)`` — keeper flags, one byte per bool.
+* ``("P", value)`` — inline fallback carried on the pipe itself (schemas,
+  small ints, anything unframed); no segment bytes.
+
+Block decoding is wrap-asymmetric for speed: the parent decodes results
+into real :class:`SealedBlock` objects (the pool API contract), while
+workers decode requests into plain ``(nonce, ciphertext, mac)`` tuples
+(``wrap_blocks=False``) — the batched cipher helpers unpack positionally,
+so the per-block ``tuple.__new__`` wrap (the single largest codec cost)
+is skipped where nothing needs it.  A ``SealedBlock`` *is* such a triple,
+and the encoder accepts either form, so the round trip stays exact.
+
+Leakage: segments are parent-created, worker-private channels between two
+enclave threads — exactly what the pipes were.  The adversary-visible
+surface (untrusted-memory reads and writes, recorded by the parent) is
+untouched; descriptors carry only task names and public sizes, which the
+pipe protocol already carried.  ``tests/security/test_shm_transport.py``
+pins that the composed trace is bit-identical across transports.
+
+Segment lifecycle: each worker gets one segment with a request half
+(parent-written, offsets from 0) and a result half (worker-written, from
+``size // 2``) — one task in flight per worker means fixed offsets, no
+ring arithmetic.  Growth allocates a fresh, larger segment under a new
+name (the worker re-attaches when the descriptor's name changes; its old
+mapping stays valid until then) and the parent immediately unlinks the
+old one.  Only the parent ever unlinks — workers are forked and share the
+parent's resource tracker, so a worker unregistering would clobber the
+parent's registration.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from array import array
+from itertools import chain, count
+from typing import Any, Sequence
+
+from ..enclave.crypto import SealedBlock
+
+try:  # pragma: no cover - import guard
+    from multiprocessing import shared_memory as _shared_memory
+
+    SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover - platform without shm
+    _shared_memory = None
+    SHM_AVAILABLE = False
+
+#: Starting segment size; grows by doubling when a request outgrows it.
+MIN_SEGMENT_BYTES = 256 * 1024
+
+_SEGMENT_SEQ = count()
+
+
+def segment_name() -> str:
+    """A process-unique shared-memory name (``/dev/shm`` entry)."""
+    return f"obdb-{os.getpid()}-{next(_SEGMENT_SEQ)}"
+
+
+_FMTS: dict[tuple[int, int, int], struct.Struct] = {}
+
+
+def _block_fmt(n: int, c: int, m: int) -> struct.Struct:
+    key = (n, c, m)
+    fmt = _FMTS.get(key)
+    if fmt is None:
+        fmt = _FMTS[key] = struct.Struct("<%ds%ds%ds" % key)
+    return fmt
+
+
+# ----------------------------------------------------------------------
+# Field codecs: (meta, data) pairs round-tripped through a segment
+# ----------------------------------------------------------------------
+def encode_blocks(blocks: Sequence[SealedBlock]) -> tuple[tuple, bytes]:
+    total = len(blocks)
+    if total == 0:
+        return ("B", 0, 0, 0, 0), b""
+    first = blocks[0]
+    n0, c0, m0 = len(first[0]), len(first[1]), len(first[2])
+    uniform = True
+    for block in blocks:
+        if len(block[0]) != n0 or len(block[1]) != c0 or len(block[2]) != m0:
+            uniform = False
+            break
+    data = b"".join(chain.from_iterable(blocks))
+    if uniform:
+        return ("B", total, n0, c0, m0), data
+    lens = array("I")
+    for block in blocks:
+        lens.append(len(block[0]))
+        lens.append(len(block[1]))
+        lens.append(len(block[2]))
+    return ("BR", total), lens.tobytes() + data
+
+
+def decode_blocks(meta: tuple, view, wrap: bool = True) -> list:
+    """Blocks from a framed span; ``wrap=False`` returns plain triples."""
+    new = tuple.__new__
+    if meta[0] == "B":
+        _, total, n, c, m = meta
+        if total == 0:
+            return []
+        fmt = _block_fmt(n, c, m)
+        if not wrap:
+            return list(fmt.iter_unpack(view))
+        return [new(SealedBlock, fields) for fields in fmt.iter_unpack(view)]
+    _, total = meta
+    lens = array("I")
+    header = 4 * 3 * total
+    lens.frombytes(bytes(view[:header]))
+    data = bytes(view[header:])
+    out = []
+    offset = 0
+    for index in range(total):
+        n, c, m = lens[3 * index], lens[3 * index + 1], lens[3 * index + 2]
+        fields = (
+            data[offset : offset + n],
+            data[offset + n : offset + n + c],
+            data[offset + n + c : offset + n + c + m],
+        )
+        out.append(new(SealedBlock, fields) if wrap else fields)
+        offset += n + c + m
+    return out
+
+
+def encode_bytes_list(items: Sequence[bytes]) -> tuple[tuple, bytes]:
+    total = len(items)
+    if total == 0:
+        return ("Y", 0, 0), b""
+    size = len(items[0])
+    uniform = True
+    for item in items:
+        if len(item) != size:
+            uniform = False
+            break
+    data = b"".join(items)
+    if uniform:
+        return ("Y", total, size), data
+    lens = array("I", map(len, items))
+    return ("YR", total), lens.tobytes() + data
+
+
+def decode_bytes_list(meta: tuple, view) -> list[bytes]:
+    if meta[0] == "Y":
+        _, total, size = meta
+        if total == 0:
+            return []
+        if size == 0:
+            return [b""] * total
+        data = bytes(view)
+        return [data[offset : offset + size] for offset in range(0, total * size, size)]
+    _, total = meta
+    lens = array("I")
+    header = 4 * total
+    lens.frombytes(bytes(view[:header]))
+    data = bytes(view[header:])
+    out = []
+    offset = 0
+    for length in lens:
+        out.append(data[offset : offset + length])
+        offset += length
+    return out
+
+
+def encode_field(value: Any) -> tuple[tuple, bytes]:
+    """One task-payload field as ``(meta, data)``; ``("P", value)`` = inline.
+
+    Sniffing is by the first element's type; a heterogeneous list trips a
+    length/type error inside a codec and falls back to the inline path, so
+    the transport never silently mis-frames anything.
+    """
+    try:
+        if type(value) is list:
+            if not value:
+                return ("Y", 0, 0), b""
+            first = value[0]
+            if isinstance(first, SealedBlock) or (
+                type(first) is tuple and len(first) == 3
+            ):
+                # SealedBlocks, or the structural (nonce, ciphertext, mac)
+                # triples a worker-side wrap-free decode produced.
+                return encode_blocks(value)
+            if isinstance(first, bool):
+                return ("F", len(value)), bytes(value)
+            if isinstance(first, (bytes, bytearray)):
+                return encode_bytes_list(value)
+    except (TypeError, ValueError):
+        pass
+    return ("P", value), b""
+
+
+def decode_field(meta: tuple, view, wrap_blocks: bool = True) -> Any:
+    tag = meta[0]
+    if tag in ("B", "BR"):
+        return decode_blocks(meta, view, wrap_blocks)
+    if tag in ("Y", "YR"):
+        return decode_bytes_list(meta, view)
+    if tag == "F":
+        return [bool(byte) for byte in bytes(view)]
+    raise ValueError(f"unknown transport field tag {tag!r}")
+
+
+def encode_payload(payload: tuple) -> tuple[list[tuple], list[bytes], int]:
+    """Encode every field of a task payload; returns (metas, datas, bytes)."""
+    metas: list[tuple] = []
+    datas: list[bytes] = []
+    total = 0
+    for value in payload:
+        meta, data = encode_field(value)
+        metas.append(meta)
+        datas.append(data)
+        total += len(data)
+    return metas, datas, total
+
+
+def write_fields(buf, base: int, metas: list[tuple], datas: list[bytes]) -> list[tuple]:
+    """Write field datas into ``buf`` from ``base``; return wire entries.
+
+    Each wire entry is ``("P", value)`` (inline) or ``(meta, offset,
+    nbytes)`` naming a framed span of the segment.
+    """
+    wire: list[tuple] = []
+    offset = base
+    for meta, data in zip(metas, datas):
+        if meta[0] == "P":
+            wire.append(meta)
+            continue
+        nbytes = len(data)
+        if nbytes:
+            buf[offset : offset + nbytes] = data
+        wire.append((meta, offset, nbytes))
+        offset += nbytes
+    return wire
+
+
+def read_fields(buf, wire: Sequence[tuple], wrap_blocks: bool = True) -> tuple:
+    """Decode a wire descriptor back into the task payload tuple."""
+    fields = []
+    for entry in wire:
+        if entry[0] == "P":
+            fields.append(entry[1])
+            continue
+        meta, offset, nbytes = entry
+        view = buf[offset : offset + nbytes]
+        try:
+            fields.append(decode_field(meta, view, wrap_blocks))
+        finally:
+            view.release()
+    return tuple(fields)
+
+
+# ----------------------------------------------------------------------
+# Segments
+# ----------------------------------------------------------------------
+def _round_up(nbytes: int) -> int:
+    size = MIN_SEGMENT_BYTES
+    while size < nbytes:
+        size *= 2
+    return size
+
+
+class WorkerSegment:
+    """Parent side of one worker's shared-memory channel.
+
+    Request half ``[0, size // 2)`` is parent-written; result half
+    ``[size // 2, size)`` is worker-written.  One task in flight per
+    worker keeps both bases fixed.  :meth:`close` unlinks — the parent is
+    the only unlinker (see module docstring).
+    """
+
+    def __init__(self, size: int = MIN_SEGMENT_BYTES) -> None:
+        self._shm = _shared_memory.SharedMemory(
+            create=True, name=segment_name(), size=size
+        )
+        self.size = size
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def ensure(self, request_bytes: int) -> None:
+        """Grow until the request half holds ``request_bytes``.
+
+        Growth swaps in a fresh segment under a new name and unlinks the
+        old one immediately: POSIX keeps the worker's existing mapping
+        alive until it re-attaches on the name change, so no task races
+        the swap.
+        """
+        if request_bytes * 2 <= self.size:
+            return
+        old = self._shm
+        size = _round_up(request_bytes * 2)
+        self._shm = _shared_memory.SharedMemory(
+            create=True, name=segment_name(), size=size
+        )
+        self.size = size
+        old.close()
+        old.unlink()
+
+    def write_request(self, metas: list[tuple], datas: list[bytes]) -> list[tuple]:
+        return write_fields(self._shm.buf, 0, metas, datas)
+
+    def read_result(self, meta: tuple, offset: int, nbytes: int) -> Any:
+        view = self._shm.buf[offset : offset + nbytes]
+        try:
+            return decode_field(meta, view)
+        finally:
+            view.release()
+
+    def close(self) -> None:
+        """Close and unlink; idempotent (crash paths may race close)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class SegmentClient:
+    """Worker side: attach by name, re-attaching when the parent grows.
+
+    Never unregisters or unlinks anything — forked workers share the
+    parent's resource tracker, and the parent owns every segment.
+    """
+
+    def __init__(self) -> None:
+        self._shm = None
+        self._name: str | None = None
+
+    def attach(self, name: str):
+        if self._name != name:
+            if self._shm is not None:
+                self._shm.close()
+                self._shm = None
+                self._name = None
+            self._shm = _shared_memory.SharedMemory(name=name)
+            self._name = name
+        return self._shm
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+            self._name = None

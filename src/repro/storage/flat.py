@@ -140,13 +140,42 @@ class FlatStorage:
 
     def _seal_many(self, frames: Sequence[bytes], aads: Sequence[bytes]) -> list:
         if self._cipher is not None:
+            fanned = self._pool_crypto("seal_many", frames, aads)
+            if fanned is not None:
+                return fanned
             return self._cipher.seal_many(frames, aads)
         return self._enclave.seal_many(frames, aads)
 
     def _open_many(self, blocks: Sequence, aads: Sequence[bytes]) -> list[bytes]:
         if self._cipher is not None:
+            fanned = self._pool_crypto("open_many", blocks, aads)
+            if fanned is not None:
+                return fanned
             return self._cipher.open_many(blocks, aads)
         return self._enclave.open_many(blocks, aads)
+
+    def _pool_crypto(self, task: str, items: Sequence, aads: Sequence[bytes]):
+        """Labelled-cipher shard fan-out; ``None`` means run in-process.
+
+        The same transparent batching the enclave applies to root-cipher
+        crypto, extended to derived labels: workers re-derive the label's
+        key from the root they hold.  Fires only on an *idle* pool — a
+        pipelined sharded pass already owns its worker slots — and, like
+        the enclave's fan-out, degrades permanently to in-process crypto
+        when a worker dies (the optimization is never load-bearing).
+        """
+        pool = self._enclave.shard_pool
+        if pool is None or not pool.wants_crypto(len(items)) or not pool.idle():
+            return None
+        from ..faults import SimulatedCrash
+
+        try:
+            return pool.crypto_many(
+                task, self._cipher_label or "", list(items), list(aads)
+            )
+        except SimulatedCrash:
+            self._enclave.attach_shard_pool(None)
+            return None
 
     # ------------------------------------------------------------------
     # Verified decryption with rollback classification

@@ -2,9 +2,10 @@
 
 A shard worker dying mid-pipeline must surface as the same
 :class:`SimulatedCrash` a host kill produces, and a fresh database must
-recover the WAL'd statements and be re-shardable — partitioning itself is
-derived state (not WAL-logged), so recovery restores the flat table and
-the operator re-partitions.
+recover the WAL'd statements — including ``PARTITION TABLE``, which is
+logged with its fully-resolved spec, so replay re-shards automatically
+and the recovered database serves sharded pipelines with no operator
+intervention.
 """
 
 from __future__ import annotations
@@ -40,13 +41,13 @@ def test_worker_death_surfaces_and_recovery_restores(backend):
         db.close()
 
     # Crash-consistent recovery: a fresh database replays the WAL (table
-    # creation + inserts), verifies clean, and can be re-partitioned.
+    # creation + inserts + the logged PARTITION TABLE), so it comes back
+    # already sharded and serves sharded pipelines immediately.
     recovered = ObliDB(wal=True, shards=2, shard_backend=backend)
     try:
         report = recovered.recover(db.wal)
         assert report.replayed > 0
-        assert recovered.verify().ok
-        recovered.partition_table("t", shards=2)
+        assert recovered.sharded_table_names() == ["t"]
         assert Counter(recovered.sharded_scan("t")) == Counter(ROWS)
         assert recovered.verify().ok
     finally:
@@ -96,6 +97,49 @@ def test_pool_reusable_after_mid_scan_error(backend):
         assert db.verify().ok
     finally:
         db.close()
+
+
+def test_partition_spec_survives_kill_and_replay():
+    """The WAL'd PARTITION TABLE carries the fully-resolved spec, so a
+    recovered database reproduces kind, shard count, key column, and the
+    exact region names — not just the row multiset."""
+    db = ObliDB(wal=True)
+    db.sql("CREATE TABLE t (id INT, name STR(12)) CAPACITY 128 METHOD flat")
+    db.insert_many("t", ROWS)
+    db.partition_table("t", kind="range", shards=3, bounds=(20, 40), key_column="id")
+    original = db.sharded_table("t")
+
+    recovered = ObliDB(wal=True)
+    report = recovered.recover(db.wal)
+    assert report.replayed > 0
+    replayed = recovered.sharded_table("t")
+    assert replayed.spec == original.spec
+    assert replayed.region_names() == original.region_names()
+    assert Counter(recovered.sharded_scan("t")) == Counter(ROWS)
+    assert recovered.verify().ok
+    db.close()
+    recovered.close()
+
+
+def test_worker_kill_unlinks_shared_memory_segments():
+    """Killing a worker mid-task must unlink its /dev/shm segment — the
+    transport may not leak kernel objects on abnormal exit."""
+    import glob
+
+    from repro.shard import SHM_AVAILABLE
+
+    if not SHM_AVAILABLE:
+        pytest.skip("shared_memory unavailable")
+    before = set(glob.glob("/dev/shm/obdb-*"))
+    db = build_db("process")
+    try:
+        db.partition_table("t", shards=2)
+        db.shard_pool.kill_worker(0)
+        with pytest.raises(SimulatedCrash):
+            db.sharded_scan("t")
+    finally:
+        db.close()
+    assert set(glob.glob("/dev/shm/obdb-*")) <= before
 
 
 def test_partition_table_guards():

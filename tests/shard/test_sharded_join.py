@@ -1,0 +1,246 @@
+"""Shard-parallel hash joins over co-partitioned pairs.
+
+The correctness contract: partitioning both sides on the join key with
+the same partitioner makes the logical join exactly the union of the
+per-shard joins, and the composed trace is bit-identical to running the
+same per-shard ``hash_join`` calls sequentially.  The planner contract:
+``shards`` scales the hash join's critical-path cost by the per-shard
+input sizes and never changes anything at ``shards=1``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import ObliDB
+from repro.enclave.enclave import Enclave
+from repro.enclave.errors import QueryError, StorageError
+from repro.operators.join import hash_join, joined_schema
+from repro.planner.join_planner import estimate_join_costs
+from repro.planner.plan import JoinAlgorithm
+from repro.shard import ShardedTable, ShardSpec, partition_pair, sharded_hash_join
+from repro.storage.flat import FlatStorage
+from repro.storage.schema import Schema, int_column, str_column
+
+ROOT = b"\x2a" * 32
+LEFT_SCHEMA = Schema([int_column("k"), str_column("a", 12)])
+RIGHT_SCHEMA = Schema([int_column("k"), str_column("b", 12)])
+LEFT_ROWS = [((i * 13) % 257, f"l{i}") for i in range(180)]
+RIGHT_ROWS = [((i * 13) % 257, f"r{i}") for i in range(0, 180, 3)]
+
+
+def build_sharded(enclave, shards=3):
+    spec = ShardSpec("hash", shards, "k")
+    left = ShardedTable(enclave, "l", LEFT_SCHEMA, spec, LEFT_ROWS)
+    right = ShardedTable(enclave, "r", RIGHT_SCHEMA, spec, RIGHT_ROWS)
+    return left, right
+
+
+def single_join_reference():
+    """The unsharded ground truth: one hash_join over flat copies."""
+    enclave = Enclave(key=ROOT, keep_trace_events=False)
+    left = FlatStorage(enclave, LEFT_SCHEMA, len(LEFT_ROWS))
+    right = FlatStorage(enclave, RIGHT_SCHEMA, len(RIGHT_ROWS))
+    left.fast_insert_many(LEFT_ROWS)
+    right.fast_insert_many(RIGHT_ROWS)
+    output = hash_join(left, right, "k", "k", enclave.oblivious.free_bytes)
+    return output.rows()
+
+
+def test_rows_match_single_join_reference():
+    enclave = Enclave(key=ROOT, keep_trace_events=False)
+    left, right = build_sharded(enclave)
+    rows = sharded_hash_join(
+        left, right, "k", "k", enclave.oblivious.free_bytes
+    )
+    assert Counter(rows) == Counter(single_join_reference())
+    assert len(left.last_recorders) == 3
+    assert right.last_recorders is left.last_recorders
+
+
+def test_trace_bit_identical_to_sequential_per_shard_joins():
+    """Twin construction: the same per-shard joins run sequentially on a
+    fresh enclave (same region-name counters, no recorders) produce the
+    exact digest the sharded join composes to."""
+
+    def sharded():
+        enclave = Enclave(key=ROOT, keep_trace_events=False)
+        left, right = build_sharded(enclave)
+        sharded_hash_join(left, right, "k", "k", enclave.oblivious.free_bytes)
+        return enclave.trace.digest(), len(enclave.trace)
+
+    def sequential():
+        enclave = Enclave(key=ROOT, keep_trace_events=False)
+        left, right = build_sharded(enclave)
+        names = [enclave.fresh_region_name("join") for _ in range(3)]
+        for index in range(3):
+            output = hash_join(
+                left.shard(index),
+                right.shard(index),
+                "k",
+                "k",
+                enclave.oblivious.free_bytes,
+                output_name=names[index],
+            )
+            output.rows()
+            output.free()
+        return enclave.trace.digest(), len(enclave.trace)
+
+    assert sharded() == sequential()
+
+
+def test_output_schema_is_joined_schema():
+    enclave = Enclave(key=ROOT, keep_trace_events=False)
+    left, right = build_sharded(enclave)
+    rows = sharded_hash_join(
+        left, right, "k", "k", enclave.oblivious.free_bytes
+    )
+    width = len(joined_schema(LEFT_SCHEMA, RIGHT_SCHEMA).columns)
+    assert rows and all(len(row) == width for row in rows)
+
+
+def test_mismatched_specs_rejected():
+    enclave = Enclave(key=ROOT, keep_trace_events=False)
+    spec3 = ShardSpec("hash", 3, "k")
+    left = ShardedTable(enclave, "l", LEFT_SCHEMA, spec3, LEFT_ROWS)
+    right = ShardedTable(
+        enclave, "r", RIGHT_SCHEMA, ShardSpec("hash", 2, "k"), RIGHT_ROWS
+    )
+    with pytest.raises(StorageError, match="co-partitioned"):
+        sharded_hash_join(left, right, "k", "k", 1 << 20)
+    other = ShardedTable(
+        enclave, "r2", RIGHT_SCHEMA, ShardSpec("hash", 3, "b"), RIGHT_ROWS[:2]
+    )
+    with pytest.raises(StorageError, match="join columns"):
+        sharded_hash_join(left, other, "k", "k", 1 << 20)
+    foreign = ShardedTable(
+        Enclave(key=ROOT, keep_trace_events=False),
+        "r3",
+        RIGHT_SCHEMA,
+        spec3,
+        RIGHT_ROWS,
+    )
+    with pytest.raises(StorageError, match="one enclave"):
+        sharded_hash_join(left, foreign, "k", "k", 1 << 20)
+
+
+def test_partition_pair_helper_co_partitions():
+    db = ObliDB()
+    db.sql("CREATE TABLE l (k INT, a STR(12)) CAPACITY 256 METHOD flat")
+    db.sql("CREATE TABLE r (k INT, b STR(12)) CAPACITY 256 METHOD flat")
+    db.insert_many("l", LEFT_ROWS)
+    db.insert_many("r", RIGHT_ROWS)
+    left, right = partition_pair(
+        db.table("l"), db.table("r"), "k", "k", shards=3
+    )
+    assert left.spec.key_column == "k" and right.spec.key_column == "k"
+    assert left.spec == right.spec
+    db.close()
+
+
+# ----------------------------------------------------------------------
+# The ObliDB surface
+# ----------------------------------------------------------------------
+def test_database_partition_pair_and_sharded_join():
+    db = ObliDB(shards=2, shard_backend="inline")
+    db.sql("CREATE TABLE l (k INT, a STR(12)) CAPACITY 256 METHOD flat")
+    db.sql("CREATE TABLE r (k INT, b STR(12)) CAPACITY 256 METHOD flat")
+    db.insert_many("l", LEFT_ROWS)
+    db.insert_many("r", RIGHT_ROWS)
+    db.partition_pair("l", "r", "k", "k")
+    assert db.sharded_table_names() == ["l", "r"]
+    rows = db.sharded_join("l", "r", "k", "k")
+    assert Counter(rows) == Counter(single_join_reference())
+    assert db.verify().ok
+    db.close()
+
+
+def test_sql_partition_statement_and_wal_replay():
+    db = ObliDB(wal=True)
+    db.sql("CREATE TABLE l (k INT, a STR(12)) CAPACITY 256 METHOD flat")
+    db.sql("CREATE TABLE r (k INT, b STR(12)) CAPACITY 256 METHOD flat")
+    db.insert_many("l", LEFT_ROWS)
+    db.insert_many("r", RIGHT_ROWS)
+    db.sql("PARTITION TABLE l BY HASH (k) SHARDS 3")
+    db.sql("PARTITION TABLE r BY HASH (k) SHARDS 3")
+    rows = db.sharded_join("l", "r", "k", "k")
+    assert Counter(rows) == Counter(single_join_reference())
+
+    recovered = ObliDB(wal=True)
+    recovered.recover(db.wal)
+    assert recovered.sharded_table_names() == ["l", "r"]
+    assert recovered.sharded_table("l").spec == db.sharded_table("l").spec
+    again = recovered.sharded_join("l", "r", "k", "k")
+    assert Counter(again) == Counter(rows)
+    assert recovered.verify().ok
+    db.close()
+    recovered.close()
+
+
+def test_plain_sql_on_partitioned_table_names_the_shard_surface():
+    """SELECT on a sharded table must say *why* it is gone, not 404."""
+    db = ObliDB()
+    db.sql("CREATE TABLE t (k INT, a STR(12)) CAPACITY 64 METHOD flat")
+    db.insert_many("t", LEFT_ROWS[:8])
+    db.partition_table("t", shards=2)
+    with pytest.raises(QueryError, match="partitioned into shards"):
+        db.sql("SELECT * FROM t")
+    db.close()
+
+
+def test_partition_has_no_explainable_plan():
+    db = ObliDB()
+    db.sql("CREATE TABLE t (k INT) CAPACITY 8 METHOD flat")
+    with pytest.raises(QueryError, match="no physical plan"):
+        db.explain("PARTITION TABLE t BY HASH (k) SHARDS 2")
+    with pytest.raises(QueryError, match="no physical plan"):
+        db.sql("EXPLAIN PARTITION TABLE t BY HASH (k) SHARDS 2")
+    db.close()
+
+
+def test_partition_validates_before_logging():
+    """A bad partition request must not leave an unreplayable WAL record."""
+    from repro.enclave.errors import SchemaError
+
+    db = ObliDB(wal=True)
+    db.sql("CREATE TABLE t (k INT) CAPACITY 8 METHOD flat")
+    logged = db.wal.count
+    with pytest.raises(SchemaError):
+        db.partition_table("t", key_column="missing")
+    with pytest.raises(StorageError):
+        db.partition_table("t", kind="range", shards=3, bounds=(1,))
+    assert db.wal.count == logged
+    db.close()
+
+
+# ----------------------------------------------------------------------
+# Planner integration
+# ----------------------------------------------------------------------
+def test_shard_cost_identity_at_one():
+    base = estimate_join_costs(1000, 500, 64)
+    assert estimate_join_costs(1000, 500, 64, shards=1) == base
+
+
+def test_shard_cost_scales_hash_only():
+    base = estimate_join_costs(1000, 500, 64)
+    quad = estimate_join_costs(1000, 500, 64, shards=4)
+    assert quad[JoinAlgorithm.HASH] < base[JoinAlgorithm.HASH]
+    # Per-shard sizes 250/125: 250 + ceil(250/64)*125*3
+    assert quad[JoinAlgorithm.HASH] == 250 + 4 * 125 * 3.0
+    assert quad[JoinAlgorithm.OPAQUE] == base[JoinAlgorithm.OPAQUE]
+    assert quad[JoinAlgorithm.ZERO_OM] == base[JoinAlgorithm.ZERO_OM]
+
+
+def test_join_node_exposes_shards_when_parallel():
+    def join_plan(shards):
+        db = ObliDB(shards=shards, shard_backend="inline")
+        db.sql("CREATE TABLE l (k INT, a STR(12)) CAPACITY 64 METHOD flat")
+        db.sql("CREATE TABLE r (k INT, b STR(12)) CAPACITY 64 METHOD flat")
+        plan = db.explain("SELECT * FROM l JOIN r ON l.k = r.k")
+        db.close()
+        return plan.describe()
+
+    assert "shards=2" in join_plan(2)
+    assert "shards" not in join_plan(0)

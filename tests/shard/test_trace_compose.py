@@ -120,16 +120,33 @@ def test_region_recorder_attach_detach_errors():
 # ----------------------------------------------------------------------
 # End-to-end backend equivalence on the sharded pipelines
 # ----------------------------------------------------------------------
+def _make_pool(backend, pool_shards):
+    """``backend`` is a ShardPool backend name or a ``(backend, transport)``
+    tuple selecting the process pool's payload transport explicitly."""
+    transport = "auto"
+    if isinstance(backend, tuple):
+        backend, transport = backend
+    return ShardPool(
+        pool_shards,
+        "authenticated",
+        ROOT,
+        backend=backend,
+        transport=transport,
+        quiet=True,
+    )
+
+
 def run_pipeline(backend, pool_shards=4, with_shuffle=True):
     """Build the same sharded table and run scan(+shuffle)+compact on it.
 
-    ``backend`` is None (no pool: the per-shard sequential path) or a
-    ShardPool backend name.  Returns (digest, length, rows, counters).
+    ``backend`` is None (no pool: the per-shard sequential path), a
+    ShardPool backend name, or a ``(backend, transport)`` tuple.  Returns
+    (digest, length, rows, counters).
     """
     enclave = Enclave(cipher="authenticated", key=ROOT, keep_trace_events=False)
     pool = None
     if backend is not None:
-        pool = ShardPool(pool_shards, "authenticated", ROOT, backend=backend, quiet=True)
+        pool = _make_pool(backend, pool_shards)
         enclave.attach_shard_pool(pool)
     spec = ShardSpec("hash", 4, "key")
     table = ShardedTable(enclave, "t", SCHEMA, spec, ROWS)
@@ -152,27 +169,73 @@ def run_pipeline(backend, pool_shards=4, with_shuffle=True):
 
 
 def test_scan_compact_traces_identical_across_backends():
-    """Scan and compact traces are bit-identical: no-pool vs both backends."""
+    """Scan and compact traces are bit-identical: no-pool vs every backend
+    and both process transports."""
     sequential = run_pipeline(None, with_shuffle=False)
     inline = run_pipeline("inline", with_shuffle=False)
-    process = run_pipeline("process", with_shuffle=False)
+    process_pipe = run_pipeline(("process", "pipe"), with_shuffle=False)
+    process_shm = run_pipeline(("process", "shm"), with_shuffle=False)
     assert inline == sequential
-    assert process == sequential
+    assert process_pipe == sequential
+    assert process_shm == sequential
 
 
-def test_full_pipeline_trace_identical_inline_vs_process():
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
+def test_full_pipeline_trace_identical_inline_vs_process(transport):
     """The sharded reference composition is backend-independent.
 
     The inline executor runs every task sequentially in-process, so it *is*
     the sequential reference composition of the grouped pipeline; the
-    process backend must reproduce its observable trace bit for bit.
+    process backend must reproduce its observable trace bit for bit —
+    under either payload transport.
     """
     inline = run_pipeline("inline")
-    process = run_pipeline("process")
+    process = run_pipeline(("process", transport))
     assert process[:2] == inline[:2]
     assert process[3] == inline[3]
     # Same rows in the same (shard-major) order regardless of backend.
     assert process[2] == inline[2]
+
+
+def run_join(backend, shards=3):
+    """Co-partition two tables and run the sharded hash join.
+
+    Returns (digest, length, rows, counters) like :func:`run_pipeline`.
+    """
+    from repro.shard import sharded_hash_join
+
+    right_schema = Schema([int_column("key"), str_column("other", 12)])
+    right_rows = [(i * 13 % 257, f"s{i}") for i in range(0, 180, 2)]
+    enclave = Enclave(cipher="authenticated", key=ROOT, keep_trace_events=False)
+    pool = _make_pool(backend, shards) if backend is not None else None
+    spec = ShardSpec("hash", shards, "key")
+    left = ShardedTable(enclave, "l", SCHEMA, spec, ROWS)
+    right = ShardedTable(enclave, "r", right_schema, spec, right_rows)
+    try:
+        rows = sharded_hash_join(
+            left, right, "key", "key", enclave.oblivious.free_bytes, pool=pool
+        )
+        return (
+            enclave.trace.digest(),
+            len(enclave.trace),
+            rows,
+            enclave.cost.snapshot(),
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+
+
+def test_sharded_join_trace_identical_across_backends():
+    """The sharded hash join composes identically with no pool, the inline
+    executor, and worker processes over both transports."""
+    sequential = run_join(None)
+    inline = run_join("inline")
+    process_pipe = run_join(("process", "pipe"))
+    process_shm = run_join(("process", "shm"))
+    assert inline == sequential
+    assert process_pipe == sequential
+    assert process_shm == sequential
 
 
 def test_group_of_one_shuffle_cleanup_equals_sequential():
